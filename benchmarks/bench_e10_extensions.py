@@ -1,0 +1,150 @@
+"""E10 — Section 5.2 extensions: lazy generation and general quantile cuts.
+
+Two future-work items of the paper are implemented and measured here:
+
+* **Lazy generation** — "the system would only generate a small set of
+  queries, and create more upon request."  The benchmark compares the
+  latency (and database operations) needed to obtain the *first* answer
+  lazily against the eager generate-everything prototype behaviour.
+* **Quantile cuts** — "there is no way to obtain a pie-chart displaying
+  the second third of the population."  On a Gaussian attribute the
+  benchmark shows that tercile cuts isolate the dense middle third as one
+  segment, which repeated median cuts structurally cannot, and compares
+  the balance of the two strategies on Zipf-skewed data.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core import (
+    HBCuts,
+    LazyAdvisor,
+    balance,
+    cut_query,
+    cut_segmentation,
+    entropy,
+    quantile_cut_query,
+)
+from repro.sdl import SDLQuery
+from repro.storage import QueryEngine
+from repro.workloads import generate_voc, make_gaussian_table, make_zipf_table
+
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage", "built", "yard"]
+
+
+@pytest.fixture(scope="module")
+def voc_30k():
+    return generate_voc(rows=30_000, seed=41)
+
+
+def test_e10_lazy_time_to_first_answer(benchmark, voc_30k):
+    def measure():
+        eager_engine = QueryEngine(voc_30k)
+        context = SDLQuery.over(_CONTEXT)
+        started = time.perf_counter()
+        eager_result = HBCuts().run(eager_engine, context)
+        eager_elapsed = time.perf_counter() - started
+        eager_operations = eager_engine.counter.total_database_operations
+
+        lazy_engine = QueryEngine(voc_30k)
+        started = time.perf_counter()
+        first = LazyAdvisor(lazy_engine).first_answer(context)
+        lazy_elapsed = time.perf_counter() - started
+        lazy_operations = lazy_engine.counter.total_database_operations
+        return {
+            "eager_elapsed": eager_elapsed,
+            "eager_operations": eager_operations,
+            "eager_answers": len(eager_result),
+            "lazy_elapsed": lazy_elapsed,
+            "lazy_operations": lazy_operations,
+            "first_depth": first.depth,
+        }
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_table(
+        "E10 / §5.2 — latency to the first answer: lazy vs eager (30k VOC rows, 5 attributes)",
+        ["variant", "time to first answer", "db operations", "answers produced"],
+        [
+            ("eager (generate everything)", f"{outcome['eager_elapsed'] * 1000:.1f} ms",
+             outcome["eager_operations"], outcome["eager_answers"]),
+            ("lazy (first answer only)", f"{outcome['lazy_elapsed'] * 1000:.1f} ms",
+             outcome["lazy_operations"], 1),
+        ],
+    )
+    assert outcome["lazy_elapsed"] < outcome["eager_elapsed"]
+    assert outcome["lazy_operations"] < outcome["eager_operations"]
+    assert outcome["first_depth"] == 2
+    benchmark.extra_info["latency_speedup"] = round(
+        outcome["eager_elapsed"] / max(outcome["lazy_elapsed"], 1e-9), 1
+    )
+
+
+def test_e10_quantile_cuts_isolate_the_gaussian_middle(benchmark):
+    table = make_gaussian_table(rows=20_000, mean=100.0, std=15.0, seed=19)
+    engine = QueryEngine(table)
+    context = SDLQuery.over(["value", "region"])
+
+    def run_both():
+        terciles = quantile_cut_query(engine, context, "value", quantiles=(1 / 3, 2 / 3))
+        medians = cut_segmentation(engine, cut_query(engine, context, "value"), "value")
+        return terciles, medians
+
+    terciles, medians = benchmark(run_both)
+
+    middle = terciles.segments[1]
+    middle_low = middle.query.predicate_for("value").low
+    middle_high = middle.query.predicate_for("value").high
+    rows = [
+        ("tercile cut", terciles.depth, f"[{middle_low:.1f}, {middle_high:.1f}]",
+         f"{terciles.covers[1]:.1%}"),
+        ("median cut x2", medians.depth, "(no single middle segment)", "-"),
+    ]
+    print_table(
+        "E10 / §5.2 — isolating the dense middle third of a Gaussian attribute",
+        ["strategy", "pieces", "middle segment range", "middle cover"],
+        rows,
+    )
+
+    # The tercile cut's middle segment brackets the mean tightly...
+    assert middle_low < 100.0 < middle_high
+    assert middle_high - middle_low < 20.0
+    # ...whereas every median-cut piece has the mean on its boundary, so no
+    # piece is centred on it.
+    for segment in medians.segments:
+        predicate = segment.query.predicate_for("value")
+        assert not (predicate.low < 95.0 and predicate.high > 105.0)
+    benchmark.extra_info["middle_width"] = round(middle_high - middle_low, 1)
+
+
+def test_e10_quantile_cuts_on_skewed_data(benchmark):
+    table = make_zipf_table(rows=20_000, exponent=1.4, categories=16, seed=29)
+    engine = QueryEngine(table)
+    context = SDLQuery.over(["category", "score"])
+
+    def run_both():
+        quartiles = quantile_cut_query(
+            engine, context, "category", quantiles=(0.25, 0.5, 0.75)
+        )
+        binary = cut_query(engine, context, "category")
+        return quartiles, binary
+
+    quartiles, binary = benchmark(run_both)
+
+    print_table(
+        "E10 / §5.2 — quantile vs median cuts on a Zipf-skewed nominal attribute",
+        ["strategy", "pieces", "entropy", "balance"],
+        [
+            ("equal-frequency quartiles", quartiles.depth, f"{entropy(quartiles):.3f}",
+             f"{balance(quartiles):.3f}"),
+            ("binary median cut", binary.depth, f"{entropy(binary):.3f}",
+             f"{balance(binary):.3f}"),
+        ],
+    )
+    assert quartiles.depth > binary.depth
+    assert entropy(quartiles) > entropy(binary)
+    benchmark.extra_info["quartile_entropy"] = round(entropy(quartiles), 3)

@@ -1,0 +1,149 @@
+"""E11 — Section 5.2 extensions beyond the prototype: heterogeneous cuts and surprise.
+
+Two further future-work items of the paper, implemented in this repo and
+measured here as extension experiments (they have no counterpart figure in
+the paper; the expected shapes come from the paper's own argumentation):
+
+* **Heterogeneous segmentations** — "we could cut each piece of a
+  segmentation on a potentially different attribute … the main issue is
+  the explosion of the search space; this may be tackled with randomized
+  algorithms."  The benchmark compares HB-cuts, the greedy heterogeneous
+  generator and its randomized variant at the same depth budget: the
+  heterogeneous answers reach at least the same entropy, and the
+  randomized variant gets most of that quality at a fraction of the
+  candidate evaluations.
+* **Interestingness / surprise** — "we do not use any notion of
+  'interestingness' or 'surprise'."  The benchmark compares the paper's
+  entropy ranking with the surprise-blended ranking on the VOC context
+  that includes an uninformative high-cardinality column (``master``):
+  entropy alone ranks a ``master`` cut above more revealing answers, the
+  surprise ranking demotes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro.core import (
+    Charles,
+    EntropyRanker,
+    HBCuts,
+    SurpriseRanker,
+    entropy,
+    greedy_heterogeneous,
+    randomized_heterogeneous,
+    segmentation_interestingness,
+)
+from repro.sdl import SDLQuery, check_partition
+from repro.storage import QueryEngine
+
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
+
+
+def test_e11_heterogeneous_vs_hbcuts(benchmark, voc_table):
+    engine = QueryEngine(voc_table)
+    context = SDLQuery.over(_CONTEXT)
+
+    def run_all():
+        hb_best = HBCuts().run(engine, context).best()
+        depth_budget = hb_best.depth
+        greedy, greedy_trace = greedy_heterogeneous(
+            engine, context, max_depth=depth_budget, return_trace=True
+        )
+        randomized, random_trace = randomized_heterogeneous(
+            engine, context, max_depth=depth_budget, seed=3, samples_per_step=3,
+            return_trace=True,
+        )
+        return hb_best, (greedy, greedy_trace), (randomized, random_trace)
+
+    hb_best, (greedy, greedy_trace), (randomized, random_trace) = benchmark(run_all)
+
+    rows = [
+        ("HB-cuts (homogeneous)", hb_best.depth, f"{entropy(hb_best):.3f}", "-"),
+        ("greedy heterogeneous", greedy.depth, f"{entropy(greedy):.3f}",
+         greedy_trace.candidate_evaluations),
+        ("randomized heterogeneous", randomized.depth, f"{entropy(randomized):.3f}",
+         random_trace.candidate_evaluations),
+    ]
+    print_table(
+        "E11 / §5.2 — heterogeneous segmentations at the HB-cuts depth budget",
+        ["strategy", "pieces", "entropy", "candidate evaluations"],
+        rows,
+    )
+
+    assert check_partition(engine, greedy).is_partition
+    assert check_partition(engine, randomized).is_partition
+    # The greedy heterogeneous answer is at least as balanced as HB-cuts'.
+    assert entropy(greedy) >= entropy(hb_best) - 0.05
+    # The randomized variant needs fewer evaluations than the greedy one
+    # and still recovers most of the quality.
+    assert random_trace.candidate_evaluations < greedy_trace.candidate_evaluations
+    assert entropy(randomized) >= 0.6 * entropy(greedy)
+    benchmark.extra_info["greedy_entropy"] = round(entropy(greedy), 3)
+    benchmark.extra_info["randomized_evaluations"] = random_trace.candidate_evaluations
+
+
+def test_e11_surprise_ranking_demotes_uninformative_cuts(benchmark, voc_table):
+    engine = QueryEngine(voc_table)
+    context_columns = ["master", "type_of_boat", "tonnage", "departure_harbour"]
+
+    def rank_both():
+        entropy_advisor = Charles(QueryEngine(voc_table), ranker=EntropyRanker())
+        entropy_advice = entropy_advisor.advise(context_columns, max_answers=None)
+        surprise_advisor = Charles(
+            QueryEngine(voc_table),
+            ranker=SurpriseRanker(engine=engine, surprise_weight=2.0),
+        )
+        surprise_advice = surprise_advisor.advise(context_columns, max_answers=None)
+        return entropy_advice, surprise_advice
+
+    entropy_advice, surprise_advice = benchmark.pedantic(rank_both, rounds=1, iterations=1)
+
+    def summarise(advice):
+        rows = []
+        for answer in advice.answers[:5]:
+            interest = segmentation_interestingness(engine, answer.segmentation)
+            rows.append(
+                (
+                    f"#{answer.rank}",
+                    ", ".join(answer.attributes),
+                    f"{answer.scores.entropy:.3f}",
+                    f"{interest:.3f}",
+                )
+            )
+        return rows
+
+    print_table(
+        "E11 / §5.2 — paper's entropy ranking (context includes 'master')",
+        ["rank", "attributes", "entropy", "interestingness"],
+        summarise(entropy_advice),
+    )
+    print_table(
+        "E11 / §5.2 — surprise-blended ranking (weight 2.0)",
+        ["rank", "attributes", "entropy", "interestingness"],
+        summarise(surprise_advice),
+    )
+
+    def position_of_master_only(advice):
+        for answer in advice.answers:
+            if set(answer.attributes) == {"master"}:
+                return answer.rank
+        return len(advice.answers) + 1
+
+    entropy_position = position_of_master_only(entropy_advice)
+    surprise_position = position_of_master_only(surprise_advice)
+    # Cutting the high-cardinality 'master' column is balanced (high
+    # entropy) but reveals nothing; the surprise ranking must not place it
+    # higher than the paper's ranking does.
+    assert surprise_position >= entropy_position
+    # And the surprise ranking's top answer must be at least as interesting.
+    top_entropy_interest = segmentation_interestingness(
+        engine, entropy_advice.best().segmentation
+    )
+    top_surprise_interest = segmentation_interestingness(
+        engine, surprise_advice.best().segmentation
+    )
+    assert top_surprise_interest >= top_entropy_interest - 1e-9
+    benchmark.extra_info["master_rank_entropy"] = entropy_position
+    benchmark.extra_info["master_rank_surprise"] = surprise_position

@@ -1,0 +1,104 @@
+"""E1 — Figure 1: Charles' ranked answer list on the VOC shipping data.
+
+The paper's screenshot shows, for the context ``(type_of_boat,
+departure_harbour, tonnage)``:
+
+* a ranked list of candidate segmentations whose top entries combine
+  several attributes (``departure_harbour, tonnage``) while single-attribute
+  views (``type_of_boat``, ``departure_harbour``) remain available below;
+* a selected four-piece answer whose slices pair a harbour group with a
+  tonnage band.
+
+This benchmark regenerates that answer list on the synthetic VOC table and
+checks the qualitative shape: the top answer is multi-attribute, the
+single-attribute cuts are present, and the hand-picked
+``departure_harbour × tonnage`` segmentation has the Figure 1 structure
+(four pieces, two harbour groups, each split into a local tonnage band).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import Charles
+from repro.sdl import check_partition
+from repro.storage import QueryEngine
+from repro.workloads import FIGURE1_CONTEXT_COLUMNS
+
+
+def test_e1_ranked_answer_list(benchmark, voc_table):
+    """Time the full advise() call and report the ranked list it returns."""
+    advisor = Charles(voc_table)
+    context = list(FIGURE1_CONTEXT_COLUMNS)
+
+    advice = benchmark(lambda: advisor.advise(context, max_answers=6))
+
+    rows = []
+    for answer in advice:
+        rows.append(
+            (
+                f"#{answer.rank}",
+                ", ".join(answer.attributes),
+                f"{answer.scores.entropy:.3f}",
+                answer.scores.breadth,
+                answer.scores.depth,
+            )
+        )
+    print_table(
+        "E1 / Figure 1 — ranked answers for (type_of_boat, departure_harbour, tonnage)",
+        ["rank", "attributes", "entropy", "breadth", "depth"],
+        rows,
+    )
+
+    engine = QueryEngine(voc_table)
+    for answer in advice:
+        assert check_partition(engine, answer.segmentation).is_partition
+
+    best = advice.best()
+    assert best.scores.breadth >= 2, "the top answer must combine attributes"
+    assert 1 in {answer.scores.breadth for answer in advice}, (
+        "single-attribute cuts must remain in the list"
+    )
+    benchmark.extra_info["top_attributes"] = ", ".join(best.attributes)
+    benchmark.extra_info["top_entropy"] = round(best.scores.entropy, 3)
+    benchmark.extra_info["answers"] = len(advice)
+
+
+def test_e1_harbour_tonnage_selected_answer(benchmark, voc_table):
+    """Regenerate the selected pie of Figure 1: harbour group × tonnage band."""
+    advisor = Charles(voc_table)
+
+    segmentation = benchmark(
+        lambda: advisor.segment(
+            list(FIGURE1_CONTEXT_COLUMNS), ["departure_harbour", "tonnage"]
+        )
+    )
+
+    rows = []
+    for segment, cover in zip(segmentation.segments, segmentation.covers):
+        harbours = sorted(segment.query.predicate_for("departure_harbour").values)
+        tonnage = segment.query.predicate_for("tonnage")
+        rows.append(
+            (
+                ", ".join(harbours[:3]) + ("…" if len(harbours) > 3 else ""),
+                f"[{tonnage.low}, {tonnage.high}{']' if tonnage.include_high else '['}",
+                segment.count,
+                f"{cover:.1%}",
+            )
+        )
+    print_table(
+        "E1 / Figure 1 — selected answer: departure_harbour × tonnage",
+        ["harbour group", "tonnage band", "rows", "cover"],
+        rows,
+    )
+
+    assert segmentation.depth == 4
+    harbour_groups = {
+        frozenset(segment.query.predicate_for("departure_harbour").values)
+        for segment in segmentation.segments
+    }
+    assert len(harbour_groups) == 2, "two harbour groups, each split by tonnage"
+    engine = QueryEngine(voc_table)
+    assert check_partition(engine, segmentation).is_partition
+    benchmark.extra_info["depth"] = segmentation.depth
+    benchmark.extra_info["harbour_groups"] = len(harbour_groups)

@@ -1,0 +1,132 @@
+"""E2 — Figure 2: the CUT, COMPOSE and PRODUCT primitives on the boats example.
+
+Figure 2 walks through the three primitives on a small fleet where the
+boat type determines both the tonnage band and the departure era.  The
+benchmark rebuilds that dataset (deterministically, at a few thousand rows
+so the timings are meaningful), applies each primitive, and checks the
+drawn outcome:
+
+* ``CUT_tonnage(A)`` — each boat-type piece is split at its *local* median
+  (fluits stay in the light band, jachts in the heavy band);
+* ``COMPOSE(A, B)`` — the boat-type pieces get their own date ranges;
+* ``A × B`` — the product is unbalanced, revealing the dependence
+  (Proposition 1: INDEP drops well below 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro.core import compose, cut_query, cut_segmentation, entropy, indep, product
+from repro.sdl import SDLQuery, check_partition
+from repro.storage import QueryEngine, Table
+from repro.workloads import make_rng
+
+
+def _figure2_table(rows: int = 4000, seed: int = 2) -> Table:
+    """A larger, noisy version of the Figure 2 fleet."""
+    rng = make_rng(seed)
+    data = {"type_of_boat": [], "tonnage": [], "departure_date": []}
+    for _ in range(rows):
+        if rng.random() < 0.5:
+            data["type_of_boat"].append("fluit")
+            data["tonnage"].append(int(rng.uniform(1000, 2000)))
+            data["departure_date"].append(int(rng.uniform(1700, 1750)))
+        else:
+            data["type_of_boat"].append("jacht")
+            data["tonnage"].append(int(rng.uniform(3000, 5000)))
+            data["departure_date"].append(int(rng.uniform(1750, 1780)))
+    return Table.from_dict(data, name="figure2")
+
+
+@pytest.fixture(scope="module")
+def engine() -> QueryEngine:
+    return QueryEngine(_figure2_table())
+
+
+@pytest.fixture(scope="module")
+def context() -> SDLQuery:
+    return SDLQuery.over(["type_of_boat", "tonnage", "departure_date"])
+
+
+def test_e2_cut_uses_local_medians(benchmark, engine, context):
+    by_type = cut_query(engine, context, "type_of_boat")
+
+    cut_twice = benchmark(lambda: cut_segmentation(engine, by_type, "tonnage"))
+
+    rows = []
+    for segment in cut_twice.segments:
+        boat = ", ".join(sorted(segment.query.predicate_for("type_of_boat").values))
+        tonnage = segment.query.predicate_for("tonnage")
+        rows.append((boat, f"{tonnage.low} – {tonnage.high}", segment.count))
+    print_table("E2 / Figure 2 — CUT_tonnage(A)", ["boat type", "tonnage", "rows"], rows)
+
+    assert cut_twice.depth == 4
+    assert check_partition(engine, cut_twice).is_partition
+    fluit_highs = [
+        segment.query.predicate_for("tonnage").high
+        for segment in cut_twice.segments
+        if "fluit" in segment.query.predicate_for("type_of_boat").values
+    ]
+    jacht_lows = [
+        segment.query.predicate_for("tonnage").low
+        for segment in cut_twice.segments
+        if "jacht" in segment.query.predicate_for("type_of_boat").values
+    ]
+    assert max(fluit_highs) <= 2000 < 3000 <= min(jacht_lows)
+    benchmark.extra_info["pieces"] = cut_twice.depth
+
+
+def test_e2_compose_adapts_date_ranges(benchmark, engine, context):
+    by_type = cut_query(engine, context, "type_of_boat")
+    by_date = cut_query(engine, context, "departure_date")
+
+    composed = benchmark(lambda: compose(engine, by_type, by_date))
+
+    rows = []
+    for segment in composed.segments:
+        boat = ", ".join(sorted(segment.query.predicate_for("type_of_boat").values))
+        date = segment.query.predicate_for("departure_date")
+        rows.append((boat, f"{date.low} – {date.high}", segment.count))
+    print_table("E2 / Figure 2 — COMPOSE(A, B)", ["boat type", "departure", "rows"], rows)
+
+    assert composed.depth == 4
+    assert check_partition(engine, composed).is_partition
+    fluit_highs = [
+        segment.query.predicate_for("departure_date").high
+        for segment in composed.segments
+        if "fluit" in segment.query.predicate_for("type_of_boat").values
+    ]
+    jacht_lows = [
+        segment.query.predicate_for("departure_date").low
+        for segment in composed.segments
+        if "jacht" in segment.query.predicate_for("type_of_boat").values
+    ]
+    assert max(fluit_highs) <= 1750 <= min(jacht_lows)
+    benchmark.extra_info["pieces"] = composed.depth
+
+
+def test_e2_product_reveals_the_dependence(benchmark, engine, context):
+    by_type = cut_query(engine, context, "type_of_boat")
+    by_date = cut_query(engine, context, "departure_date")
+
+    cells = benchmark(lambda: product(engine, by_type, by_date, drop_empty=False))
+
+    value = indep(engine, by_type, by_date)
+    rows = [
+        (
+            ", ".join(sorted(segment.query.predicate_for("type_of_boat").values)),
+            f"{segment.query.predicate_for('departure_date').low} – "
+            f"{segment.query.predicate_for('departure_date').high}",
+            segment.count,
+        )
+        for segment in cells.segments
+    ]
+    print_table("E2 / Figure 2 — A × B cells", ["boat type", "departure", "rows"], rows)
+    print(f"   E(A)={entropy(by_type):.3f}  E(B)={entropy(by_date):.3f}  "
+          f"E(A×B)={entropy(cells):.3f}  INDEP={value:.3f}")
+
+    assert cells.depth == 4
+    assert value < 0.75, "boat type and departure date are strongly dependent"
+    benchmark.extra_info["indep"] = round(value, 3)

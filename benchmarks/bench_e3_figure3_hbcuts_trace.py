@@ -1,0 +1,98 @@
+"""E3 — Figure 3: an example execution of HB-cuts over five attributes.
+
+Figure 3 sketches a run where a five-attribute context yields eight
+returned segmentations: attributes 1-3 are progressively composed
+(att1 → att1+att2+att3 via two compositions), attributes 4 and 5 form a
+second group, and one attribute family stays unsplit when the remaining
+candidates look independent.
+
+The benchmark builds a synthetic five-attribute table with exactly that
+dependency structure (a1≈a2≈a3 dependent, a4≈a5 dependent, nothing else),
+runs HB-cuts, and checks the trace shape: which attribute sets get
+composed, how many segmentations come back, and why the loop stops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.core import HBCuts, HBCutsConfig, entropy
+from repro.sdl import SDLQuery, check_partition
+from repro.storage import QueryEngine, Table
+
+
+def _figure3_table(rows: int = 4000, seed: int = 5) -> Table:
+    """Five attributes: {a1,a2,a3} mutually dependent, {a4,a5} dependent."""
+    rng = np.random.default_rng(seed)
+    base_first = rng.integers(0, 2, size=rows)
+    base_second = rng.integers(0, 2, size=rows)
+
+    def noisy_copy(base, flip=0.08):
+        noise = rng.random(rows) < flip
+        return np.where(noise, 1 - base, base)
+
+    data = {
+        "att1": [f"a{v}" for v in base_first],
+        "att2": [f"b{v}" for v in noisy_copy(base_first)],
+        "att3": [f"c{v}" for v in noisy_copy(base_first)],
+        "att4": [f"d{v}" for v in base_second],
+        "att5": [f"e{v}" for v in noisy_copy(base_second)],
+    }
+    return Table.from_dict(data, name="figure3")
+
+
+@pytest.fixture(scope="module")
+def engine() -> QueryEngine:
+    return QueryEngine(_figure3_table())
+
+
+def test_e3_hbcuts_trace_shape(benchmark, engine):
+    context = SDLQuery.over(["att1", "att2", "att3", "att4", "att5"])
+    config = HBCutsConfig(max_indep=0.99, max_depth=12)
+
+    result = benchmark(lambda: HBCuts(config).run(engine, context))
+
+    trace = result.trace
+    rows = [
+        ("initial candidates", ", ".join(trace.initial_candidates)),
+        ("compositions", "; ".join("{" + ", ".join(c) + "}" for c in trace.compositions)),
+        ("indep values", ", ".join(f"{v:.3f}" for v in trace.indep_values)),
+        ("stop reason", trace.stop_reason),
+        ("segmentations returned", len(result)),
+        ("pair evaluations", trace.pair_evaluations),
+        ("pair cache hits", trace.pair_cache_hits),
+    ]
+    print_table("E3 / Figure 3 — HB-cuts execution trace", ["quantity", "value"], rows)
+
+    ranked_rows = [
+        (index + 1, ", ".join(seg.cut_attributes), seg.depth, f"{entropy(seg):.3f}")
+        for index, seg in enumerate(result)
+    ]
+    print_table(
+        "E3 / Figure 3 — returned segmentations (entropy order)",
+        ["rank", "attributes", "depth", "entropy"],
+        ranked_rows,
+    )
+
+    # Figure 3 shape: 5 initial candidates, the two planted families are
+    # composed, the families are never merged with each other, and every
+    # returned candidate is a valid partition.
+    assert len(trace.initial_candidates) == 5
+    composed_families = [set(c) for c in trace.compositions]
+    assert any(family <= {"att1", "att2", "att3"} for family in composed_families)
+    assert any(family <= {"att4", "att5"} for family in composed_families)
+    for family in composed_families:
+        assert family <= {"att1", "att2", "att3"} or family <= {"att4", "att5"}, (
+            "independent attribute families must not be merged"
+        )
+    # 5 initial + one intermediate per accepted composition.
+    assert len(result) == 5 + len(trace.compositions)
+    assert 7 <= len(result) <= 9
+    for segmentation in result:
+        assert check_partition(engine, segmentation).is_partition
+
+    benchmark.extra_info["segmentations"] = len(result)
+    benchmark.extra_info["compositions"] = len(trace.compositions)
+    benchmark.extra_info["stop_reason"] = trace.stop_reason

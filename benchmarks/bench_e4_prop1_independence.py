@@ -1,0 +1,83 @@
+"""E4 — Proposition 1: INDEP certifies independence and tracks dependence.
+
+Proposition 1 states that ``E(S1 × S2) = E(S1) + E(S2)`` exactly when the
+segment variables are independent, and that the quotient
+``INDEP = E(S1 × S2) / (E(S1) + E(S2))`` decreases with the degree of
+dependence.  The benchmark sweeps the planted dependence strength of a
+two-column synthetic table from 0 (independent) to 1 (deterministic copy)
+and reports the measured INDEP, mutual information and chi-square p-value
+at every level: INDEP must start at ≈1 and decrease monotonically towards
+0.5 (binary cuts of a perfectly copied column).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import analyse_dependence, cut_query, entropy, product
+from repro.sdl import SDLQuery
+from repro.storage import QueryEngine
+from repro.workloads import make_dependent_pair_table
+
+_STRENGTHS = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+_ROWS = 6000
+
+
+def _measure(strength: float, seed: int = 11):
+    table = make_dependent_pair_table(
+        rows=_ROWS, strength=strength, cardinality=2, seed=seed
+    )
+    engine = QueryEngine(table)
+    context = SDLQuery.over(["x", "y"])
+    first = cut_query(engine, context, "x")
+    second = cut_query(engine, context, "y")
+    report = analyse_dependence(engine, first, second)
+    cells = product(engine, first, second, drop_empty=False)
+    return {
+        "indep": report.indep,
+        "mutual_information": report.mutual_information,
+        "p_value": report.p_value,
+        "sum_entropy": entropy(first) + entropy(second),
+        "product_entropy": entropy(cells),
+    }
+
+
+def test_e4_indep_tracks_dependence_strength(benchmark):
+    results = benchmark(lambda: {s: _measure(s) for s in _STRENGTHS})
+
+    rows = [
+        (
+            f"{strength:.2f}",
+            f"{outcome['indep']:.4f}",
+            f"{outcome['mutual_information']:.4f}",
+            f"{outcome['p_value']:.2e}",
+            f"{outcome['product_entropy']:.3f}",
+            f"{outcome['sum_entropy']:.3f}",
+        )
+        for strength, outcome in results.items()
+    ]
+    print_table(
+        "E4 / Proposition 1 — INDEP vs planted dependence strength",
+        ["strength", "INDEP", "mutual info", "chi2 p-value", "E(S1×S2)", "E(S1)+E(S2)"],
+        rows,
+    )
+
+    import pytest
+
+    independent = results[0.0]
+    copied = results[1.0]
+    # Independence: the entropies add up, INDEP ≈ 1, the test does not reject.
+    assert independent["indep"] > 0.995
+    assert independent["product_entropy"] == pytest.approx(
+        independent["sum_entropy"], abs=0.01
+    )
+    assert independent["p_value"] > 0.01
+    # Full dependence: the product entropy collapses to one marginal, INDEP ≈ 0.5.
+    assert 0.49 <= copied["indep"] <= 0.52
+    assert copied["p_value"] < 1e-10
+    # Monotone decrease with the planted strength.
+    ordered = [results[s]["indep"] for s in _STRENGTHS]
+    assert all(earlier >= later - 0.02 for earlier, later in zip(ordered, ordered[1:]))
+
+    benchmark.extra_info["indep_at_0"] = round(independent["indep"], 4)
+    benchmark.extra_info["indep_at_1"] = round(copied["indep"], 4)

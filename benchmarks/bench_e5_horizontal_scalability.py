@@ -1,0 +1,137 @@
+"""E5 — Section 5.1: horizontal scalability (number of attributes).
+
+The paper identifies the number of attributes in the search context as the
+hard scalability axis ("the search space grows exponentially") and hints
+at reusing intermediate results across iterations as an optimisation.
+This benchmark:
+
+* sweeps the context width from 2 to 8 attributes over a wide synthetic
+  table, reporting HB-cuts runtime, pair (INDEP) evaluations and database
+  operations at every width — the super-linear growth of pair evaluations
+  is the paper's point;
+* compares the full-product brute force against HB-cuts at the widest
+  context (exponential vs. bounded number of pieces);
+* quantifies the effect of the computation-reuse optimisation
+  (``reuse_indep``) as an ablation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core import HBCuts, HBCutsConfig, full_product_segmentation
+from repro.sdl import SDLQuery
+from repro.storage import QueryEngine
+from repro.workloads import make_wide_table
+
+_WIDTHS = (2, 3, 4, 5, 6, 8)
+_ROWS = 3000
+
+
+@pytest.fixture(scope="module")
+def wide_table():
+    return make_wide_table(rows=_ROWS, attributes=max(_WIDTHS), dependent_pairs=3, seed=17)
+
+
+def _run_width(table, width: int, reuse: bool = True):
+    engine = QueryEngine(table)
+    context = SDLQuery.over(table.column_names[:width])
+    config = HBCutsConfig(reuse_indep=reuse)
+    started = time.perf_counter()
+    result = HBCuts(config).run(engine, context)
+    elapsed = time.perf_counter() - started
+    return {
+        "runtime": elapsed,
+        "pair_evaluations": result.trace.pair_evaluations,
+        "cache_hits": result.trace.pair_cache_hits,
+        "segmentations": len(result),
+        "database_operations": engine.counter.total_database_operations,
+    }
+
+
+def test_e5_runtime_vs_context_width(benchmark, wide_table):
+    results = benchmark.pedantic(
+        lambda: {width: _run_width(wide_table, width) for width in _WIDTHS},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        (
+            width,
+            f"{outcome['runtime'] * 1000:.1f} ms",
+            outcome["pair_evaluations"],
+            outcome["segmentations"],
+            outcome["database_operations"],
+        )
+        for width, outcome in results.items()
+    ]
+    print_table(
+        "E5 / §5.1 — HB-cuts cost vs number of context attributes",
+        ["attributes", "runtime", "INDEP evaluations", "answers", "db operations"],
+        rows,
+    )
+
+    narrow, wide = results[_WIDTHS[0]], results[_WIDTHS[-1]]
+    assert wide["pair_evaluations"] > narrow["pair_evaluations"]
+    assert wide["database_operations"] > narrow["database_operations"]
+    # Growth of the candidate-pair work is super-linear in the width.
+    width_ratio = _WIDTHS[-1] / _WIDTHS[0]
+    assert wide["pair_evaluations"] / max(1, narrow["pair_evaluations"]) > width_ratio
+    benchmark.extra_info["pair_evaluations_at_8"] = wide["pair_evaluations"]
+
+
+def test_e5_hbcuts_vs_full_product(benchmark, wide_table):
+    engine = QueryEngine(wide_table)
+    context = SDLQuery.over(wide_table.column_names[:6])
+
+    def run_both():
+        heuristic = HBCuts().run(engine, context)
+        brute_force = full_product_segmentation(engine, context)
+        return heuristic, brute_force
+
+    heuristic, brute_force = benchmark(run_both)
+
+    print_table(
+        "E5 / §5.1 — heuristic vs exhaustive product (6 attributes)",
+        ["strategy", "pieces in the answer"],
+        [
+            ("HB-cuts best answer", heuristic.best().depth),
+            ("full product", brute_force.depth),
+        ],
+    )
+    # The brute-force product explodes with the number of attributes while
+    # HB-cuts stays within the legibility bound.
+    assert brute_force.depth > heuristic.best().depth
+    assert heuristic.best().depth <= 12
+    benchmark.extra_info["full_product_pieces"] = brute_force.depth
+
+
+def test_e5_ablation_indep_reuse(benchmark, wide_table):
+    width = 6
+
+    def run_both():
+        with_reuse = _run_width(wide_table, width, reuse=True)
+        without_reuse = _run_width(wide_table, width, reuse=False)
+        return with_reuse, without_reuse
+
+    with_reuse, without_reuse = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print_table(
+        "E5 / §5.1 — ablation: reuse of INDEP evaluations across iterations",
+        ["variant", "INDEP evaluations", "cache hits", "runtime"],
+        [
+            ("reuse enabled", with_reuse["pair_evaluations"], with_reuse["cache_hits"],
+             f"{with_reuse['runtime'] * 1000:.1f} ms"),
+            ("reuse disabled", without_reuse["pair_evaluations"], without_reuse["cache_hits"],
+             f"{without_reuse['runtime'] * 1000:.1f} ms"),
+        ],
+    )
+    assert with_reuse["pair_evaluations"] < without_reuse["pair_evaluations"]
+    assert with_reuse["segmentations"] == without_reuse["segmentations"]
+    benchmark.extra_info["evaluations_saved"] = (
+        without_reuse["pair_evaluations"] - with_reuse["pair_evaluations"]
+    )

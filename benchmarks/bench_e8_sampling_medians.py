@@ -1,0 +1,110 @@
+"""E8 — Section 5.2: sampling for median estimation.
+
+"The calculation of medians is a major bottleneck.  However, not all
+tuples are necessary to give good results."  This benchmark quantifies the
+extension: a :class:`~repro.storage.sampling.SampledEngine` computes the
+advisor's statistics on a uniform sample and scales counts back up.  For
+sample rates from 1% to 100% it reports
+
+* the speed-up of a full advise() call over the 100k-row VOC table,
+* the median-estimation error on the tonnage column,
+* whether the advisor still finds the same top answer (attribute set).
+
+The shape to reproduce: large speed-ups at small rates with negligible
+loss — at 10% the top answer is unchanged and the median error is well
+below one tonnage band.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core import Charles
+from repro.sdl import SDLQuery, SetPredicate
+from repro.storage import QueryEngine, SampledEngine
+from repro.workloads import generate_voc
+
+_RATES = (0.01, 0.05, 0.10, 0.25, 1.00)
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
+
+
+@pytest.fixture(scope="module")
+def big_voc():
+    return generate_voc(rows=100_000, seed=37)
+
+
+def _advise_with_rate(table, rate: float):
+    if rate >= 1.0:
+        advisor = Charles(table)
+    else:
+        advisor = Charles(table, sample_fraction=rate, seed=7)
+    started = time.perf_counter()
+    advice = advisor.advise(_CONTEXT, max_answers=3)
+    elapsed = time.perf_counter() - started
+    return {
+        "runtime": elapsed,
+        "top_attributes": tuple(sorted(advice.best().attributes)),
+        "top_entropy": advice.best().scores.entropy,
+    }
+
+
+def test_e8_sampled_advisor_speedup(benchmark, big_voc):
+    results = benchmark.pedantic(
+        lambda: {rate: _advise_with_rate(big_voc, rate) for rate in _RATES},
+        rounds=1,
+        iterations=1,
+    )
+
+    exact = results[1.00]
+    rows = [
+        (
+            f"{rate:.0%}",
+            f"{outcome['runtime'] * 1000:.1f} ms",
+            f"{exact['runtime'] / outcome['runtime']:.1f}x",
+            ", ".join(outcome["top_attributes"]),
+            f"{outcome['top_entropy']:.3f}",
+        )
+        for rate, outcome in results.items()
+    ]
+    print_table(
+        "E8 / §5.2 — sampled advisor on 100k VOC rows",
+        ["sample rate", "runtime", "speed-up", "top answer attributes", "top entropy"],
+        rows,
+    )
+
+    assert results[0.10]["runtime"] < exact["runtime"]
+    assert results[0.10]["top_attributes"] == exact["top_attributes"], (
+        "a 10% sample must preserve the top answer"
+    )
+    assert abs(results[0.10]["top_entropy"] - exact["top_entropy"]) < 0.1
+    benchmark.extra_info["speedup_at_10pct"] = round(
+        exact["runtime"] / results[0.10]["runtime"], 1
+    )
+
+
+def test_e8_median_estimation_error(benchmark, big_voc):
+    exact_engine = QueryEngine(big_voc)
+    query = SDLQuery([SetPredicate("type_of_boat", frozenset({"fluit", "jacht"}))])
+    exact_median = exact_engine.median("tonnage", query)
+
+    def measure():
+        errors = {}
+        for rate in _RATES[:-1]:
+            sampled = SampledEngine(big_voc, fraction=rate, seed=3)
+            estimate = sampled.median("tonnage", query)
+            errors[rate] = abs(estimate - exact_median) / exact_median
+        return errors
+
+    errors = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_table(
+        "E8 / §5.2 — relative median-estimation error (tonnage of light boats)",
+        ["sample rate", "relative error"],
+        [(f"{rate:.0%}", f"{error:.4%}") for rate, error in errors.items()],
+    )
+    assert errors[0.10] < 0.02, "a 10% sample estimates the median within 2%"
+    assert errors[0.01] < 0.10
+    benchmark.extra_info["error_at_10pct"] = round(errors[0.10], 4)

@@ -1,0 +1,55 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of ``EXPERIMENTS.md`` (E1-E10).
+Besides the pytest-benchmark timings, each test prints a small result table
+— the rows the corresponding figure or claim in the paper would show — so
+that ``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+log.  Key figures are also attached to ``benchmark.extra_info`` so they
+survive in the JSON output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.storage import QueryEngine
+from repro.workloads import generate_astronomy, generate_voc, generate_weblog
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a small aligned table to stdout (shown with ``-s``)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in materialised:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def voc_table():
+    """The Figure 1 workload at demo scale."""
+    return generate_voc(rows=5000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def astronomy_table():
+    return generate_astronomy(rows=5000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def weblog_table():
+    return generate_weblog(rows=5000, seed=13)
+
+
+@pytest.fixture()
+def voc_engine(voc_table):
+    """A fresh engine per test so operation counters start at zero."""
+    return QueryEngine(voc_table)

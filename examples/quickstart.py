@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: ask Charles for segmentations of a small table.
+
+This example builds a tiny in-memory table, asks the advisor for
+segmentations of a three-column context, and prints the ranked answers —
+the minimal end-to-end loop of the paper's Figure 1.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Charles, Table
+from repro.viz import pie_chart, render_advice
+
+
+def build_table() -> Table:
+    """A small product-sales table with an obvious dependency.
+
+    The product category determines the price band: electronics are
+    expensive, groceries cheap.  Charles should discover exactly that.
+    """
+    rows = []
+    products = [
+        ("electronics", "laptop", 1200), ("electronics", "phone", 900),
+        ("electronics", "tablet", 650), ("electronics", "monitor", 400),
+        ("groceries", "coffee", 12), ("groceries", "tea", 8),
+        ("groceries", "bread", 3), ("groceries", "cheese", 15),
+        ("clothing", "jacket", 120), ("clothing", "shoes", 90),
+        ("clothing", "shirt", 35), ("clothing", "hat", 25),
+    ]
+    for region in ("north", "south", "east", "west"):
+        for category, item, price in products:
+            for month in range(1, 13):
+                rows.append(
+                    {
+                        "region": region,
+                        "category": category,
+                        "item": item,
+                        "price": price + (month % 3) * 5,
+                        "month": month,
+                    }
+                )
+    return Table.from_rows(rows, name="sales")
+
+
+def main() -> None:
+    table = build_table()
+    print(table.describe())
+    print()
+
+    # 1. Build the advisor and ask for segmentations of a context.
+    advisor = Charles(table)
+    advice = advisor.advise(["category", "price", "region"], max_answers=5)
+
+    # 2. The full three-panel report (context, ranked list, selected answer).
+    print(render_advice(advice))
+    print()
+
+    # 3. Inspect the best answer programmatically.
+    best = advice.best()
+    print(f"Best answer cuts on: {', '.join(best.attributes)}")
+    print(f"  entropy    = {best.scores.entropy:.3f}")
+    print(f"  breadth    = {best.scores.breadth}")
+    print(f"  simplicity = {best.scores.simplicity}")
+    print()
+
+    # 4. Each segment is an ordinary SDL query: display it, count it, or
+    #    export it as SQL for an external database.
+    from repro import query_to_sql
+
+    first_segment = best.segmentation.segments[0]
+    print("First segment as SDL:", first_segment.query.to_sdl())
+    print("First segment as SQL:", query_to_sql(first_segment.query, "sales"))
+    print()
+
+    # 5. A single hand-picked segmentation, rendered as a pie chart.
+    by_category_and_price = advisor.segment(["category", "price"], ["category", "price"])
+    print(pie_chart(by_category_and_price))
+
+
+if __name__ == "__main__":
+    main()

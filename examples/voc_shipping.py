@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Figure 1 scenario: exploring the VOC shipping database.
+
+Reproduces the paper's running example end to end:
+
+1. generate the synthetic Dutch East India Company voyages table;
+2. submit the Figure 1 context ``(type_of_boat, departure_harbour, tonnage)``;
+3. print the ranked answer list and the selected
+   ``departure_harbour × tonnage`` pie;
+4. drill into the largest segment and ask again — the interactive loop.
+
+Run with::
+
+    python examples/voc_shipping.py [--rows 5000] [--seed 42]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Charles
+from repro.core import ExplorationSession
+from repro.viz import pie_chart, render_advice, treemap
+from repro.workloads import FIGURE1_CONTEXT_COLUMNS, generate_voc
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    table = generate_voc(rows=args.rows, seed=args.seed)
+    print(f"Generated {table.num_rows} VOC voyages with columns:")
+    print("  " + ", ".join(table.column_names))
+    print()
+
+    advisor = Charles(table)
+
+    # -- The Figure 1 answer list ------------------------------------------------
+    advice = advisor.advise(list(FIGURE1_CONTEXT_COLUMNS), max_answers=6)
+    print(render_advice(advice, style="pie"))
+    print()
+
+    # -- The selected answer of the screenshot: harbour group x tonnage band ------
+    selected = advisor.segment(list(FIGURE1_CONTEXT_COLUMNS), ["departure_harbour", "tonnage"])
+    print("Hand-picked answer (departure_harbour × tonnage), as a tree map:")
+    print(treemap(selected, width=60, height=10))
+    print()
+
+    # -- The interactive loop: drill into the biggest piece and ask again ---------
+    session = ExplorationSession(advisor, max_answers=5)
+    session.start(list(FIGURE1_CONTEXT_COLUMNS))
+    print("Drilling into the largest segment of the best answer...")
+    session.drill(0, 0)
+    print(" -> ".join(session.breadcrumbs()))
+    print(f"Current selection holds {advisor.count(session.context)} voyages.")
+    print()
+
+    second_advice = session.advise()
+    print("Charles' follow-up suggestions inside that selection:")
+    for answer in second_advice:
+        print(f"  #{answer.rank}  [{', '.join(answer.attributes)}]  "
+              f"entropy={answer.scores.entropy:.2f}  depth={answer.scores.depth}")
+    print()
+
+    best_inner = second_advice.best().segmentation
+    print(pie_chart(best_inner, width=50))
+    print()
+    print(session.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that the package can be installed in environments without the
+``wheel`` package (offline editable installs fall back to
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

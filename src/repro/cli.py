@@ -1,0 +1,274 @@
+"""Command-line interface: ``charles`` / ``python -m repro.cli``.
+
+Sub-commands:
+
+* ``demo``     — run the Figure 1 scenario on the synthetic VOC dataset;
+* ``advise``   — answer a context query over a CSV file or built-in dataset;
+* ``profile``  — print the statistical profile of a table (or of a context);
+* ``segment``  — build one segmentation by cutting on explicit attributes;
+* ``datasets`` — list the built-in synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.advisor import Charles
+from repro.core.hbcuts import HBCutsConfig
+from repro.core.interestingness import SurpriseRanker
+from repro.core.ranking import EntropyRanker, LexicographicRanker, WeightedRanker
+from repro.core.session import ExplorationSession
+from repro.errors import CharlesError
+from repro.storage.csv_loader import load_csv
+from repro.storage.engine import QueryEngine
+from repro.storage.table import Table
+from repro.viz.histogram import segment_distributions
+from repro.viz.piechart import pie_chart
+from repro.viz.report import render_advice
+from repro.viz.treemap import treemap
+from repro.workloads import (
+    FIGURE1_CONTEXT_COLUMNS,
+    generate_astronomy,
+    generate_voc,
+    generate_weblog,
+)
+
+__all__ = ["main", "build_parser"]
+
+_BUILTIN_DATASETS = {
+    "voc": lambda rows, seed: generate_voc(rows=rows or 5000, seed=seed),
+    "astronomy": lambda rows, seed: generate_astronomy(rows=rows or 8000, seed=seed),
+    "weblog": lambda rows, seed: generate_weblog(rows=rows or 10000, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="charles",
+        description="Charles, big data query advisor (CIDR 2013 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    def add_source_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--csv", help="path of a CSV file to explore")
+        sub.add_argument(
+            "--dataset",
+            choices=sorted(_BUILTIN_DATASETS),
+            help="built-in synthetic dataset to explore",
+        )
+        sub.add_argument("--rows", type=int, default=None,
+                         help="number of rows for built-in datasets")
+        sub.add_argument("--seed", type=int, default=42, help="random seed")
+
+    def add_advisor_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--max-indep", type=float, default=0.99,
+                         help="INDEP stopping threshold (paper default: 0.99)")
+        sub.add_argument("--max-depth", type=int, default=12,
+                         help="maximum number of queries per segmentation")
+        sub.add_argument("--max-answers", type=int, default=8,
+                         help="number of ranked answers to display")
+        sub.add_argument("--ranker",
+                         choices=("entropy", "weighted", "lexicographic", "surprise"),
+                         default="entropy", help="ranking policy")
+        sub.add_argument("--sample", type=float, default=None,
+                         help="sampling fraction for statistics (0 < f < 1)")
+        sub.add_argument("--style", choices=("pie", "treemap", "table"), default="pie",
+                         help="detail renderer for the selected answer")
+
+    demo = subparsers.add_parser("demo", help="run the Figure 1 VOC scenario")
+    demo.add_argument("--rows", type=int, default=5000)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--style", choices=("pie", "treemap", "table"), default="pie")
+
+    advise = subparsers.add_parser("advise", help="answer a context query")
+    add_source_arguments(advise)
+    add_advisor_arguments(advise)
+    advise.add_argument("--context", help="SDL query or SQL WHERE clause")
+    advise.add_argument("--columns", nargs="*", help="columns forming the context")
+    advise.add_argument("--show-distribution", metavar="ATTR",
+                        help="also plot this attribute's distribution per segment "
+                             "of the best answer")
+
+    explore = subparsers.add_parser(
+        "explore", help="scripted drill-down: advise, pick a segment, repeat"
+    )
+    add_source_arguments(explore)
+    add_advisor_arguments(explore)
+    explore.add_argument("--context", help="SDL query or SQL WHERE clause")
+    explore.add_argument("--columns", nargs="*", help="columns forming the context")
+    explore.add_argument(
+        "--path",
+        nargs="*",
+        default=[],
+        metavar="ANSWER:SEGMENT",
+        help="drill path, e.g. '0:0 1:2' picks segment 0 of answer 0, "
+             "then segment 2 of answer 1",
+    )
+
+    profile = subparsers.add_parser("profile", help="profile a table or a context")
+    add_source_arguments(profile)
+    profile.add_argument("--context", help="SDL query or SQL WHERE clause")
+
+    segment = subparsers.add_parser("segment", help="cut a context on explicit attributes")
+    add_source_arguments(segment)
+    segment.add_argument("--context", help="SDL query or SQL WHERE clause")
+    segment.add_argument("--on", nargs="+", required=True,
+                         help="attributes to cut on, in order")
+    segment.add_argument("--style", choices=("pie", "treemap", "table"), default="pie")
+
+    subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
+    return parser
+
+
+def _load_table(args: argparse.Namespace) -> Table:
+    if getattr(args, "csv", None):
+        return load_csv(args.csv)
+    dataset = getattr(args, "dataset", None)
+    if dataset:
+        return _BUILTIN_DATASETS[dataset](getattr(args, "rows", None), args.seed)
+    raise CharlesError("provide either --csv or --dataset")
+
+
+def _make_ranker(name: str, table: Table):
+    if name == "weighted":
+        return WeightedRanker()
+    if name == "lexicographic":
+        return LexicographicRanker()
+    if name == "surprise":
+        return SurpriseRanker(engine=QueryEngine(table))
+    return EntropyRanker()
+
+
+def _make_advisor(table: Table, args: argparse.Namespace) -> Charles:
+    config = HBCutsConfig(
+        max_indep=getattr(args, "max_indep", 0.99),
+        max_depth=getattr(args, "max_depth", 12),
+    )
+    return Charles(
+        table,
+        config=config,
+        ranker=_make_ranker(getattr(args, "ranker", "entropy"), table),
+        sample_fraction=getattr(args, "sample", None),
+        seed=getattr(args, "seed", None),
+    )
+
+
+def _resolve_context(args: argparse.Namespace):
+    context = getattr(args, "context", None)
+    if context:
+        return context
+    columns = getattr(args, "columns", None)
+    if columns:
+        return list(columns)
+    return None
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    table = generate_voc(rows=args.rows, seed=args.seed)
+    advisor = Charles(table)
+    advice = advisor.advise(list(FIGURE1_CONTEXT_COLUMNS), max_answers=6)
+    print(render_advice(advice, style=args.style))
+    return 0
+
+
+def _command_advise(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    advisor = _make_advisor(table, args)
+    advice = advisor.advise(_resolve_context(args), max_answers=args.max_answers)
+    print(render_advice(advice, style=args.style))
+    probe = getattr(args, "show_distribution", None)
+    if probe and advice.answers:
+        print()
+        print(segment_distributions(advisor.engine, advice.best().segmentation, probe))
+    return 0
+
+
+def _parse_drill_path(raw_path):
+    steps = []
+    for token in raw_path:
+        answer_text, _, segment_text = token.partition(":")
+        try:
+            steps.append((int(answer_text), int(segment_text)))
+        except ValueError:
+            raise CharlesError(
+                f"invalid drill step {token!r}; expected ANSWER:SEGMENT, e.g. 0:1"
+            ) from None
+    return steps
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    advisor = _make_advisor(table, args)
+    session = ExplorationSession(advisor, max_answers=args.max_answers)
+    advice = session.start(_resolve_context(args))
+    print(render_advice(advice, style=args.style, max_answers=args.max_answers))
+    for answer_index, segment_index in _parse_drill_path(args.path):
+        advice = session.drill(answer_index, segment_index)
+        print()
+        print(f"--- drilled into answer {answer_index}, segment {segment_index} ---")
+        print(" -> ".join(session.breadcrumbs()))
+        print(render_advice(advice, style=args.style, max_answers=args.max_answers))
+    print()
+    print(session.describe())
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    advisor = Charles(table)
+    profile = advisor.profile(getattr(args, "context", None))
+    print(profile.describe())
+    return 0
+
+
+def _command_segment(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    advisor = _make_advisor(table, args)
+    segmentation = advisor.segment(_resolve_context(args), args.on)
+    if args.style == "treemap":
+        print(treemap(segmentation))
+    elif args.style == "table":
+        print(segmentation.describe())
+    else:
+        print(pie_chart(segmentation))
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    print("built-in synthetic datasets:")
+    print("  voc        VOC shipping voyages (Figure 1 schema, planted dependencies)")
+    print("  astronomy  sky-survey object catalogue (class drives magnitude/redshift)")
+    print("  weblog     web access log (Zipf URL mix, category drives latency/status)")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _command_demo,
+    "advise": _command_advise,
+    "explore": _command_explore,
+    "profile": _command_profile,
+    "segment": _command_segment,
+    "datasets": _command_datasets,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if not args.command:
+        parser.print_help()
+        return 1
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args)
+    except CharlesError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through subprocess tests
+    sys.exit(main())

@@ -1,0 +1,308 @@
+"""The Charles facade: answer a query with ranked segmentations.
+
+This is the public entry point a downstream user interacts with.  It ties
+together the storage engine, the HB-cuts generator, the ranking policies
+and the formatting helpers, mirroring the interaction loop of Figure 1:
+the user provides a context (an SDL statement, a SQL WHERE clause, a list
+of columns, or nothing at all for the whole table), Charles generates
+several segmentations, ranks them, and returns them as an
+:class:`Advice` object ready for display or drill-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import AdvisorError, SDLSyntaxError
+from repro.sdl.formatter import format_segment_label, format_segmentation
+from repro.sdl.parser import parse_query
+from repro.sdl.query import SDLQuery
+from repro.sdl.segmentation import Segmentation
+from repro.storage.engine import QueryEngine
+from repro.storage.sampling import SampledEngine
+from repro.storage.sql import parse_where
+from repro.storage.statistics import TableProfile, profile_table
+from repro.storage.table import Table
+from repro.core.hbcuts import HBCuts, HBCutsConfig, HBCutsResult, HBCutsTrace
+from repro.core.metrics import SegmentationScores
+from repro.core.ranking import EntropyRanker, Ranker
+
+__all__ = ["ContextLike", "RankedAnswer", "Advice", "Charles"]
+
+#: The ways a caller can express an exploration context.
+ContextLike = Union[None, str, SDLQuery, Sequence[str]]
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One entry of Charles' ranked answer list.
+
+    Attributes
+    ----------
+    rank:
+        1-based position in the answer list.
+    segmentation:
+        The segmentation itself.
+    scores:
+        Its quality metrics (entropy, breadth, simplicity, balance, ...).
+    score:
+        The scalar ranking score assigned by the active ranker.
+    """
+
+    rank: int
+    segmentation: Segmentation
+    scores: SegmentationScores
+    score: float
+
+    @property
+    def attributes(self) -> tuple:
+        """The attributes the segmentation cuts on (the pie chart's title)."""
+        return self.segmentation.cut_attributes or self.segmentation.attributes
+
+    def labels(self) -> List[str]:
+        """Short per-segment labels as shown on Figure 1's pie slices."""
+        return [
+            format_segment_label(segment.query, self.segmentation.context)
+            for segment in self.segmentation.segments
+        ]
+
+    def describe(self) -> str:
+        """Multi-line description of this answer."""
+        title = ", ".join(self.attributes) or "(no attribute)"
+        header = (
+            f"#{self.rank} [{title}]  entropy={self.scores.entropy:.3f}  "
+            f"breadth={self.scores.breadth}  simplicity={self.scores.simplicity}  "
+            f"depth={self.scores.depth}"
+        )
+        return header + "\n" + format_segmentation(self.segmentation)
+
+
+@dataclass
+class Advice:
+    """Charles' full answer to one context query."""
+
+    context: SDLQuery
+    answers: List[RankedAnswer]
+    trace: HBCutsTrace
+    ranker_name: str = "entropy"
+    engine_operations: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        return iter(self.answers)
+
+    def __getitem__(self, index: int) -> RankedAnswer:
+        return self.answers[index]
+
+    def best(self) -> RankedAnswer:
+        """The top-ranked answer."""
+        if not self.answers:
+            raise AdvisorError("Charles produced no answer for this context")
+        return self.answers[0]
+
+    def segmentations(self) -> List[Segmentation]:
+        return [answer.segmentation for answer in self.answers]
+
+    def describe(self, limit: Optional[int] = 5) -> str:
+        """Multi-line report of the top answers (all of them when ``limit`` is None)."""
+        shown = self.answers if limit is None else self.answers[:limit]
+        lines = [
+            f"Charles' advice for {self.context.to_sdl()} — "
+            f"{len(self.answers)} segmentation(s), ranked by {self.ranker_name}"
+        ]
+        for answer in shown:
+            lines.append("")
+            lines.append(answer.describe())
+        return "\n".join(lines)
+
+
+class Charles:
+    """The query advisor.
+
+    Parameters
+    ----------
+    table:
+        The relation to explore, or an already-built
+        :class:`~repro.storage.engine.QueryEngine` (useful to share mask
+        caches or to plug a :class:`~repro.storage.sampling.SampledEngine`).
+    config:
+        HB-cuts parameters; defaults follow the paper (``max_indep=0.99``,
+        ``max_depth=12``).
+    ranker:
+        Ranking policy; defaults to the paper's entropy ordering.
+    sample_fraction:
+        When set (0 < f < 1), statistics are computed on a uniform sample
+        of the table (Section 5.2's sampling extension).
+    seed:
+        Random seed of the sampling engine.
+
+    Examples
+    --------
+    >>> from repro.workloads import generate_voc
+    >>> advisor = Charles(generate_voc(rows=2000, seed=7))
+    >>> advice = advisor.advise(["type_of_boat", "departure_harbour", "tonnage"])
+    >>> advice.best().attributes  # doctest: +SKIP
+    ('departure_harbour', 'tonnage')
+    """
+
+    def __init__(
+        self,
+        table: Union[Table, QueryEngine],
+        config: Optional[HBCutsConfig] = None,
+        ranker: Optional[Ranker] = None,
+        sample_fraction: Optional[float] = None,
+        seed: Optional[int] = None,
+        cache_size: int = 256,
+        use_index: bool = False,
+    ):
+        if isinstance(table, QueryEngine):
+            self.engine = table
+            self.table = table.table
+        else:
+            self.table = table
+            if sample_fraction is not None and sample_fraction < 1.0:
+                self.engine = SampledEngine(
+                    table, fraction=sample_fraction, seed=seed,
+                    cache_size=cache_size, use_index=use_index,
+                )
+            else:
+                self.engine = QueryEngine(table, cache_size=cache_size, use_index=use_index)
+        self.config = config or HBCutsConfig()
+        self.ranker = ranker or EntropyRanker()
+        self._generator = HBCuts(self.config)
+
+    # -- context handling -------------------------------------------------------
+
+    def resolve_context(self, context: ContextLike) -> SDLQuery:
+        """Turn any supported context form into an :class:`SDLQuery`.
+
+        * ``None`` — the whole table over every column;
+        * a list of column names — an unconstrained context over them;
+        * an :class:`SDLQuery` — used as-is;
+        * a string — parsed as SDL first, then as a SQL WHERE clause.
+        """
+        if context is None:
+            return SDLQuery.over(self.table.column_names)
+        if isinstance(context, SDLQuery):
+            return context
+        if isinstance(context, str):
+            return self._parse_text_context(context)
+        if isinstance(context, Sequence):
+            names = list(context)
+            unknown = [name for name in names if not self.table.has_column(str(name))]
+            if unknown:
+                raise AdvisorError(
+                    f"unknown column(s) in context: {unknown}; "
+                    f"available: {self.table.column_names}"
+                )
+            return SDLQuery.over([str(name) for name in names])
+        raise AdvisorError(f"unsupported context type: {type(context).__name__}")
+
+    def _parse_text_context(self, text: str) -> SDLQuery:
+        try:
+            return parse_query(text)
+        except SDLSyntaxError:
+            pass
+        try:
+            return parse_where(text)
+        except Exception as exc:
+            raise AdvisorError(
+                f"could not parse context {text!r} as SDL or as a SQL WHERE clause"
+            ) from exc
+
+    # -- main entry points -------------------------------------------------------
+
+    def advise(
+        self,
+        context: ContextLike = None,
+        max_answers: Optional[int] = 10,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> Advice:
+        """Answer a context query with ranked segmentations.
+
+        Parameters
+        ----------
+        context:
+            The exploration context (see :meth:`resolve_context`).
+        max_answers:
+            Keep only the best ``max_answers`` segmentations (None = all).
+        attributes:
+            Restrict exploration to these attributes instead of every
+            attribute the context mentions.
+        """
+        resolved = self.resolve_context(context)
+        operations_before = self.engine.counter.snapshot()
+        result: HBCutsResult = self._generator.run(self.engine, resolved, attributes)
+        ranked = self.ranker.rank(result.segmentations)
+        if max_answers is not None:
+            ranked = ranked[:max_answers]
+        answers = [
+            RankedAnswer(
+                rank=position,
+                segmentation=segmentation,
+                scores=scores,
+                score=self.ranker.score_for(segmentation, scores),
+            )
+            for position, (segmentation, scores) in enumerate(ranked, start=1)
+        ]
+        operations_after = self.engine.counter.snapshot()
+        operations = {
+            key: operations_after[key] - operations_before.get(key, 0)
+            for key in operations_after
+        }
+        return Advice(
+            context=resolved,
+            answers=answers,
+            trace=result.trace,
+            ranker_name=self.ranker.name,
+            engine_operations=operations,
+        )
+
+    def segment(
+        self, context: ContextLike, attributes: Sequence[str]
+    ) -> Segmentation:
+        """Directly build one segmentation by cutting on the given attributes.
+
+        Bypasses the dependence-driven search: the attributes are composed
+        in the given order.  Useful for reproducing hand-picked answers
+        such as Figure 1's ``departure_harbour × tonnage`` view.
+        """
+        from repro.core.cut import cut_query, cut_segmentation
+
+        resolved = self.resolve_context(context)
+        if not attributes:
+            raise AdvisorError("segment() requires at least one attribute")
+        segmentation = cut_query(
+            self.engine,
+            resolved,
+            attributes[0],
+            low_cardinality_threshold=self.config.low_cardinality_threshold,
+            drop_empty=self.config.drop_empty,
+        )
+        for attribute in attributes[1:]:
+            segmentation = cut_segmentation(
+                self.engine,
+                segmentation,
+                attribute,
+                low_cardinality_threshold=self.config.low_cardinality_threshold,
+                drop_empty=self.config.drop_empty,
+            )
+        return segmentation
+
+    def profile(self, context: ContextLike = None) -> TableProfile:
+        """Statistical profile of the context's result set (CLI ``profile``)."""
+        resolved = self.resolve_context(context)
+        return profile_table(self.table, context=resolved, engine=self.engine)
+
+    def count(self, context: ContextLike) -> int:
+        """Cardinality of a context (convenience wrapper over the engine)."""
+        return self.engine.count(self.resolve_context(context))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Charles(table={self.table.name!r}, rows={self.table.num_rows}, "
+            f"max_indep={self.config.max_indep}, max_depth={self.config.max_depth})"
+        )

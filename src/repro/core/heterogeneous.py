@@ -1,0 +1,239 @@
+"""Heterogeneous segmentations (paper, Section 5.2).
+
+HB-cuts relies on "a heavy restriction: all queries in a segmentation are
+based on the same attributes".  The paper suggests lifting it — "we could
+cut each piece of a segmentation on a potentially different attribute" —
+and notes that the resulting search-space explosion "may be tackled with
+randomized algorithms".
+
+This module implements that extension in two flavours:
+
+* :func:`greedy_heterogeneous` — at every step, pick the (piece, attribute)
+  pair whose cut increases the segmentation's entropy the most, until the
+  depth bound is reached or no piece can be cut.  Pieces are free to split
+  on different attributes.
+* :func:`randomized_heterogeneous` — the randomized variant: sample a few
+  (piece, attribute) candidates per step instead of scoring all of them,
+  trading answer quality for a bounded number of database operations.
+
+Both return ordinary :class:`~repro.sdl.segmentation.Segmentation` objects
+(still valid partitions), so every metric, renderer and validator applies
+unchanged.  Benchmark E11 compares them against plain HB-cuts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CannotCutError, SegmentationError
+from repro.sdl.query import SDLQuery
+from repro.sdl.segmentation import Segment, Segmentation
+from repro.storage.engine import QueryEngine
+from repro.core.cut import cut_query
+from repro.core.median import DEFAULT_LOW_CARDINALITY_THRESHOLD
+
+__all__ = [
+    "HeterogeneousTrace",
+    "greedy_heterogeneous",
+    "randomized_heterogeneous",
+]
+
+
+@dataclass
+class HeterogeneousTrace:
+    """What a heterogeneous run did: one entry per accepted cut.
+
+    Attributes
+    ----------
+    steps:
+        ``(piece_index, attribute, entropy_after)`` for each accepted cut.
+    candidate_evaluations:
+        Number of (piece, attribute) cuts that were scored.
+    """
+
+    steps: List[Tuple[int, str, float]]
+    candidate_evaluations: int
+
+
+def _segmentation_entropy(counts: Sequence[int]) -> float:
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    value = 0.0
+    for count in counts:
+        if count <= 0:
+            continue
+        p = count / total
+        value -= p * math.log(p)
+    return value
+
+
+def _try_cut(
+    engine: QueryEngine,
+    query: SDLQuery,
+    attribute: str,
+    low_cardinality_threshold: int,
+) -> Optional[List[Segment]]:
+    """The two pieces of a cut, or ``None`` when the cut is undefined."""
+    try:
+        piece_segmentation = cut_query(
+            engine,
+            query,
+            attribute,
+            low_cardinality_threshold=low_cardinality_threshold,
+        )
+    except CannotCutError:
+        return None
+    return list(piece_segmentation.segments)
+
+
+def _apply_best_step(
+    segments: List[Segment],
+    replacements: Tuple[int, List[Segment]],
+) -> List[Segment]:
+    index, new_pieces = replacements
+    return segments[:index] + new_pieces + segments[index + 1 :]
+
+
+def greedy_heterogeneous(
+    engine: QueryEngine,
+    context: SDLQuery,
+    attributes: Optional[Sequence[str]] = None,
+    max_depth: int = 12,
+    low_cardinality_threshold: int = DEFAULT_LOW_CARDINALITY_THRESHOLD,
+    return_trace: bool = False,
+) -> Segmentation | Tuple[Segmentation, HeterogeneousTrace]:
+    """Grow a segmentation by always taking the entropy-maximising cut.
+
+    Every step scores *every* (piece, attribute) pair — exhaustive over the
+    per-step choices, hence expensive, but it shows the quality ceiling of
+    heterogeneous segmentations.
+
+    Raises
+    ------
+    SegmentationError
+        If no attribute of the context can be cut at all.
+    """
+    explored = list(attributes) if attributes is not None else list(context.attributes)
+    if not explored:
+        raise SegmentationError("the context mentions no attribute to explore")
+    context_count = engine.count(context)
+    segments: List[Segment] = [Segment(context, context_count)]
+    steps: List[Tuple[int, str, float]] = []
+    evaluations = 0
+
+    while len(segments) < max_depth:
+        best: Optional[Tuple[float, int, str, List[Segment]]] = None
+        for index, segment in enumerate(segments):
+            for attribute in explored:
+                pieces = _try_cut(engine, segment.query, attribute, low_cardinality_threshold)
+                evaluations += 1
+                if pieces is None:
+                    continue
+                candidate_counts = (
+                    [s.count for s in segments[:index]]
+                    + [piece.count for piece in pieces]
+                    + [s.count for s in segments[index + 1 :]]
+                )
+                candidate_entropy = _segmentation_entropy(candidate_counts)
+                if best is None or candidate_entropy > best[0]:
+                    best = (candidate_entropy, index, attribute, pieces)
+        if best is None:
+            break
+        entropy_after, index, attribute, pieces = best
+        segments = _apply_best_step(segments, (index, pieces))
+        steps.append((index, attribute, entropy_after))
+
+    if len(segments) == 1:
+        raise SegmentationError("no attribute of the context could be cut")
+    cut_attributes = tuple(dict.fromkeys(attribute for _, attribute, _ in steps))
+    segmentation = Segmentation(
+        context=context,
+        segments=segments,
+        context_count=context_count,
+        cut_attributes=cut_attributes,
+    )
+    if return_trace:
+        return segmentation, HeterogeneousTrace(steps=steps, candidate_evaluations=evaluations)
+    return segmentation
+
+
+def randomized_heterogeneous(
+    engine: QueryEngine,
+    context: SDLQuery,
+    attributes: Optional[Sequence[str]] = None,
+    max_depth: int = 12,
+    samples_per_step: int = 3,
+    seed: Optional[int] = None,
+    low_cardinality_threshold: int = DEFAULT_LOW_CARDINALITY_THRESHOLD,
+    return_trace: bool = False,
+) -> Segmentation | Tuple[Segmentation, HeterogeneousTrace]:
+    """The randomized variant: sample a few candidate cuts per step.
+
+    Each step draws ``samples_per_step`` (piece, attribute) pairs — pieces
+    weighted by their cover, so large pieces are refined first — scores
+    only those, and applies the best.  The number of candidate evaluations
+    per step is therefore constant instead of ``pieces × attributes``.
+
+    Raises
+    ------
+    SegmentationError
+        If no attribute of the context can be cut at all.
+    """
+    if samples_per_step < 1:
+        raise SegmentationError("samples_per_step must be at least 1")
+    explored = list(attributes) if attributes is not None else list(context.attributes)
+    if not explored:
+        raise SegmentationError("the context mentions no attribute to explore")
+    rng = np.random.default_rng(seed)
+    context_count = engine.count(context)
+    segments: List[Segment] = [Segment(context, context_count)]
+    steps: List[Tuple[int, str, float]] = []
+    evaluations = 0
+    stalled_rounds = 0
+
+    while len(segments) < max_depth and stalled_rounds < 3:
+        weights = np.array([max(segment.count, 1) for segment in segments], dtype=float)
+        weights /= weights.sum()
+        best: Optional[Tuple[float, int, str, List[Segment]]] = None
+        for _ in range(samples_per_step):
+            index = int(rng.choice(len(segments), p=weights))
+            attribute = explored[int(rng.integers(0, len(explored)))]
+            pieces = _try_cut(
+                engine, segments[index].query, attribute, low_cardinality_threshold
+            )
+            evaluations += 1
+            if pieces is None:
+                continue
+            candidate_counts = (
+                [s.count for s in segments[:index]]
+                + [piece.count for piece in pieces]
+                + [s.count for s in segments[index + 1 :]]
+            )
+            candidate_entropy = _segmentation_entropy(candidate_counts)
+            if best is None or candidate_entropy > best[0]:
+                best = (candidate_entropy, index, attribute, pieces)
+        if best is None:
+            stalled_rounds += 1
+            continue
+        stalled_rounds = 0
+        entropy_after, index, attribute, pieces = best
+        segments = _apply_best_step(segments, (index, pieces))
+        steps.append((index, attribute, entropy_after))
+
+    if len(segments) == 1:
+        raise SegmentationError("no attribute of the context could be cut")
+    cut_attributes = tuple(dict.fromkeys(attribute for _, attribute, _ in steps))
+    segmentation = Segmentation(
+        context=context,
+        segments=segments,
+        context_count=context_count,
+        cut_attributes=cut_attributes,
+    )
+    if return_trace:
+        return segmentation, HeterogeneousTrace(steps=steps, candidate_evaluations=evaluations)
+    return segmentation

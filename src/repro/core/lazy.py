@@ -1,0 +1,171 @@
+"""Lazy segmentation generation (paper, Section 5.2).
+
+The prototype "generates all possible answers to a user query in one go,
+then returns them"; the paper suggests spreading the computation instead:
+produce a small set of queries quickly and create more on demand.  This
+module implements that extension as a generator-driven advisor:
+
+* the initial single-attribute cuts are emitted immediately (each is a
+  ready-to-display answer);
+* composed segmentations are then produced one greedy composition at a
+  time, each emitted as soon as it exists.
+
+Benchmark E10 measures the latency-to-first-answer advantage over the
+eager :class:`~repro.core.advisor.Charles` facade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import AdvisorError, CannotCutError
+from repro.sdl.query import SDLQuery
+from repro.sdl.segmentation import Segmentation
+from repro.storage.engine import QueryEngine
+from repro.core.compose import compose
+from repro.core.cut import cut_query
+from repro.core.hbcuts import HBCutsConfig
+from repro.core.metrics import entropy, indep_from_entropies
+from repro.core.product import product
+
+__all__ = ["LazyAdvisor"]
+
+
+class LazyAdvisor:
+    """Generates segmentations incrementally, best-effort first.
+
+    Parameters
+    ----------
+    engine:
+        Query engine over the table to explore.
+    config:
+        HB-cuts parameters (the same stopping rules apply).
+
+    Examples
+    --------
+    >>> advisor = LazyAdvisor(engine)                      # doctest: +SKIP
+    >>> stream = advisor.stream(context)                   # doctest: +SKIP
+    >>> first = next(stream)                               # fast: one cut only
+    >>> more = advisor.next_batch(stream, 3)               # three more answers
+    """
+
+    def __init__(self, engine: QueryEngine, config: Optional[HBCutsConfig] = None):
+        self.engine = engine
+        self.config = config or HBCutsConfig()
+
+    # -- streaming generation ----------------------------------------------------
+
+    def stream(
+        self,
+        context: SDLQuery,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> Iterator[Segmentation]:
+        """Yield segmentations of ``context`` as they are discovered.
+
+        The first yields are the single-attribute binary cuts (cheapest,
+        available almost immediately); afterwards, each greedy composition
+        is yielded as soon as it is built, until a stopping rule fires.
+        """
+        explored = list(attributes) if attributes is not None else list(context.attributes)
+        if not explored:
+            raise AdvisorError("the context mentions no attribute to explore")
+
+        candidates: List[Segmentation] = []
+        for attribute in explored:
+            try:
+                candidate = cut_query(
+                    self.engine,
+                    context,
+                    attribute,
+                    low_cardinality_threshold=self.config.low_cardinality_threshold,
+                    drop_empty=self.config.drop_empty,
+                )
+            except CannotCutError:
+                continue
+            candidates.append(candidate)
+            yield candidate
+
+        indep_cache: Dict[frozenset, float] = {}
+        while len(candidates) >= 2:
+            pair, best_indep = self._most_dependent_pair(candidates, indep_cache)
+            first, second = pair
+            composed = compose(
+                self.engine,
+                first,
+                second,
+                low_cardinality_threshold=self.config.low_cardinality_threshold,
+                drop_empty=self.config.drop_empty,
+            )
+            if best_indep >= self.config.max_indep or composed.depth >= self.config.max_depth:
+                return
+            candidates = [c for c in candidates if c is not first and c is not second]
+            candidates.append(composed)
+            yield composed
+
+    def next_batch(self, stream: Iterator[Segmentation], size: int) -> List[Segmentation]:
+        """Pull up to ``size`` more segmentations from a stream."""
+        batch: List[Segmentation] = []
+        for _ in range(size):
+            try:
+                batch.append(next(stream))
+            except StopIteration:
+                break
+        return batch
+
+    def first_answer(
+        self, context: SDLQuery, attributes: Optional[Sequence[str]] = None
+    ) -> Segmentation:
+        """The very first segmentation available (latency-to-first-answer probe)."""
+        stream = self.stream(context, attributes)
+        try:
+            return next(stream)
+        except StopIteration:
+            raise AdvisorError("no attribute of the context could be cut") from None
+
+    def top(
+        self,
+        context: SDLQuery,
+        count: int,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> List[Segmentation]:
+        """The best ``count`` segmentations among those generated so far.
+
+        Generates at most ``2 * count`` candidates lazily, then keeps the
+        ``count`` with the highest entropy — a bounded-effort approximation
+        of the eager advisor's ranking.
+        """
+        stream = self.stream(context, attributes)
+        produced = self.next_batch(stream, 2 * count)
+        produced.sort(key=entropy, reverse=True)
+        return produced[:count]
+
+    # -- internals ------------------------------------------------------------------
+
+    def _pair_key(self, first: Segmentation, second: Segmentation) -> frozenset:
+        return frozenset((id(first), id(second)))
+
+    def _most_dependent_pair(
+        self,
+        candidates: Sequence[Segmentation],
+        cache: Dict[frozenset, float],
+    ) -> Tuple[Tuple[Segmentation, Segmentation], float]:
+        best_pair: Optional[Tuple[Segmentation, Segmentation]] = None
+        best_value = float("inf")
+        for i in range(len(candidates)):
+            for j in range(i + 1, len(candidates)):
+                first, second = candidates[i], candidates[j]
+                key = self._pair_key(first, second)
+                value = cache.get(key)
+                if value is None:
+                    product_segmentation = product(
+                        self.engine, first, second, drop_empty=self.config.drop_empty
+                    )
+                    value = indep_from_entropies(
+                        entropy(product_segmentation), entropy(first), entropy(second)
+                    )
+                    cache[key] = value
+                if value < best_value:
+                    best_value = value
+                    best_pair = (first, second)
+        assert best_pair is not None
+        return best_pair, best_value

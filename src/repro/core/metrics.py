@@ -1,0 +1,230 @@
+"""Quality metrics for segmentations (paper, Section 3 and Proposition 1).
+
+The paper ranks segmentations along four orthogonal criteria:
+
+* **homogeneity** — deliberately *not* quantified (the heuristic is
+  responsible for producing "good enough" groups); a cheap proxy is still
+  provided for the baseline study (E9);
+* **simplicity** ``P(S)`` — the maximum number of constraints among the
+  segmentation's queries (lower is simpler / more legible);
+* **breadth** — the number of distinct columns across the queries
+  (higher is more informative);
+* **entropy** ``E(S) = -Σ C(Qj) · log C(Qj)`` — grows with the number of
+  queries and with how balanced they are.
+
+Proposition 1 links the entropy of an SDL product to variable dependence:
+``E(S1 × S2) = E(S1) + E(S2)`` iff the segment variables are independent.
+``INDEP(S1, S2) = E(S1 × S2) / (E(S1) + E(S2))`` decreases with the degree
+of dependence and drives the HB-cuts composition order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sdl.query import SDLQuery
+from repro.sdl.segmentation import Segmentation
+from repro.storage.engine import QueryEngine
+from repro.core.product import product
+
+__all__ = [
+    "entropy",
+    "max_entropy",
+    "balance",
+    "simplicity",
+    "breadth",
+    "cover",
+    "indep",
+    "indep_from_entropies",
+    "homogeneity_proxy",
+    "SegmentationScores",
+    "score_segmentation",
+]
+
+
+def entropy(segmentation: Segmentation, base: Optional[float] = None) -> float:
+    """``E(S) = -Σ C(Qj) · log C(Qj)`` with covers relative to the context.
+
+    Natural logarithm by default; pass ``base=2`` for bits.  The value is
+    0 for a single-piece segmentation and reaches ``log M`` for ``M``
+    perfectly balanced segments (paper, Definition 4).
+    """
+    value = 0.0
+    for cover_j in segmentation.covers:
+        if cover_j <= 0.0:
+            continue
+        value -= cover_j * math.log(cover_j)
+    if base is not None:
+        value /= math.log(base)
+    return value
+
+
+def max_entropy(segmentation: Segmentation, base: Optional[float] = None) -> float:
+    """``log M``: the entropy of a perfectly balanced M-piece segmentation."""
+    pieces = sum(1 for count in segmentation.counts if count > 0)
+    if pieces <= 1:
+        return 0.0
+    value = math.log(pieces)
+    if base is not None:
+        value /= math.log(base)
+    return value
+
+
+def balance(segmentation: Segmentation) -> float:
+    """Normalised entropy ``E(S) / log M`` in ``[0, 1]`` (1 = perfectly balanced)."""
+    upper = max_entropy(segmentation)
+    if upper == 0.0:
+        return 1.0
+    return entropy(segmentation) / upper
+
+
+def simplicity(segmentation: Segmentation, relative_to_context: bool = True) -> int:
+    """``P(S)``: the maximum number of constraints among the queries.
+
+    The paper measures the *complexity* of a segmentation this way and asks
+    for it to be as low as possible (Principle 1).  With
+    ``relative_to_context`` (the default) constraints already present in
+    the context are not charged to the segmentation, since the interface
+    only displays the added predicates.
+    """
+    context_predicates = set(segmentation.context.predicates)
+    worst = 0
+    for query in segmentation.queries:
+        if relative_to_context:
+            charge = sum(
+                1
+                for predicate in query.predicates
+                if predicate.is_constrained and predicate not in context_predicates
+            )
+        else:
+            charge = query.n_constraints
+        worst = max(worst, charge)
+    return worst
+
+
+def breadth(segmentation: Segmentation) -> int:
+    """The number of distinct columns across the segmentation's queries (Principle 2)."""
+    return len(segmentation.attributes)
+
+
+def cover(
+    engine: QueryEngine, query: SDLQuery, context: Optional[SDLQuery] = None
+) -> float:
+    """The cover ``C(Q)``.
+
+    Table-relative (``|R(Q)| / |T|``, the paper's Definition) without a
+    context; context-relative otherwise (what segmentation entropy uses).
+    """
+    return engine.cover(query, context)
+
+
+def indep_from_entropies(
+    product_entropy: float, first_entropy: float, second_entropy: float
+) -> float:
+    """``INDEP = E(S1 × S2) / (E(S1) + E(S2))``, defined as 1.0 when the denominator is 0."""
+    denominator = first_entropy + second_entropy
+    if denominator <= 0.0:
+        return 1.0
+    return product_entropy / denominator
+
+
+def indep(
+    engine: QueryEngine,
+    first: Segmentation,
+    second: Segmentation,
+    return_product: bool = False,
+) -> float | Tuple[float, Segmentation]:
+    """``INDEP(S1, S2)`` (Proposition 1), optionally returning the product.
+
+    The quotient equals 1 for independent variables and decreases with the
+    degree of dependence.
+    """
+    product_segmentation = product(engine, first, second, drop_empty=True)
+    value = indep_from_entropies(
+        entropy(product_segmentation), entropy(first), entropy(second)
+    )
+    if return_product:
+        return value, product_segmentation
+    return value
+
+
+def homogeneity_proxy(engine: QueryEngine, segmentation: Segmentation) -> float:
+    """A cheap homogeneity proxy: mean within-segment concentration.
+
+    The paper purposely does not quantify homogeneity; this proxy exists
+    only so the baseline study (E9) can report *something* comparable: for
+    every segment and every cut attribute it measures how concentrated the
+    attribute's distribution is inside the segment relative to the context
+    (1 - normalised entropy), averaged with segment covers as weights.
+    Returns 1.0 when there is nothing to measure.
+    """
+    attributes = segmentation.cut_attributes or segmentation.attributes
+    if not attributes:
+        return 1.0
+    total_weight = 0.0
+    accumulated = 0.0
+    for segment, weight in zip(segmentation.segments, segmentation.covers):
+        if segment.count == 0 or weight == 0.0:
+            continue
+        for attribute in attributes:
+            frequencies = engine.value_frequencies(attribute, segment.query)
+            distinct = len(frequencies)
+            if distinct <= 1:
+                concentration = 1.0
+            else:
+                total = sum(frequencies.values())
+                segment_entropy = -sum(
+                    (count / total) * math.log(count / total)
+                    for count in frequencies.values()
+                    if count > 0
+                )
+                concentration = 1.0 - segment_entropy / math.log(distinct)
+            accumulated += weight * concentration
+            total_weight += weight
+    if total_weight == 0.0:
+        return 1.0
+    return accumulated / total_weight
+
+
+@dataclass(frozen=True)
+class SegmentationScores:
+    """All quality metrics of one segmentation, bundled for ranking and reports."""
+
+    entropy: float
+    max_entropy: float
+    balance: float
+    simplicity: int
+    breadth: int
+    depth: int
+    covered_fraction: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "entropy": self.entropy,
+            "max_entropy": self.max_entropy,
+            "balance": self.balance,
+            "simplicity": float(self.simplicity),
+            "breadth": float(self.breadth),
+            "depth": float(self.depth),
+            "covered_fraction": self.covered_fraction,
+        }
+
+
+def score_segmentation(segmentation: Segmentation) -> SegmentationScores:
+    """Compute every count-derived metric of a segmentation in one pass."""
+    covered = (
+        segmentation.covered_count / segmentation.context_count
+        if segmentation.context_count
+        else 0.0
+    )
+    return SegmentationScores(
+        entropy=entropy(segmentation),
+        max_entropy=max_entropy(segmentation),
+        balance=balance(segmentation),
+        simplicity=simplicity(segmentation),
+        breadth=breadth(segmentation),
+        depth=segmentation.depth,
+        covered_fraction=covered,
+    )

@@ -1,0 +1,89 @@
+"""The SDL product (paper, Definition 8).
+
+``S1 × S2`` intersects each piece of the first segmentation with each
+piece of the second, creating up to ``K × L`` queries.  Its notable
+feature (Proposition 1) is that the entropy of the product reveals the
+dependency between the two segmentations' variables: for independent
+variables ``E(S1 × S2) = E(S1) + E(S2)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CompositionError
+from repro.sdl.segmentation import Segment, Segmentation
+from repro.storage.engine import QueryEngine
+
+__all__ = ["product", "product_counts"]
+
+
+def product(
+    engine: QueryEngine,
+    first: Segmentation,
+    second: Segmentation,
+    drop_empty: bool = True,
+) -> Segmentation:
+    """``first × second``: the pairwise-intersection segmentation.
+
+    Parameters
+    ----------
+    drop_empty:
+        Remove empty cells.  Empty cells contribute nothing to entropy
+        (``0 · log 0 = 0``), so dropping them does not change any metric,
+        but keeps the result legible.
+
+    Raises
+    ------
+    CompositionError
+        When the operands partition different contexts.
+    """
+    if first.context != second.context:
+        raise CompositionError(
+            "the SDL product requires both segmentations to partition the same context"
+        )
+    segments: List[Segment] = []
+    for left in first.segments:
+        for right in second.segments:
+            merged = left.query.merge(right.query)
+            if merged is None:
+                continue
+            count = engine.count(merged)
+            if drop_empty and count == 0:
+                continue
+            segments.append(Segment(merged, count))
+    if not segments:
+        raise CompositionError("the SDL product is empty")
+    cut_attributes = tuple(
+        dict.fromkeys((*first.cut_attributes, *second.cut_attributes))
+    )
+    return Segmentation(
+        context=first.context,
+        segments=segments,
+        context_count=first.context_count,
+        cut_attributes=cut_attributes,
+    )
+
+
+def product_counts(
+    engine: QueryEngine, first: Segmentation, second: Segmentation
+) -> List[List[int]]:
+    """The full ``K × L`` contingency table of the product (including zeros).
+
+    Row ``i`` corresponds to the ``i``-th piece of ``first``; column ``j``
+    to the ``j``-th piece of ``second``.  Used by the dependence tests and
+    by Proposition 1 checks, which need the complete table rather than the
+    non-empty cells only.
+    """
+    if first.context != second.context:
+        raise CompositionError(
+            "the SDL product requires both segmentations to partition the same context"
+        )
+    table: List[List[int]] = []
+    for left in first.segments:
+        row: List[int] = []
+        for right in second.segments:
+            merged = left.query.merge(right.query)
+            row.append(0 if merged is None else engine.count(merged))
+        table.append(row)
+    return table

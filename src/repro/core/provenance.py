@@ -1,0 +1,117 @@
+"""Exploration provenance: export a session (or one advice) as a record.
+
+A production query advisor needs to hand its findings to the next tool in
+the chain: a notebook, a dashboard, or the SQL database itself.  This
+module serialises advice and exploration sessions into plain dictionaries
+(JSON-ready) that carry, for every step, the context, the ranked answers,
+the chosen segment and its SQL form — so an exploration performed with
+Charles can be replayed, audited, or turned into a report.
+
+Nothing here is specific to the paper; it packages the Figure 1 loop's
+outcome the way a downstream user would need it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.advisor import Advice, RankedAnswer
+from repro.core.session import ExplorationSession
+from repro.sdl.formatter import format_segment_label
+from repro.sdl.segmentation import Segmentation
+from repro.storage.sql import query_to_sql, query_to_where
+
+__all__ = [
+    "segmentation_record",
+    "answer_record",
+    "advice_record",
+    "session_record",
+    "session_to_json",
+]
+
+
+def segmentation_record(
+    segmentation: Segmentation, table_name: str = "table"
+) -> Dict[str, Any]:
+    """A JSON-ready description of one segmentation."""
+    segments: List[Dict[str, Any]] = []
+    for segment, cover in zip(segmentation.segments, segmentation.covers):
+        segments.append(
+            {
+                "sdl": segment.query.to_sdl(),
+                "label": format_segment_label(segment.query, segmentation.context),
+                "where": query_to_where(segment.query),
+                "sql": query_to_sql(segment.query, table_name),
+                "rows": segment.count,
+                "cover": round(cover, 6),
+            }
+        )
+    return {
+        "context": segmentation.context.to_sdl(),
+        "context_rows": segmentation.context_count,
+        "cut_attributes": list(segmentation.cut_attributes),
+        "segments": segments,
+    }
+
+
+def answer_record(answer: RankedAnswer, table_name: str = "table") -> Dict[str, Any]:
+    """A JSON-ready description of one ranked answer."""
+    return {
+        "rank": answer.rank,
+        "score": round(answer.score, 6),
+        "attributes": list(answer.attributes),
+        "metrics": {
+            key: round(value, 6) for key, value in answer.scores.as_dict().items()
+        },
+        "segmentation": segmentation_record(answer.segmentation, table_name),
+    }
+
+
+def advice_record(advice: Advice, table_name: str = "table") -> Dict[str, Any]:
+    """A JSON-ready description of one full advice (ranked answer list)."""
+    return {
+        "context": advice.context.to_sdl(),
+        "ranker": advice.ranker_name,
+        "database_operations": advice.engine_operations.get("total_database_operations"),
+        "answers": [answer_record(answer, table_name) for answer in advice.answers],
+    }
+
+
+def session_record(
+    session: ExplorationSession, table_name: Optional[str] = None
+) -> Dict[str, Any]:
+    """A JSON-ready description of an exploration session.
+
+    Records every level of the drill-down: its context (SDL, WHERE clause
+    and row count), the advice produced there (if any was requested), and
+    which answer/segment the user chose to descend into.
+    """
+    table = table_name or session.advisor.table.name
+    steps: List[Dict[str, Any]] = []
+    for level, step in enumerate(session.history()):
+        record: Dict[str, Any] = {
+            "level": level,
+            "label": step.label,
+            "context_sdl": step.context.to_sdl(),
+            "context_where": query_to_where(step.context),
+            "rows": session.advisor.count(step.context),
+            "chosen_answer": step.chosen_answer,
+            "chosen_segment": step.chosen_segment,
+        }
+        if step.advice is not None:
+            record["advice"] = advice_record(step.advice, table)
+        steps.append(record)
+    return {
+        "table": table,
+        "depth": session.depth,
+        "breadcrumbs": session.breadcrumbs(),
+        "steps": steps,
+    }
+
+
+def session_to_json(
+    session: ExplorationSession, table_name: Optional[str] = None, indent: int = 2
+) -> str:
+    """The session record serialised as a JSON string."""
+    return json.dumps(session_record(session, table_name), indent=indent, default=str)

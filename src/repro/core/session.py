@@ -1,0 +1,153 @@
+"""Interactive exploration sessions (the Figure 1 loop).
+
+The intended usage of Charles is iterative: the user submits a context,
+inspects the ranked segmentations, selects one segment, and submits it as
+the next context — "answering queries with queries" until the data region
+of interest is isolated.  :class:`ExplorationSession` captures that loop
+programmatically: it keeps a navigation stack of contexts, records every
+advice produced along the way, and supports going back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SessionError
+from repro.sdl.formatter import format_segment_label
+from repro.sdl.query import SDLQuery
+from repro.core.advisor import Advice, Charles, ContextLike
+
+__all__ = ["ExplorationStep", "ExplorationSession"]
+
+
+@dataclass
+class ExplorationStep:
+    """One level of the exploration stack."""
+
+    context: SDLQuery
+    advice: Optional[Advice] = None
+    chosen_answer: Optional[int] = None
+    chosen_segment: Optional[int] = None
+    label: str = "(root)"
+
+    @property
+    def row_count(self) -> Optional[int]:
+        if self.advice is None:
+            return None
+        return self.advice.answers[0].segmentation.context_count if self.advice.answers else None
+
+
+@dataclass
+class ExplorationSession:
+    """A drill-down session over one table.
+
+    Parameters
+    ----------
+    advisor:
+        The :class:`~repro.core.advisor.Charles` instance to consult.
+    max_answers:
+        Number of ranked answers requested at each step.
+    """
+
+    advisor: Charles
+    max_answers: int = 10
+    _stack: List[ExplorationStep] = field(default_factory=list)
+
+    # -- navigation -------------------------------------------------------------
+
+    def start(self, context: ContextLike = None) -> Advice:
+        """Begin (or restart) the session at the given context."""
+        resolved = self.advisor.resolve_context(context)
+        self._stack = [ExplorationStep(context=resolved)]
+        return self.advise()
+
+    @property
+    def started(self) -> bool:
+        return bool(self._stack)
+
+    @property
+    def current(self) -> ExplorationStep:
+        """The step the session is currently at."""
+        if not self._stack:
+            raise SessionError("the session has not been started; call start() first")
+        return self._stack[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of drill-down levels below the root."""
+        return max(0, len(self._stack) - 1)
+
+    @property
+    def context(self) -> SDLQuery:
+        """The current exploration context."""
+        return self.current.context
+
+    def advise(self) -> Advice:
+        """Ask Charles for segmentations of the current context (cached per step)."""
+        step = self.current
+        if step.advice is None:
+            step.advice = self.advisor.advise(step.context, max_answers=self.max_answers)
+        return step.advice
+
+    def drill(self, answer_index: int, segment_index: int) -> Advice:
+        """Select one segment of one ranked answer and make it the new context.
+
+        Parameters
+        ----------
+        answer_index:
+            0-based index into the current advice's answer list.
+        segment_index:
+            0-based index of the segment within that answer's segmentation.
+        """
+        advice = self.advise()
+        if not 0 <= answer_index < len(advice.answers):
+            raise SessionError(
+                f"answer index {answer_index} out of range "
+                f"(the advice has {len(advice.answers)} answers)"
+            )
+        answer = advice.answers[answer_index]
+        segmentation = answer.segmentation
+        if not 0 <= segment_index < segmentation.depth:
+            raise SessionError(
+                f"segment index {segment_index} out of range "
+                f"(the segmentation has {segmentation.depth} segments)"
+            )
+        step = self.current
+        step.chosen_answer = answer_index
+        step.chosen_segment = segment_index
+        segment = segmentation.segments[segment_index]
+        label = format_segment_label(segment.query, segmentation.context)
+        self._stack.append(ExplorationStep(context=segment.query, label=label))
+        return self.advise()
+
+    def back(self) -> SDLQuery:
+        """Pop one level off the exploration stack and return the restored context."""
+        if len(self._stack) <= 1:
+            raise SessionError("already at the root of the exploration")
+        self._stack.pop()
+        step = self.current
+        step.chosen_answer = None
+        step.chosen_segment = None
+        return step.context
+
+    # -- reporting ---------------------------------------------------------------
+
+    def breadcrumbs(self) -> List[str]:
+        """The labels of the path from the root to the current context."""
+        return [step.label for step in self._stack]
+
+    def history(self) -> List[ExplorationStep]:
+        """A copy of the exploration stack, root first."""
+        return list(self._stack)
+
+    def describe(self) -> str:
+        """Multi-line summary of the session state."""
+        if not self._stack:
+            return "exploration session (not started)"
+        lines = ["exploration session:"]
+        for level, step in enumerate(self._stack):
+            marker = "→" if level == len(self._stack) - 1 else " "
+            count = self.advisor.count(step.context)
+            lines.append(f" {marker} level {level}: {step.label}  ({count} rows)")
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Exception hierarchy for the Charles reproduction.
+
+All library-specific errors derive from :class:`CharlesError` so that
+callers can catch a single base class.  Sub-classes are grouped by the
+layer that raises them (SDL language, storage substrate, core advisor).
+"""
+
+from __future__ import annotations
+
+
+class CharlesError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SDLError(CharlesError):
+    """Base class for errors in the SDL language layer."""
+
+
+class SDLSyntaxError(SDLError):
+    """Raised when an SDL expression cannot be parsed.
+
+    Attributes
+    ----------
+    text:
+        The offending input text.
+    position:
+        Character offset at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class PredicateError(SDLError):
+    """Raised when a predicate is constructed with invalid arguments."""
+
+
+class QueryError(SDLError):
+    """Raised when an SDL query is malformed (e.g. duplicate attributes)."""
+
+
+class SegmentationError(SDLError):
+    """Raised when a segmentation violates its structural constraints."""
+
+
+class InvalidPartitionError(SegmentationError):
+    """Raised when a candidate segmentation is not a partition of its context.
+
+    A valid segmentation must consist of pairwise-disjoint queries whose
+    union covers the context exactly (paper, Definition 3).
+    """
+
+
+class StorageError(CharlesError):
+    """Base class for errors in the storage substrate."""
+
+
+class SchemaError(StorageError):
+    """Raised for schema violations: unknown columns, mismatched lengths."""
+
+
+class UnknownColumnError(SchemaError):
+    """Raised when a query references a column the table does not have."""
+
+    def __init__(self, column: str, available: tuple[str, ...] = ()):
+        message = f"unknown column {column!r}"
+        if available:
+            message += f" (available: {', '.join(available)})"
+        super().__init__(message)
+        self.column = column
+        self.available = tuple(available)
+
+
+class TypeMismatchError(StorageError):
+    """Raised when a predicate is applied to a column of incompatible type."""
+
+
+class EmptyColumnError(StorageError):
+    """Raised when an aggregate (median, min, max) is requested on no rows."""
+
+
+class CSVFormatError(StorageError):
+    """Raised when a CSV file cannot be loaded into a table."""
+
+
+class SQLGenerationError(StorageError):
+    """Raised when an SDL query cannot be rendered as SQL."""
+
+
+class SQLParseError(StorageError):
+    """Raised when a WHERE-clause cannot be parsed back into SDL."""
+
+
+class CoreError(CharlesError):
+    """Base class for errors in the core advisor algorithms."""
+
+
+class CannotCutError(CoreError):
+    """Raised when the CUT primitive cannot split a query on an attribute.
+
+    Typical causes: the attribute has fewer than two distinct values in the
+    query's result set, or the query selects no rows at all.
+    """
+
+    def __init__(self, attribute: str, reason: str = ""):
+        message = f"cannot cut on attribute {attribute!r}"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+        self.attribute = attribute
+        self.reason = reason
+
+
+class CompositionError(CoreError):
+    """Raised when COMPOSE is applied to incompatible segmentations."""
+
+
+class AdvisorError(CoreError):
+    """Raised when the advisor cannot produce an answer for a context."""
+
+
+class SessionError(CoreError):
+    """Raised on invalid interactive-session operations (e.g. back() at root)."""
+
+
+class WorkloadError(CharlesError):
+    """Raised when a synthetic workload generator receives invalid parameters."""
+
+
+class VisualizationError(CharlesError):
+    """Raised when a renderer cannot lay out its input."""

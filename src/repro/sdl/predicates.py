@@ -1,0 +1,301 @@
+"""SDL predicates (paper, Definition 1).
+
+An SDL predicate constrains a single attribute of the relation.  Three
+forms exist:
+
+* a *range constraint* ``Attr : [a0, a1]`` — :class:`RangePredicate`;
+* a *set constraint* ``Attr : {a0, a1, ..., aK}`` — :class:`SetPredicate`;
+* *no constraint* ``Attr :`` — :class:`NoConstraint`.
+
+The paper's CUT primitive produces half-open ranges ``[min, med[`` and
+closed ranges ``[med, max]``; :class:`RangePredicate` therefore carries
+explicit inclusivity flags for both bounds.
+
+Predicates are immutable value objects: they compare and hash by value, so
+they can be used as dictionary keys and members of frozensets (the query
+engine caches selection masks keyed by query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, Optional
+
+from repro.errors import PredicateError
+
+__all__ = [
+    "Predicate",
+    "NoConstraint",
+    "RangePredicate",
+    "SetPredicate",
+    "intersect_predicates",
+]
+
+
+def _format_literal(value: Any) -> str:
+    """Render a literal the way the paper writes them in SDL text."""
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for SDL predicates.
+
+    Parameters
+    ----------
+    attribute:
+        Name of the column the predicate constrains.
+    """
+
+    attribute: str
+
+    def __post_init__(self) -> None:
+        if not self.attribute or not isinstance(self.attribute, str):
+            raise PredicateError("predicate attribute must be a non-empty string")
+
+    @property
+    def is_constrained(self) -> bool:
+        """Whether the predicate restricts the attribute at all."""
+        raise NotImplementedError
+
+    def to_sdl(self) -> str:
+        """Render the predicate in SDL text syntax."""
+        raise NotImplementedError
+
+    def matches_value(self, value: Any) -> bool:
+        """Row-at-a-time semantics; the engine uses vectorised evaluation."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegates to to_sdl
+        return self.to_sdl()
+
+
+@dataclass(frozen=True)
+class NoConstraint(Predicate):
+    """The unconstrained predicate ``Attr :``.
+
+    It names an attribute as part of the exploration context without
+    restricting its values.  Charles only explores columns mentioned in the
+    context query, so unconstrained predicates matter: they widen the search
+    space without filtering any tuple.
+    """
+
+    @property
+    def is_constrained(self) -> bool:
+        return False
+
+    def to_sdl(self) -> str:
+        return f"{self.attribute}:"
+
+    def matches_value(self, value: Any) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """A range constraint ``Attr : [low, high]``.
+
+    Parameters
+    ----------
+    low, high:
+        Bounds of the interval.  ``low`` must not exceed ``high``.
+    include_low, include_high:
+        Whether each bound belongs to the interval.  The paper's CUT
+        operator produces ``[min, med[`` (high bound excluded) and
+        ``[med, max]`` (both included).
+    """
+
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.low is None or self.high is None:
+            raise PredicateError(
+                f"range predicate on {self.attribute!r} requires both bounds"
+            )
+        try:
+            out_of_order = self.low > self.high
+        except TypeError as exc:
+            raise PredicateError(
+                f"range bounds for {self.attribute!r} are not comparable: "
+                f"{self.low!r} vs {self.high!r}"
+            ) from exc
+        if out_of_order:
+            raise PredicateError(
+                f"range predicate on {self.attribute!r} has low > high "
+                f"({self.low!r} > {self.high!r})"
+            )
+
+    @property
+    def is_constrained(self) -> bool:
+        return True
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the range covers a single point (``low == high``)."""
+        return self.low == self.high
+
+    def to_sdl(self) -> str:
+        open_bracket = "[" if self.include_low else "]"
+        close_bracket = "]" if self.include_high else "["
+        return (
+            f"{self.attribute}: {open_bracket}"
+            f"{_format_literal(self.low)}, {_format_literal(self.high)}{close_bracket}"
+        )
+
+    def matches_value(self, value: Any) -> bool:
+        if value is None:
+            return False
+        if self.include_low:
+            if value < self.low:
+                return False
+        elif value <= self.low:
+            return False
+        if self.include_high:
+            if value > self.high:
+                return False
+        elif value >= self.high:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class SetPredicate(Predicate):
+    """A set constraint ``Attr : {a0, a1, ..., aK}``.
+
+    Parameters
+    ----------
+    values:
+        The admissible values.  Must be non-empty; duplicates are removed.
+    """
+
+    values: FrozenSet[Any] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "values", frozenset(self.values))
+        if not self.values:
+            raise PredicateError(
+                f"set predicate on {self.attribute!r} requires at least one value"
+            )
+
+    @property
+    def is_constrained(self) -> bool:
+        return True
+
+    @property
+    def sorted_values(self) -> tuple:
+        """Values in a deterministic order (used for display and hashing text)."""
+        return tuple(sorted(self.values, key=lambda v: (str(type(v)), str(v))))
+
+    def to_sdl(self) -> str:
+        inner = ", ".join(_format_literal(v) for v in self.sorted_values)
+        return f"{self.attribute}: {{{inner}}}"
+
+    def matches_value(self, value: Any) -> bool:
+        return value in self.values
+
+
+def intersect_predicates(first: Predicate, second: Predicate) -> Optional[Predicate]:
+    """Return the conjunction of two predicates on the same attribute.
+
+    The CUT primitive refines an existing constraint with a tighter one
+    computed from the values actually covered by the query.  Conjunction of
+    two constraints on the same attribute is therefore the natural way to
+    build the refined query.
+
+    Returns
+    -------
+    Predicate or None
+        ``None`` signals an empty (unsatisfiable) intersection.
+
+    Raises
+    ------
+    PredicateError
+        If the predicates constrain different attributes or mix range and
+        set constraints in a way that cannot be reduced.
+    """
+    if first.attribute != second.attribute:
+        raise PredicateError(
+            "cannot intersect predicates on different attributes: "
+            f"{first.attribute!r} vs {second.attribute!r}"
+        )
+    if isinstance(first, NoConstraint):
+        return second
+    if isinstance(second, NoConstraint):
+        return first
+    if isinstance(first, SetPredicate) and isinstance(second, SetPredicate):
+        common = first.values & second.values
+        if not common:
+            return None
+        return SetPredicate(first.attribute, common)
+    if isinstance(first, RangePredicate) and isinstance(second, RangePredicate):
+        return _intersect_ranges(first, second)
+    # Mixed range / set: keep the set values that satisfy the range.
+    range_pred, set_pred = (
+        (first, second) if isinstance(first, RangePredicate) else (second, first)
+    )
+    if not isinstance(range_pred, RangePredicate) or not isinstance(
+        set_pred, SetPredicate
+    ):
+        raise PredicateError(
+            f"cannot intersect {type(first).__name__} with {type(second).__name__}"
+        )
+    kept = frozenset(v for v in set_pred.values if range_pred.matches_value(v))
+    if not kept:
+        return None
+    return SetPredicate(set_pred.attribute, kept)
+
+
+def _intersect_ranges(
+    first: RangePredicate, second: RangePredicate
+) -> Optional[RangePredicate]:
+    """Intersect two range predicates on the same attribute."""
+    if first.low > second.low:
+        low, include_low = first.low, first.include_low
+    elif second.low > first.low:
+        low, include_low = second.low, second.include_low
+    else:
+        low = first.low
+        include_low = first.include_low and second.include_low
+
+    if first.high < second.high:
+        high, include_high = first.high, first.include_high
+    elif second.high < first.high:
+        high, include_high = second.high, second.include_high
+    else:
+        high = first.high
+        include_high = first.include_high and second.include_high
+
+    if low > high:
+        return None
+    if low == high and not (include_low and include_high):
+        return None
+    return RangePredicate(
+        first.attribute,
+        low=low,
+        high=high,
+        include_low=include_low,
+        include_high=include_high,
+    )
+
+
+def predicate_from_values(attribute: str, values: Iterable[Any]) -> Predicate:
+    """Build the tightest predicate describing an explicit set of values.
+
+    Numeric collections become a closed range ``[min, max]``; everything
+    else becomes a set constraint.  Used by workload helpers and tests.
+    """
+    materialised = list(values)
+    if not materialised:
+        raise PredicateError(f"cannot build a predicate on {attribute!r} from no values")
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in materialised):
+        return RangePredicate(attribute, low=min(materialised), high=max(materialised))
+    return SetPredicate(attribute, frozenset(materialised))

@@ -1,0 +1,98 @@
+"""Storage substrate: an in-memory column store standing in for MonetDB.
+
+The original Charles prototype was a C application on top of MonetDB; the
+only back-end operations it needs are counts over conjunctive predicates
+and median calculations (paper, Section 5.1).  This package provides a
+NumPy-backed, dictionary-encoded column store with exactly that surface:
+
+* :mod:`repro.storage.types`, :mod:`repro.storage.column`,
+  :mod:`repro.storage.table` — the physical layer;
+* :mod:`repro.storage.expression`, :mod:`repro.storage.engine` — SDL
+  evaluation, aggregates, mask caching and operation accounting;
+* :mod:`repro.storage.statistics` — column/table profiling;
+* :mod:`repro.storage.index` — sorted-column indexes (ablation E6);
+* :mod:`repro.storage.sampling` — sampled engines (paper §5.2, E8);
+* :mod:`repro.storage.sql` — SDL↔SQL translation (Charles as SQL front-end);
+* :mod:`repro.storage.csv_loader`, :mod:`repro.storage.catalog` — ingestion
+  and the multi-dataset registry.
+"""
+
+from repro.storage.types import DataType
+from repro.storage.column import (
+    BoolColumn,
+    Column,
+    DateColumn,
+    NumericColumn,
+    StringColumn,
+    build_column,
+)
+from repro.storage.table import Table
+from repro.storage.expression import predicate_mask, query_mask
+from repro.storage.engine import OperationCounter, QueryEngine
+from repro.storage.index import SortedIndex
+from repro.storage.statistics import (
+    ColumnProfile,
+    TableProfile,
+    column_entropy,
+    profile_column,
+    profile_table,
+)
+from repro.storage.sampling import (
+    SampledEngine,
+    reservoir_sample,
+    sample_table,
+    uniform_sample_indices,
+)
+from repro.storage.streaming import (
+    P2QuantileEstimator,
+    StreamingMedianSketch,
+    streaming_median,
+)
+from repro.storage.sql import (
+    count_query_sql,
+    parse_where,
+    predicate_to_sql,
+    query_to_sql,
+    query_to_where,
+    sql_literal,
+)
+from repro.storage.csv_loader import load_csv, load_csv_text, write_csv
+from repro.storage.catalog import Catalog
+
+__all__ = [
+    "DataType",
+    "Column",
+    "NumericColumn",
+    "DateColumn",
+    "StringColumn",
+    "BoolColumn",
+    "build_column",
+    "Table",
+    "predicate_mask",
+    "query_mask",
+    "QueryEngine",
+    "OperationCounter",
+    "SortedIndex",
+    "ColumnProfile",
+    "TableProfile",
+    "profile_column",
+    "profile_table",
+    "column_entropy",
+    "SampledEngine",
+    "sample_table",
+    "uniform_sample_indices",
+    "reservoir_sample",
+    "P2QuantileEstimator",
+    "StreamingMedianSketch",
+    "streaming_median",
+    "sql_literal",
+    "predicate_to_sql",
+    "query_to_where",
+    "query_to_sql",
+    "count_query_sql",
+    "parse_where",
+    "load_csv",
+    "load_csv_text",
+    "write_csv",
+    "Catalog",
+]

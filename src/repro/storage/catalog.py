@@ -1,0 +1,121 @@
+"""A named-table catalog.
+
+The "database" of this reproduction: a registry of tables (one relation
+per dataset, as the paper's first restriction requires) with helpers to
+load every CSV file of a directory and to hand out a query engine per
+table.  Used by the CLI and the examples to switch between the VOC,
+astronomy and weblog workloads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.errors import SchemaError
+from repro.storage.csv_loader import load_csv
+from repro.storage.engine import QueryEngine
+from repro.storage.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A registry of named tables plus per-table query engines."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._engines: Dict[str, QueryEngine] = {}
+        self._factories: Dict[str, Callable[[], Table]] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, table: Table, name: Optional[str] = None) -> str:
+        """Register a table under ``name`` (defaults to the table's own name)."""
+        key = name or table.name
+        if not key:
+            raise SchemaError("a catalog entry requires a non-empty name")
+        self._tables[key] = table
+        self._engines.pop(key, None)
+        return key
+
+    def register_factory(self, name: str, factory: Callable[[], Table]) -> None:
+        """Register a lazily-built table (e.g. a synthetic workload generator).
+
+        The factory is invoked at most once, on first access.
+        """
+        if not name:
+            raise SchemaError("a catalog entry requires a non-empty name")
+        self._factories[name] = factory
+
+    def load_directory(self, directory: Union[str, Path], pattern: str = "*.csv") -> List[str]:
+        """Load every CSV file in a directory; returns the registered names."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise SchemaError(f"not a directory: {directory}")
+        registered = []
+        for path in sorted(directory.glob(pattern)):
+            table = load_csv(path)
+            registered.append(self.register(table))
+        return registered
+
+    # -- access ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables or name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(set(self._tables) | set(self._factories))
+
+    def names(self) -> List[str]:
+        """Registered table names, eager and lazy alike, sorted."""
+        return sorted(set(self._tables) | set(self._factories))
+
+    def table(self, name: str) -> Table:
+        """The table registered under ``name`` (building it if lazy)."""
+        if name in self._tables:
+            return self._tables[name]
+        factory = self._factories.get(name)
+        if factory is None:
+            raise SchemaError(
+                f"unknown table {name!r} (available: {', '.join(self.names()) or 'none'})"
+            )
+        table = factory()
+        self._tables[name] = table
+        return table
+
+    def engine(self, name: str, **engine_options) -> QueryEngine:
+        """A query engine over the named table (cached per table).
+
+        Passing ``engine_options`` forces a fresh engine with those options
+        instead of the cached default one.
+        """
+        if engine_options:
+            return QueryEngine(self.table(name), **engine_options)
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = QueryEngine(self.table(name))
+            self._engines[name] = engine
+        return engine
+
+    def drop(self, name: str) -> None:
+        """Remove a table (and its cached engine) from the catalog."""
+        self._tables.pop(name, None)
+        self._factories.pop(name, None)
+        self._engines.pop(name, None)
+
+    def describe(self) -> str:
+        """Multi-line listing of the registered tables."""
+        lines = [f"catalog: {len(self)} table(s)"]
+        for name in self.names():
+            if name in self._tables:
+                table = self._tables[name]
+                lines.append(
+                    f"  {name:<20} {table.num_rows:>8} rows, {table.num_columns} columns"
+                )
+            else:
+                lines.append(f"  {name:<20} (lazy)")
+        return "\n".join(lines)

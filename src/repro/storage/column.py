@@ -1,0 +1,571 @@
+"""Typed columns of the in-memory column store.
+
+The substrate mirrors the two properties of MonetDB that the paper relies
+on (Section 5.1): evaluation is *column-at-a-time* (predicates become
+boolean selection vectors over NumPy arrays) and the only aggregates the
+advisor needs — counts, minima/maxima, medians and value frequencies — are
+available per column under an arbitrary selection mask.
+
+Four physical column classes exist:
+
+* :class:`NumericColumn` — INT and FLOAT values;
+* :class:`DateColumn` — dates, stored as proleptic Gregorian ordinals;
+* :class:`StringColumn` — nominal values, dictionary-encoded;
+* :class:`BoolColumn` — booleans.
+
+Missing values are tracked with a validity bitmap; they never satisfy a
+constraint and are excluded from aggregates, matching SQL semantics.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyColumnError, TypeMismatchError
+from repro.storage.types import (
+    DataType,
+    coerce_value,
+    date_to_ordinal,
+    is_missing,
+    ordinal_to_date,
+)
+
+__all__ = [
+    "Column",
+    "NumericColumn",
+    "DateColumn",
+    "StringColumn",
+    "BoolColumn",
+    "build_column",
+]
+
+
+class Column:
+    """Abstract base class for all column implementations."""
+
+    def __init__(self, name: str, dtype: DataType):
+        self.name = name
+        self.dtype = dtype
+
+    # -- size / access -------------------------------------------------------
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def value_at(self, index: int) -> Any:
+        """Decoded value at a row position (``None`` for missing)."""
+        raise NotImplementedError
+
+    def values_list(self, mask: Optional[np.ndarray] = None) -> List[Any]:
+        """Decoded values, optionally restricted to a boolean mask."""
+        indices = self._selected_indices(mask)
+        return [self.value_at(int(i)) for i in indices]
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean array marking non-missing rows."""
+        raise NotImplementedError
+
+    def _selected_indices(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.arange(len(self))
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self):
+            raise TypeMismatchError(
+                f"mask length {mask.shape[0]} does not match column length {len(self)}"
+            )
+        return np.flatnonzero(mask)
+
+    def _effective_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        """Combine the validity bitmap with a caller-provided selection mask."""
+        valid = self.valid_mask()
+        if mask is None:
+            return valid
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self):
+            raise TypeMismatchError(
+                f"mask length {mask.shape[0]} does not match column length {len(self)}"
+            )
+        return valid & mask
+
+    # -- aggregates ------------------------------------------------------------
+
+    def count_valid(self, mask: Optional[np.ndarray] = None) -> int:
+        """Number of non-missing rows under the mask."""
+        return int(np.count_nonzero(self._effective_mask(mask)))
+
+    def minimum(self, mask: Optional[np.ndarray] = None) -> Any:
+        raise NotImplementedError
+
+    def maximum(self, mask: Optional[np.ndarray] = None) -> Any:
+        raise NotImplementedError
+
+    def median(self, mask: Optional[np.ndarray] = None) -> Any:
+        """The arithmetic median for numeric types (paper, Definition 5).
+
+        Nominal columns do not define an arithmetic median; the nominal
+        split rule lives in :mod:`repro.core.median` and works from
+        :meth:`value_counts`.
+        """
+        raise NotImplementedError
+
+    def value_counts(self, mask: Optional[np.ndarray] = None) -> Dict[Any, int]:
+        """Decoded value -> number of occurrences under the mask."""
+        raise NotImplementedError
+
+    def distinct_count(self, mask: Optional[np.ndarray] = None) -> int:
+        """Number of distinct non-missing values under the mask."""
+        return len(self.value_counts(mask))
+
+    # -- predicate evaluation ---------------------------------------------------
+
+    def mask_range(
+        self,
+        low: Any,
+        high: Any,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def mask_set(self, values: Iterable[Any]) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- construction -----------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """New column containing the rows at the given positions."""
+        raise NotImplementedError
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """New column keeping the rows where ``mask`` is true."""
+        return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, {self.dtype}, n={len(self)})"
+
+
+class NumericColumn(Column):
+    """A column of INT or FLOAT values backed by a NumPy array."""
+
+    def __init__(self, name: str, values: Sequence[Any], dtype: DataType = DataType.FLOAT):
+        if dtype not in (DataType.INT, DataType.FLOAT):
+            raise TypeMismatchError(f"NumericColumn does not support {dtype}")
+        super().__init__(name, dtype)
+        coerced = [coerce_value(v, dtype) for v in values]
+        self._valid = np.array([v is not None for v in coerced], dtype=bool)
+        fill = 0 if dtype is DataType.INT else 0.0
+        np_dtype = np.int64 if dtype is DataType.INT else np.float64
+        self._data = np.array(
+            [fill if v is None else v for v in coerced], dtype=np_dtype
+        )
+
+    @classmethod
+    def _from_arrays(
+        cls, name: str, data: np.ndarray, valid: np.ndarray, dtype: DataType
+    ) -> "NumericColumn":
+        column = cls.__new__(cls)
+        Column.__init__(column, name, dtype)
+        column._data = data
+        column._valid = valid
+        return column
+
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def valid_mask(self) -> np.ndarray:
+        return self._valid
+
+    def value_at(self, index: int) -> Any:
+        if not self._valid[index]:
+            return None
+        value = self._data[index]
+        return int(value) if self.dtype is DataType.INT else float(value)
+
+    def _masked_data(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        return self._data[self._effective_mask(mask)]
+
+    def minimum(self, mask: Optional[np.ndarray] = None) -> Any:
+        data = self._masked_data(mask)
+        if data.size == 0:
+            raise EmptyColumnError(f"minimum of empty selection on {self.name!r}")
+        return self._decode_scalar(data.min())
+
+    def maximum(self, mask: Optional[np.ndarray] = None) -> Any:
+        data = self._masked_data(mask)
+        if data.size == 0:
+            raise EmptyColumnError(f"maximum of empty selection on {self.name!r}")
+        return self._decode_scalar(data.max())
+
+    def median(self, mask: Optional[np.ndarray] = None) -> Any:
+        data = self._masked_data(mask)
+        if data.size == 0:
+            raise EmptyColumnError(f"median of empty selection on {self.name!r}")
+        return self._decode_median(float(np.median(data)))
+
+    def _decode_scalar(self, value: Any) -> Any:
+        return int(value) if self.dtype is DataType.INT else float(value)
+
+    def _decode_median(self, value: float) -> Any:
+        if self.dtype is DataType.INT and float(value).is_integer():
+            return int(value)
+        return float(value)
+
+    def value_counts(self, mask: Optional[np.ndarray] = None) -> Dict[Any, int]:
+        data = self._masked_data(mask)
+        values, counts = np.unique(data, return_counts=True)
+        return {
+            self._decode_scalar(value): int(count)
+            for value, count in zip(values, counts)
+        }
+
+    def _encode_bound(self, value: Any) -> float:
+        if is_missing(value):
+            raise TypeMismatchError(f"range bound on {self.name!r} cannot be missing")
+        if isinstance(value, str):
+            try:
+                value = float(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"range bound {value!r} is not numeric for column {self.name!r}"
+                ) from exc
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            raise TypeMismatchError(
+                f"range bound {value!r} is not numeric for column {self.name!r}"
+            )
+        return float(value)
+
+    def mask_range(
+        self,
+        low: Any,
+        high: Any,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        low_value = self._encode_bound(low)
+        high_value = self._encode_bound(high)
+        data = self._data
+        low_mask = data >= low_value if include_low else data > low_value
+        high_mask = data <= high_value if include_high else data < high_value
+        return low_mask & high_mask & self._valid
+
+    def mask_set(self, values: Iterable[Any]) -> np.ndarray:
+        encoded = np.array(
+            [self._encode_bound(v) for v in values if not is_missing(v)],
+            dtype=self._data.dtype,
+        )
+        if encoded.size == 0:
+            return np.zeros(len(self), dtype=bool)
+        return np.isin(self._data, encoded) & self._valid
+
+    def take(self, indices: np.ndarray) -> "NumericColumn":
+        indices = np.asarray(indices, dtype=np.int64)
+        return NumericColumn._from_arrays(
+            self.name, self._data[indices], self._valid[indices], self.dtype
+        )
+
+    def to_numpy(self) -> np.ndarray:
+        """The raw physical array (missing rows hold the fill value)."""
+        return self._data
+
+
+class DateColumn(NumericColumn):
+    """A date column stored as proleptic Gregorian ordinals (int64)."""
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        ordinals = []
+        for value in values:
+            ordinals.append(None if is_missing(value) else date_to_ordinal(value))
+        Column.__init__(self, name, DataType.DATE)
+        self._valid = np.array([v is not None for v in ordinals], dtype=bool)
+        self._data = np.array([0 if v is None else v for v in ordinals], dtype=np.int64)
+
+    @classmethod
+    def _from_arrays(  # type: ignore[override]
+        cls, name: str, data: np.ndarray, valid: np.ndarray, dtype: DataType = DataType.DATE
+    ) -> "DateColumn":
+        column = cls.__new__(cls)
+        Column.__init__(column, name, DataType.DATE)
+        column._data = data
+        column._valid = valid
+        return column
+
+    def value_at(self, index: int) -> Any:
+        if not self._valid[index]:
+            return None
+        return ordinal_to_date(int(self._data[index]))
+
+    def _decode_scalar(self, value: Any) -> Any:
+        return ordinal_to_date(int(value))
+
+    def _decode_median(self, value: float) -> Any:
+        # The arithmetic median of an even number of dates is rounded down
+        # to a representable date.
+        return ordinal_to_date(int(value))
+
+    def _encode_bound(self, value: Any) -> float:
+        if is_missing(value):
+            raise TypeMismatchError(f"range bound on {self.name!r} cannot be missing")
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (_dt.date, _dt.datetime, str)):
+            return float(date_to_ordinal(value))
+        raise TypeMismatchError(
+            f"range bound {value!r} is not a date for column {self.name!r}"
+        )
+
+    def take(self, indices: np.ndarray) -> "DateColumn":
+        indices = np.asarray(indices, dtype=np.int64)
+        return DateColumn._from_arrays(self.name, self._data[indices], self._valid[indices])
+
+
+class StringColumn(Column):
+    """A dictionary-encoded nominal column.
+
+    Physical layout: an ``int32`` code per row (``-1`` for missing) plus an
+    ordered list of category strings.  Set predicates translate into a
+    membership test over codes; range predicates use lexicographic order
+    over the decoded strings, which is rarely useful but kept for symmetry
+    with SQL semantics.
+    """
+
+    MISSING_CODE = -1
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        super().__init__(name, DataType.STRING)
+        categories: List[str] = []
+        index_of: Dict[str, int] = {}
+        codes = np.empty(len(values), dtype=np.int32)
+        for position, raw in enumerate(values):
+            if is_missing(raw):
+                codes[position] = self.MISSING_CODE
+                continue
+            text = str(raw)
+            code = index_of.get(text)
+            if code is None:
+                code = len(categories)
+                categories.append(text)
+                index_of[text] = code
+            codes[position] = code
+        self._codes = codes
+        self._categories = categories
+        self._index_of = index_of
+
+    @classmethod
+    def _from_encoding(
+        cls, name: str, codes: np.ndarray, categories: List[str]
+    ) -> "StringColumn":
+        column = cls.__new__(cls)
+        Column.__init__(column, name, DataType.STRING)
+        column._codes = codes
+        column._categories = list(categories)
+        column._index_of = {c: i for i, c in enumerate(categories)}
+        return column
+
+    def __len__(self) -> int:
+        return int(self._codes.shape[0])
+
+    @property
+    def categories(self) -> List[str]:
+        """The dictionary of distinct values, in first-appearance order."""
+        return list(self._categories)
+
+    def valid_mask(self) -> np.ndarray:
+        return self._codes != self.MISSING_CODE
+
+    def value_at(self, index: int) -> Any:
+        code = int(self._codes[index])
+        if code == self.MISSING_CODE:
+            return None
+        return self._categories[code]
+
+    def minimum(self, mask: Optional[np.ndarray] = None) -> Any:
+        values = [v for v in self.values_list(self._effective_mask(mask))]
+        if not values:
+            raise EmptyColumnError(f"minimum of empty selection on {self.name!r}")
+        return min(values)
+
+    def maximum(self, mask: Optional[np.ndarray] = None) -> Any:
+        values = [v for v in self.values_list(self._effective_mask(mask))]
+        if not values:
+            raise EmptyColumnError(f"maximum of empty selection on {self.name!r}")
+        return max(values)
+
+    def median(self, mask: Optional[np.ndarray] = None) -> Any:
+        raise TypeMismatchError(
+            f"column {self.name!r} is nominal; use the nominal split rule "
+            "(repro.core.median) instead of an arithmetic median"
+        )
+
+    def value_counts(self, mask: Optional[np.ndarray] = None) -> Dict[Any, int]:
+        effective = self._effective_mask(mask)
+        codes = self._codes[effective]
+        if codes.size == 0:
+            return {}
+        counts = np.bincount(codes, minlength=len(self._categories))
+        return {
+            self._categories[code]: int(count)
+            for code, count in enumerate(counts)
+            if count > 0
+        }
+
+    def mask_range(
+        self,
+        low: Any,
+        high: Any,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        low_text, high_text = str(low), str(high)
+        selected_codes = [
+            code
+            for code, category in enumerate(self._categories)
+            if _within(category, low_text, high_text, include_low, include_high)
+        ]
+        return self._mask_for_codes(selected_codes)
+
+    def mask_set(self, values: Iterable[Any]) -> np.ndarray:
+        selected_codes = []
+        for value in values:
+            if is_missing(value):
+                continue
+            code = self._index_of.get(str(value))
+            if code is not None:
+                selected_codes.append(code)
+        return self._mask_for_codes(selected_codes)
+
+    def _mask_for_codes(self, codes: Sequence[int]) -> np.ndarray:
+        if not codes:
+            return np.zeros(len(self), dtype=bool)
+        return np.isin(self._codes, np.array(codes, dtype=np.int32))
+
+    def take(self, indices: np.ndarray) -> "StringColumn":
+        indices = np.asarray(indices, dtype=np.int64)
+        return StringColumn._from_encoding(
+            self.name, self._codes[indices], self._categories
+        )
+
+
+class BoolColumn(Column):
+    """A boolean column with a validity bitmap."""
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        super().__init__(name, DataType.BOOL)
+        coerced = [coerce_value(v, DataType.BOOL) for v in values]
+        self._valid = np.array([v is not None for v in coerced], dtype=bool)
+        self._data = np.array([bool(v) for v in coerced], dtype=bool)
+
+    @classmethod
+    def _from_arrays(cls, name: str, data: np.ndarray, valid: np.ndarray) -> "BoolColumn":
+        column = cls.__new__(cls)
+        Column.__init__(column, name, DataType.BOOL)
+        column._data = data
+        column._valid = valid
+        return column
+
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def valid_mask(self) -> np.ndarray:
+        return self._valid
+
+    def value_at(self, index: int) -> Any:
+        if not self._valid[index]:
+            return None
+        return bool(self._data[index])
+
+    def minimum(self, mask: Optional[np.ndarray] = None) -> Any:
+        data = self._data[self._effective_mask(mask)]
+        if data.size == 0:
+            raise EmptyColumnError(f"minimum of empty selection on {self.name!r}")
+        return bool(data.min())
+
+    def maximum(self, mask: Optional[np.ndarray] = None) -> Any:
+        data = self._data[self._effective_mask(mask)]
+        if data.size == 0:
+            raise EmptyColumnError(f"maximum of empty selection on {self.name!r}")
+        return bool(data.max())
+
+    def median(self, mask: Optional[np.ndarray] = None) -> Any:
+        raise TypeMismatchError(
+            f"column {self.name!r} is boolean; use the nominal split rule instead"
+        )
+
+    def value_counts(self, mask: Optional[np.ndarray] = None) -> Dict[Any, int]:
+        effective = self._effective_mask(mask)
+        data = self._data[effective]
+        counts: Dict[Any, int] = {}
+        true_count = int(np.count_nonzero(data))
+        false_count = int(data.size - true_count)
+        if false_count:
+            counts[False] = false_count
+        if true_count:
+            counts[True] = true_count
+        return counts
+
+    def mask_range(
+        self,
+        low: Any,
+        high: Any,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        low_value = bool(coerce_value(low, DataType.BOOL))
+        high_value = bool(coerce_value(high, DataType.BOOL))
+        data = self._data.astype(np.int8)
+        low_int, high_int = int(low_value), int(high_value)
+        low_mask = data >= low_int if include_low else data > low_int
+        high_mask = data <= high_int if include_high else data < high_int
+        return low_mask & high_mask & self._valid
+
+    def mask_set(self, values: Iterable[Any]) -> np.ndarray:
+        wanted = set()
+        for value in values:
+            if is_missing(value):
+                continue
+            wanted.add(bool(coerce_value(value, DataType.BOOL)))
+        if not wanted:
+            return np.zeros(len(self), dtype=bool)
+        mask = np.zeros(len(self), dtype=bool)
+        if True in wanted:
+            mask |= self._data
+        if False in wanted:
+            mask |= ~self._data
+        return mask & self._valid
+
+    def take(self, indices: np.ndarray) -> "BoolColumn":
+        indices = np.asarray(indices, dtype=np.int64)
+        return BoolColumn._from_arrays(self.name, self._data[indices], self._valid[indices])
+
+
+def build_column(name: str, values: Sequence[Any], dtype: DataType) -> Column:
+    """Factory: build the concrete column class for a logical type."""
+    if dtype in (DataType.INT, DataType.FLOAT):
+        return NumericColumn(name, values, dtype)
+    if dtype is DataType.DATE:
+        return DateColumn(name, values)
+    if dtype is DataType.STRING:
+        return StringColumn(name, values)
+    if dtype is DataType.BOOL:
+        return BoolColumn(name, values)
+    raise TypeMismatchError(f"unsupported data type: {dtype!r}")  # pragma: no cover
+
+
+def _within(
+    value: str, low: str, high: str, include_low: bool, include_high: bool
+) -> bool:
+    if include_low:
+        if value < low:
+            return False
+    elif value <= low:
+        return False
+    if include_high:
+        if value > high:
+            return False
+    elif value >= high:
+        return False
+    return True

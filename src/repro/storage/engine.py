@@ -1,0 +1,254 @@
+"""The query engine: counts, medians, frequencies over SDL queries.
+
+The paper (Section 5.1) observes that Charles only issues two kinds of
+database operations — *median calculations* and *counts over predicates* —
+and that a column store fits this workload.  :class:`QueryEngine` is the
+substitute back-end: it evaluates SDL queries into selection masks over a
+:class:`~repro.storage.table.Table`, caches those masks (the paper's
+computation-reuse hint), and exposes exactly the aggregates the advisor
+needs.
+
+Every call is tallied in an :class:`OperationCounter`, so benchmarks can
+report back-end work (number of scans, medians, counts, cache hits)
+independent of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sdl.formatter import query_signature
+from repro.sdl.query import SDLQuery
+from repro.storage.expression import query_mask
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+__all__ = ["OperationCounter", "QueryEngine"]
+
+
+@dataclass
+class OperationCounter:
+    """Tally of back-end operations issued by the advisor.
+
+    Attributes
+    ----------
+    evaluations:
+        Number of query evaluations that actually scanned columns.
+    cache_hits:
+        Number of evaluations answered from the mask cache.
+    count_calls:
+        Number of cardinality requests.
+    median_calls:
+        Number of median computations.
+    frequency_calls:
+        Number of value-frequency (group-by count) computations.
+    minmax_calls:
+        Number of min/max computations.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    count_calls: int = 0
+    median_calls: int = 0
+    frequency_calls: int = 0
+    minmax_calls: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.count_calls = 0
+        self.median_calls = 0
+        self.frequency_calls = 0
+        self.minmax_calls = 0
+
+    @property
+    def total_database_operations(self) -> int:
+        """Total number of logical database operations issued."""
+        return (
+            self.count_calls
+            + self.median_calls
+            + self.frequency_calls
+            + self.minmax_calls
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy, convenient for benchmark reporting."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "count_calls": self.count_calls,
+            "median_calls": self.median_calls,
+            "frequency_calls": self.frequency_calls,
+            "minmax_calls": self.minmax_calls,
+            "total_database_operations": self.total_database_operations,
+        }
+
+
+@dataclass
+class _CacheStats:
+    capacity: int
+    entries: int = 0
+    evictions: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class QueryEngine:
+    """Evaluates SDL queries against a single table.
+
+    Parameters
+    ----------
+    table:
+        The relation to query.
+    cache_size:
+        Maximum number of selection masks kept in the LRU cache.  ``0``
+        disables caching entirely (used by the scalability ablations).
+    use_index:
+        When true, sorted-column indexes are built lazily and used to
+        answer full-table medians and min/max requests without re-sorting.
+    """
+
+    def __init__(self, table: Table, cache_size: int = 256, use_index: bool = False):
+        self.table = table
+        self.counter = OperationCounter()
+        self._cache_size = int(cache_size)
+        self._mask_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._cache_stats = _CacheStats(capacity=self._cache_size)
+        self._use_index = bool(use_index)
+        self._indexes: Dict[str, SortedIndex] = {}
+
+    # -- cache --------------------------------------------------------------
+
+    @property
+    def cache_info(self) -> Dict[str, int]:
+        """Cache occupancy and eviction counts."""
+        return {
+            "capacity": self._cache_stats.capacity,
+            "entries": len(self._mask_cache),
+            "evictions": self._cache_stats.evictions,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached selection mask."""
+        self._mask_cache.clear()
+
+    def _cache_get(self, key: str) -> Optional[np.ndarray]:
+        if self._cache_size <= 0:
+            return None
+        mask = self._mask_cache.get(key)
+        if mask is not None:
+            self._mask_cache.move_to_end(key)
+        return mask
+
+    def _cache_put(self, key: str, mask: np.ndarray) -> None:
+        if self._cache_size <= 0:
+            return
+        self._mask_cache[key] = mask
+        self._mask_cache.move_to_end(key)
+        while len(self._mask_cache) > self._cache_size:
+            self._mask_cache.popitem(last=False)
+            self._cache_stats.evictions += 1
+
+    # -- index ---------------------------------------------------------------
+
+    def index_for(self, attribute: str) -> SortedIndex:
+        """The (lazily built) sorted index for a column."""
+        index = self._indexes.get(attribute)
+        if index is None:
+            index = SortedIndex(self.table.column(attribute))
+            self._indexes[attribute] = index
+        return index
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, query: SDLQuery) -> np.ndarray:
+        """Boolean selection mask of the query over the table (cached)."""
+        key = query_signature(query)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.counter.cache_hits += 1
+            return cached
+        self.counter.evaluations += 1
+        mask = query_mask(self.table, query)
+        self._cache_put(key, mask)
+        return mask
+
+    def count(self, query: SDLQuery) -> int:
+        """``|R(Q)|``: number of rows selected by the query."""
+        self.counter.count_calls += 1
+        return int(np.count_nonzero(self.evaluate(query)))
+
+    def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
+        """The cover ``C(Q)``.
+
+        With no ``context`` this is the paper's table-relative definition
+        ``|R(Q)| / |T|``; with a context it is relative to the context's
+        result set, which is what segmentation entropy uses.
+        """
+        numerator = self.count(query)
+        if context is None:
+            denominator = self.table.num_rows
+        else:
+            denominator = self.count(context)
+        if denominator == 0:
+            return 0.0
+        return numerator / denominator
+
+    # -- aggregates --------------------------------------------------------------
+
+    def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
+        """Arithmetic median of ``attribute`` over the query's result set."""
+        self.counter.median_calls += 1
+        column = self.table.column(attribute)
+        if query is None or not query.constrained_attributes:
+            if self._use_index:
+                return self.index_for(attribute).median()
+            return column.median()
+        mask = self.evaluate(query)
+        return column.median(mask)
+
+    def minmax(self, attribute: str, query: Optional[SDLQuery] = None) -> Tuple[Any, Any]:
+        """Minimum and maximum of ``attribute`` over the query's result set."""
+        self.counter.minmax_calls += 1
+        column = self.table.column(attribute)
+        if query is None or not query.constrained_attributes:
+            if self._use_index:
+                index = self.index_for(attribute)
+                return index.minimum(), index.maximum()
+            return column.minimum(), column.maximum()
+        mask = self.evaluate(query)
+        return column.minimum(mask), column.maximum(mask)
+
+    def value_frequencies(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Dict[Any, int]:
+        """Value -> count of ``attribute`` over the query's result set."""
+        self.counter.frequency_calls += 1
+        column = self.table.column(attribute)
+        mask = None if query is None else self.evaluate(query)
+        return column.value_counts(mask)
+
+    def distinct_count(self, attribute: str, query: Optional[SDLQuery] = None) -> int:
+        """Number of distinct non-missing values of ``attribute`` under the query."""
+        return len(self.value_frequencies(attribute, query))
+
+    # -- materialisation ----------------------------------------------------------
+
+    def materialize(self, query: SDLQuery, name: Optional[str] = None) -> Table:
+        """The result set of a query as a new table (used for drill-down)."""
+        mask = self.evaluate(query)
+        return self.table.filter(mask, name=name or f"{self.table.name}_selection")
+
+    def counts_for(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
+        """Cardinalities for a batch of queries (one count call per query)."""
+        return tuple(self.count(query) for query in queries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryEngine(table={self.table.name!r}, rows={self.table.num_rows}, "
+            f"cache_size={self._cache_size}, use_index={self._use_index})"
+        )

@@ -1,0 +1,59 @@
+"""Evaluation of SDL predicates into boolean selection vectors.
+
+This is the column-at-a-time evaluation layer: each predicate of an SDL
+query is turned into a boolean NumPy array over one column, and the
+conjunction is the element-wise AND of those arrays.  The query engine
+(:mod:`repro.storage.engine`) adds caching and operation accounting on
+top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+from repro.sdl.predicates import NoConstraint, Predicate, RangePredicate, SetPredicate
+from repro.sdl.query import SDLQuery
+from repro.storage.table import Table
+
+__all__ = ["predicate_mask", "query_mask"]
+
+
+def predicate_mask(table: Table, predicate: Predicate) -> np.ndarray:
+    """Boolean selection vector for a single predicate over ``table``.
+
+    Unconstrained predicates select every row.  Unknown columns raise
+    :class:`~repro.errors.UnknownColumnError` via :meth:`Table.column`.
+    """
+    if isinstance(predicate, NoConstraint):
+        # The attribute must still exist: context queries may only mention
+        # actual columns of the relation.
+        table.column(predicate.attribute)
+        return np.ones(table.num_rows, dtype=bool)
+    column = table.column(predicate.attribute)
+    if isinstance(predicate, RangePredicate):
+        return column.mask_range(
+            predicate.low,
+            predicate.high,
+            include_low=predicate.include_low,
+            include_high=predicate.include_high,
+        )
+    if isinstance(predicate, SetPredicate):
+        return column.mask_set(predicate.values)
+    raise TypeMismatchError(
+        f"unsupported predicate type: {type(predicate).__name__}"
+    )  # pragma: no cover - exhaustive over the SDL grammar
+
+
+def query_mask(table: Table, query: SDLQuery) -> np.ndarray:
+    """Boolean selection vector for an SDL query (conjunction of predicates)."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for predicate in query.predicates:
+        if not predicate.is_constrained:
+            # Still validate that the context column exists.
+            table.column(predicate.attribute)
+            continue
+        mask &= predicate_mask(table, predicate)
+        if not mask.any():
+            break
+    return mask

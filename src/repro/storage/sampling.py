@@ -1,0 +1,165 @@
+"""Sampling strategies (paper, Section 5.2).
+
+The paper identifies median computation as the main bottleneck and
+suggests that "not all tuples are necessary to give good results".  This
+module implements that extension:
+
+* :func:`uniform_sample_indices` and :func:`reservoir_sample` — basic
+  sampling primitives;
+* :class:`SampledEngine` — a drop-in replacement for
+  :class:`~repro.storage.engine.QueryEngine` that evaluates medians,
+  min/max and value frequencies on a uniform sample of the table and
+  scales counts back to the full population.
+
+Benchmark E8 measures the accuracy / speed trade-off across sample rates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.sdl.query import SDLQuery
+from repro.storage.engine import QueryEngine
+from repro.storage.table import Table
+
+__all__ = [
+    "uniform_sample_indices",
+    "reservoir_sample",
+    "sample_table",
+    "SampledEngine",
+]
+
+T = TypeVar("T")
+
+
+def uniform_sample_indices(
+    population_size: int,
+    sample_size: Optional[int] = None,
+    fraction: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Sorted row positions of a uniform random sample without replacement.
+
+    Exactly one of ``sample_size`` and ``fraction`` must be provided.  The
+    result preserves the original row order, so sampled tables keep the
+    relative ordering of tuples.
+    """
+    if (sample_size is None) == (fraction is None):
+        raise StorageError("provide exactly one of sample_size and fraction")
+    if fraction is not None:
+        if not 0.0 < fraction <= 1.0:
+            raise StorageError(f"fraction must lie in (0, 1], got {fraction}")
+        sample_size = max(1, int(round(population_size * fraction)))
+    assert sample_size is not None
+    if sample_size <= 0:
+        raise StorageError(f"sample_size must be positive, got {sample_size}")
+    sample_size = min(sample_size, population_size)
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(population_size, size=sample_size, replace=False)
+    indices.sort()
+    return indices.astype(np.int64)
+
+
+def reservoir_sample(items: Iterable[T], k: int, seed: Optional[int] = None) -> List[T]:
+    """Reservoir sampling (algorithm R) over an arbitrary iterable.
+
+    Keeps a uniform sample of ``k`` items from a stream of unknown length,
+    which is how a production system would sample a table it cannot hold
+    in memory.
+    """
+    if k <= 0:
+        raise StorageError(f"reservoir size must be positive, got {k}")
+    rng = np.random.default_rng(seed)
+    reservoir: List[T] = []
+    for index, item in enumerate(items):
+        if index < k:
+            reservoir.append(item)
+            continue
+        slot = int(rng.integers(0, index + 1))
+        if slot < k:
+            reservoir[slot] = item
+    return reservoir
+
+
+def sample_table(
+    table: Table,
+    fraction: Optional[float] = None,
+    sample_size: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Table:
+    """A uniformly-sampled copy of a table (row order preserved)."""
+    indices = uniform_sample_indices(
+        table.num_rows, sample_size=sample_size, fraction=fraction, seed=seed
+    )
+    return table.take(indices, name=f"{table.name}_sample")
+
+
+class SampledEngine(QueryEngine):
+    """A query engine that answers statistics from a uniform sample.
+
+    Counts are estimated by scaling the sample count with the inverse
+    sampling rate; medians, min/max and frequencies are computed on the
+    sample directly.  The exact engine over the full table remains
+    available as :attr:`base_engine` so callers can compare.
+
+    Parameters
+    ----------
+    table:
+        The full relation.
+    fraction:
+        Sampling rate in ``(0, 1]``.
+    seed:
+        Random seed for reproducible samples.
+    cache_size, use_index:
+        Forwarded to the underlying :class:`QueryEngine` over the sample.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        fraction: float = 0.1,
+        seed: Optional[int] = None,
+        cache_size: int = 256,
+        use_index: bool = False,
+    ):
+        if not 0.0 < fraction <= 1.0:
+            raise StorageError(f"fraction must lie in (0, 1], got {fraction}")
+        self.full_table = table
+        self.fraction = float(fraction)
+        self.seed = seed
+        sampled = sample_table(table, fraction=fraction, seed=seed)
+        super().__init__(sampled, cache_size=cache_size, use_index=use_index)
+        self._scale = table.num_rows / sampled.num_rows if sampled.num_rows else 1.0
+
+    @property
+    def scale_factor(self) -> float:
+        """Inverse sampling rate used to extrapolate counts."""
+        return self._scale
+
+    @property
+    def base_engine(self) -> QueryEngine:
+        """An exact engine over the full table (built on first access)."""
+        engine = getattr(self, "_base_engine", None)
+        if engine is None:
+            engine = QueryEngine(self.full_table)
+            self._base_engine = engine
+        return engine
+
+    def count(self, query: SDLQuery) -> int:
+        """Estimated full-table cardinality (sample count times scale factor)."""
+        sample_count = super().count(query)
+        return int(round(sample_count * self._scale))
+
+    def exact_count(self, query: SDLQuery) -> int:
+        """Exact cardinality on the full table (for accuracy measurements)."""
+        return self.base_engine.count(query)
+
+    def estimation_error(self, query: SDLQuery) -> float:
+        """Relative count-estimation error against the exact engine."""
+        exact = self.exact_count(query)
+        if exact == 0:
+            return 0.0 if self.count(query) == 0 else 1.0
+        return abs(self.count(query) - exact) / exact

@@ -1,0 +1,201 @@
+"""Column and table profiling.
+
+Charles needs a cheap statistical sketch of the context before it starts
+cutting: per-column cardinalities decide the nominal ordering rule of
+Definition 5, and column entropies drive the workload generators' sanity
+checks.  The profiler also powers the ``charles profile`` CLI command and
+the quickstart example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sdl.query import SDLQuery
+from repro.storage.column import Column
+from repro.storage.engine import QueryEngine
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+__all__ = ["ColumnProfile", "TableProfile", "profile_column", "profile_table", "column_entropy"]
+
+
+def column_entropy(frequencies: Dict[Any, int]) -> float:
+    """Shannon entropy (natural log) of a value-frequency histogram."""
+    total = sum(frequencies.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in frequencies.values():
+        if count <= 0:
+            continue
+        p = count / total
+        entropy -= p * math.log(p)
+    return entropy
+
+
+@dataclass
+class ColumnProfile:
+    """Statistical sketch of a single column.
+
+    Attributes
+    ----------
+    name, dtype:
+        Column identity.
+    row_count:
+        Rows considered (after the optional context query).
+    valid_count:
+        Non-missing rows among them.
+    distinct_count:
+        Distinct non-missing values.
+    minimum, maximum, median:
+        Extremes and arithmetic median (``None`` for nominal columns).
+    entropy:
+        Shannon entropy of the value distribution (natural log).
+    top_values:
+        The most frequent values with their counts, most frequent first.
+    quantiles:
+        Selected numeric quantiles (q -> value), empty for nominal columns.
+    """
+
+    name: str
+    dtype: DataType
+    row_count: int
+    valid_count: int
+    distinct_count: int
+    minimum: Any = None
+    maximum: Any = None
+    median: Any = None
+    entropy: float = 0.0
+    top_values: List[Tuple[Any, int]] = field(default_factory=list)
+    quantiles: Dict[float, Any] = field(default_factory=dict)
+
+    @property
+    def missing_count(self) -> int:
+        return self.row_count - self.valid_count
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the column has at most one distinct value (cannot be cut)."""
+        return self.distinct_count <= 1
+
+    def describe(self) -> str:
+        """One-line description used by the CLI profile command."""
+        parts = [
+            f"{self.name:<24}",
+            f"{self.dtype.value:<7}",
+            f"distinct={self.distinct_count:<6}",
+            f"missing={self.missing_count:<6}",
+            f"entropy={self.entropy:5.2f}",
+        ]
+        if self.dtype.is_numeric and self.minimum is not None:
+            parts.append(f"range=[{self.minimum}, {self.maximum}] median={self.median}")
+        elif self.top_values:
+            top = ", ".join(f"{value}×{count}" for value, count in self.top_values[:3])
+            parts.append(f"top: {top}")
+        return "  ".join(str(p) for p in parts)
+
+
+@dataclass
+class TableProfile:
+    """Profiles of every column of a table, plus global row counts."""
+
+    table_name: str
+    row_count: int
+    columns: Dict[str, ColumnProfile] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnProfile:
+        return self.columns[name]
+
+    def cuttable_columns(self) -> List[str]:
+        """Columns with at least two distinct values (candidates for CUT)."""
+        return [name for name, profile in self.columns.items() if not profile.is_constant]
+
+    def describe(self) -> str:
+        lines = [f"table {self.table_name!r}: {self.row_count} rows, "
+                 f"{len(self.columns)} columns"]
+        for profile in self.columns.values():
+            lines.append("  " + profile.describe())
+        return "\n".join(lines)
+
+
+_DEFAULT_QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def profile_column(
+    column: Column,
+    mask: Optional[np.ndarray] = None,
+    top_k: int = 10,
+    quantiles: Sequence[float] = _DEFAULT_QUANTILES,
+) -> ColumnProfile:
+    """Profile a single column, optionally restricted to a selection mask."""
+    row_count = len(column) if mask is None else int(np.count_nonzero(mask))
+    valid_count = column.count_valid(mask)
+    frequencies = column.value_counts(mask)
+    distinct = len(frequencies)
+    entropy = column_entropy(frequencies)
+    top_values = sorted(frequencies.items(), key=lambda kv: (-kv[1], str(kv[0])))[:top_k]
+
+    minimum = maximum = median = None
+    quantile_values: Dict[float, Any] = {}
+    if valid_count > 0:
+        minimum = column.minimum(mask)
+        maximum = column.maximum(mask)
+        if column.dtype.is_numeric:
+            median = column.median(mask)
+            decoded = [v for v in column.values_list(mask) if v is not None]
+            decoded.sort()
+            for q in quantiles:
+                position = int(round(q * (len(decoded) - 1)))
+                quantile_values[q] = decoded[position]
+
+    return ColumnProfile(
+        name=column.name,
+        dtype=column.dtype,
+        row_count=row_count,
+        valid_count=valid_count,
+        distinct_count=distinct,
+        minimum=minimum,
+        maximum=maximum,
+        median=median,
+        entropy=entropy,
+        top_values=top_values,
+        quantiles=quantile_values,
+    )
+
+
+def profile_table(
+    table: Table,
+    context: Optional[SDLQuery] = None,
+    engine: Optional[QueryEngine] = None,
+    columns: Optional[Sequence[str]] = None,
+    top_k: int = 10,
+) -> TableProfile:
+    """Profile a table, optionally restricted to a context query.
+
+    Parameters
+    ----------
+    table:
+        The relation to profile.
+    context:
+        Optional SDL query; only rows in its result set are profiled.
+    engine:
+        Reused engine (so that profiling benefits from the mask cache);
+        a fresh one is created when omitted and a context is given.
+    columns:
+        Restrict profiling to these columns (defaults to all).
+    """
+    mask = None
+    if context is not None:
+        engine = engine or QueryEngine(table)
+        mask = engine.evaluate(context)
+    names = list(columns) if columns is not None else table.column_names
+    profiles = {
+        name: profile_column(table.column(name), mask, top_k=top_k) for name in names
+    }
+    row_count = table.num_rows if mask is None else int(np.count_nonzero(mask))
+    return TableProfile(table_name=table.name, row_count=row_count, columns=profiles)

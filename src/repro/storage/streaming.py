@@ -1,0 +1,223 @@
+"""Streaming (single-pass, constant-memory) quantile estimation.
+
+Section 5.1 singles out median calculation as Charles' main back-end
+bottleneck, and Section 5.2 suggests that exact answers are not required.
+Besides the row-sampling route (:mod:`repro.storage.sampling`), a
+production system would keep *streaming sketches* so that medians of large
+columns can be estimated in one pass without materialising or sorting the
+data.  This module implements the classic P² (Jain & Chlamtac, 1985)
+quantile estimator:
+
+* :class:`P2QuantileEstimator` — tracks one quantile of a stream with five
+  markers (O(1) memory, O(1) update);
+* :class:`StreamingMedianSketch` — convenience wrapper tracking the median
+  plus arbitrary extra quantiles;
+* :func:`streaming_median` — estimate a column median under an optional
+  query without sorting, using the sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import EmptyColumnError, StorageError
+from repro.sdl.query import SDLQuery
+from repro.storage.engine import QueryEngine
+
+__all__ = ["P2QuantileEstimator", "StreamingMedianSketch", "streaming_median"]
+
+
+class P2QuantileEstimator:
+    """The P² algorithm: estimate one quantile of a stream in O(1) memory.
+
+    Parameters
+    ----------
+    quantile:
+        The target quantile in (0, 1), e.g. 0.5 for the median.
+
+    Notes
+    -----
+    The estimator keeps five markers whose heights approximate the
+    quantile curve; marker positions are adjusted with a piecewise
+    parabolic (hence "P squared") interpolation as observations arrive.
+    Until five observations have been seen, the exact order statistics are
+    used.
+    """
+
+    def __init__(self, quantile: float = 0.5):
+        if not 0.0 < quantile < 1.0:
+            raise StorageError(f"quantile must lie in (0, 1), got {quantile}")
+        self.quantile = float(quantile)
+        self._initial: List[float] = []
+        self._count = 0
+        # Marker heights, positions, and desired positions.
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+
+    # -- feeding -------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of observations consumed so far."""
+        return self._count
+
+    def update(self, value: float) -> None:
+        """Consume one observation."""
+        value = float(value)
+        self._count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initialise()
+            return
+        self._insert(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many observations."""
+        for value in values:
+            self.update(value)
+
+    # -- querying --------------------------------------------------------------
+
+    def estimate(self) -> float:
+        """The current quantile estimate.
+
+        Raises
+        ------
+        EmptyColumnError
+            If no observation has been consumed yet.
+        """
+        if self._count == 0:
+            raise EmptyColumnError("the P2 estimator has seen no observations")
+        if len(self._initial) < 5 and not self._heights:
+            ordered = sorted(self._initial)
+            position = int(round(self.quantile * (len(ordered) - 1)))
+            return ordered[position]
+        return self._heights[2]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _initialise(self) -> None:
+        q = self.quantile
+        self._heights = sorted(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def _insert(self, value: float) -> None:
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 4 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            step_up = positions[index + 1] - positions[index]
+            step_down = positions[index - 1] - positions[index]
+            if (delta >= 1.0 and step_up > 1.0) or (delta <= -1.0 and step_down < -1.0):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, direction)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, direction)
+                positions[index] += direction
+
+    def _parabolic(self, index: int, direction: float) -> float:
+        heights, positions = self._heights, self._positions
+        numerator_left = positions[index] - positions[index - 1] + direction
+        numerator_right = positions[index + 1] - positions[index] - direction
+        slope_right = (heights[index + 1] - heights[index]) / (
+            positions[index + 1] - positions[index]
+        )
+        slope_left = (heights[index] - heights[index - 1]) / (
+            positions[index] - positions[index - 1]
+        )
+        return heights[index] + direction / (
+            positions[index + 1] - positions[index - 1]
+        ) * (numerator_left * slope_right + numerator_right * slope_left)
+
+    def _linear(self, index: int, direction: float) -> float:
+        heights, positions = self._heights, self._positions
+        neighbour = index + int(direction)
+        return heights[index] + direction * (heights[neighbour] - heights[index]) / (
+            positions[neighbour] - positions[index]
+        )
+
+
+class StreamingMedianSketch:
+    """Track the median (and optional extra quantiles) of a stream."""
+
+    def __init__(self, extra_quantiles: Sequence[float] = ()):
+        self._estimators: Dict[float, P2QuantileEstimator] = {
+            0.5: P2QuantileEstimator(0.5)
+        }
+        for quantile in extra_quantiles:
+            if quantile not in self._estimators:
+                self._estimators[quantile] = P2QuantileEstimator(quantile)
+
+    def update(self, value: float) -> None:
+        for estimator in self._estimators.values():
+            estimator.update(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        return self._estimators[0.5].count
+
+    def median(self) -> float:
+        """The current median estimate."""
+        return self._estimators[0.5].estimate()
+
+    def quantile(self, q: float) -> float:
+        """The estimate for a tracked quantile.
+
+        Raises
+        ------
+        StorageError
+            If ``q`` was not requested at construction time.
+        """
+        estimator = self._estimators.get(q)
+        if estimator is None:
+            raise StorageError(
+                f"quantile {q} is not tracked; requested: {sorted(self._estimators)}"
+            )
+        return estimator.estimate()
+
+
+def streaming_median(
+    engine: QueryEngine, attribute: str, query: Optional[SDLQuery] = None
+) -> float:
+    """Estimate a column median in one pass with the P² sketch.
+
+    Functionally equivalent to ``engine.median`` for numeric columns but
+    never sorts or copies the selected values; useful as the building
+    block a true out-of-core deployment would use.
+    """
+    column = engine.table.column(attribute)
+    if not column.dtype.is_numeric:
+        raise StorageError(f"column {attribute!r} is not numeric")
+    mask = None if query is None else engine.evaluate(query)
+    sketch = StreamingMedianSketch()
+    for value in column.values_list(mask):
+        if value is None:
+            continue
+        sketch.update(value.toordinal() if hasattr(value, "toordinal") else float(value))
+    if sketch.count == 0:
+        raise EmptyColumnError(f"streaming median of empty selection on {attribute!r}")
+    return sketch.median()

@@ -1,0 +1,218 @@
+"""The single-relation table of the storage substrate.
+
+The paper's first restriction (Section 2) is that the dataset lives in a
+single relation.  :class:`Table` is that relation: a named, ordered
+collection of equally-long typed columns, with constructors from Python
+dictionaries, row mappings, and CSV files (via
+:mod:`repro.storage.csv_loader`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.storage.column import Column, build_column
+from repro.storage.types import DataType, infer_collection_type
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable, in-memory, columnar relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name, used when generating SQL and in reports.
+    columns:
+        The column objects, all of identical length.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise SchemaError("a table requires at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) != 1:
+            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        self.name = name
+        self._columns: Dict[str, Column] = {column.name: column for column in columns}
+        self._order: List[str] = names
+        self._num_rows = lengths.pop()
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Sequence[Any]],
+        name: str = "table",
+        types: Optional[Mapping[str, DataType]] = None,
+    ) -> "Table":
+        """Build a table from ``column name -> values``.
+
+        Types are inferred per column unless overridden through ``types``.
+        """
+        types = dict(types or {})
+        columns = []
+        for column_name, values in data.items():
+            dtype = types.get(column_name) or infer_collection_type(values)
+            columns.append(build_column(column_name, list(values), dtype))
+        return cls(name, columns)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        name: str = "table",
+        columns: Optional[Sequence[str]] = None,
+        types: Optional[Mapping[str, DataType]] = None,
+    ) -> "Table":
+        """Build a table from an iterable of row mappings.
+
+        Column order follows ``columns`` when given, otherwise the order of
+        first appearance across the rows.  Missing keys become missing
+        values.
+        """
+        materialised = list(rows)
+        if not materialised:
+            raise SchemaError("cannot build a table from zero rows")
+        if columns is None:
+            ordered: List[str] = []
+            for row in materialised:
+                for key in row:
+                    if key not in ordered:
+                        ordered.append(key)
+            columns = ordered
+        data = {
+            column: [row.get(column) for row in materialised] for column in columns
+        }
+        return cls.from_dict(data, name=name, types=types)
+
+    # -- schema ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._order)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._order)
+
+    def schema(self) -> Dict[str, DataType]:
+        """Mapping of column name to logical data type, in column order."""
+        return {name: self._columns[name].dtype for name in self._order}
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        """The column object for ``name``.
+
+        Raises
+        ------
+        UnknownColumnError
+            If the table has no such column.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise UnknownColumnError(name, tuple(self._order)) from None
+
+    def dtype(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    # -- data access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """Decoded values of one row as a mapping."""
+        if index < 0:
+            index += self._num_rows
+        if not 0 <= index < self._num_rows:
+            raise IndexError(f"row index {index} out of range for {self._num_rows} rows")
+        return {name: self._columns[name].value_at(index) for name in self._order}
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over decoded rows (slow path, meant for tests and export)."""
+        for index in range(self._num_rows):
+            yield self.row(index)
+
+    def to_dict(self) -> Dict[str, List[Any]]:
+        """Decoded values per column (slow path)."""
+        return {name: self._columns[name].values_list() for name in self._order}
+
+    def head(self, n: int = 5) -> List[Dict[str, Any]]:
+        """The first ``n`` decoded rows."""
+        return [self.row(i) for i in range(min(n, self._num_rows))]
+
+    # -- derivation --------------------------------------------------------------
+
+    def filter(self, mask: np.ndarray, name: Optional[str] = None) -> "Table":
+        """New table keeping the rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self._num_rows:
+            raise SchemaError(
+                f"mask length {mask.shape[0]} does not match table length {self._num_rows}"
+            )
+        columns = [self._columns[n].filter(mask) for n in self._order]
+        return Table(name or self.name, columns)
+
+    def take(self, indices: Sequence[int], name: Optional[str] = None) -> "Table":
+        """New table containing the rows at the given positions, in order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._num_rows):
+            raise SchemaError("row indices out of range")
+        columns = [self._columns[n].take(indices) for n in self._order]
+        return Table(name or self.name, columns)
+
+    def select_columns(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Projection: new table with only the given columns, in that order."""
+        columns = [self.column(n) for n in names]
+        return Table(name or self.name, columns)
+
+    def with_column(self, column: Column) -> "Table":
+        """New table with one column added (or replaced if the name exists)."""
+        if len(column) != self._num_rows:
+            raise SchemaError(
+                f"column {column.name!r} has {len(column)} rows, table has {self._num_rows}"
+            )
+        columns = [
+            column if n == column.name else self._columns[n] for n in self._order
+        ]
+        if column.name not in self._columns:
+            columns.append(column)
+        return Table(self.name, columns)
+
+    def rename(self, name: str) -> "Table":
+        """New table object sharing the same columns under a different name."""
+        return Table(name, [self._columns[n] for n in self._order])
+
+    # -- display ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self._num_rows}, "
+            f"columns={self._order})"
+        )
+
+    def describe(self) -> str:
+        """Short multi-line schema description used by the CLI."""
+        lines = [f"table {self.name!r}: {self._num_rows} rows"]
+        for name in self._order:
+            column = self._columns[name]
+            lines.append(f"  {name:<24} {column.dtype.value:<8} "
+                         f"distinct={column.distinct_count()}")
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Multi-level pies (paper, Section 5.2).
+
+"The display could be clarified with hierarchical visualizations, such as
+tree-maps or multi-level pies."  HB-cuts builds its answers by composing
+cuts attribute by attribute, so every composed segmentation has a natural
+hierarchy: the outer level groups segments by their predicate on the first
+cut attribute, the next level by the second, and so on.
+
+:func:`hierarchy_of` recovers that tree from an ordinary
+:class:`~repro.sdl.segmentation.Segmentation`, and :func:`multilevel_pie`
+renders it as indented, proportionally-sized rings — the textual
+equivalent of a sunburst / multi-level pie chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import VisualizationError
+from repro.sdl.predicates import Predicate
+from repro.sdl.segmentation import Segmentation
+
+__all__ = ["HierarchyNode", "hierarchy_of", "multilevel_pie"]
+
+_FULL_BLOCK = "█"
+_LIGHT_BLOCK = "░"
+
+
+@dataclass
+class HierarchyNode:
+    """One ring sector of the multi-level pie.
+
+    Attributes
+    ----------
+    label:
+        The SDL text of the predicate this sector adds (or ``"(all)"`` at
+        the root).
+    count:
+        Rows captured by the sector (sum over its leaves).
+    depth:
+        0 for the root, 1 for the outermost ring, and so on.
+    children:
+        Sub-sectors on the next cut attribute.
+    segment_indexes:
+        Indexes (into the segmentation's segment list) of the leaves below
+        this sector.
+    """
+
+    label: str
+    count: int
+    depth: int
+    children: List["HierarchyNode"] = field(default_factory=list)
+    segment_indexes: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def hierarchy_of(
+    segmentation: Segmentation, attribute_order: Optional[Sequence[str]] = None
+) -> HierarchyNode:
+    """Group a segmentation's segments into the cut-attribute hierarchy.
+
+    Parameters
+    ----------
+    attribute_order:
+        The nesting order; defaults to the segmentation's
+        :attr:`~repro.sdl.segmentation.Segmentation.cut_attributes`.
+
+    Raises
+    ------
+    VisualizationError
+        If the segmentation carries no cut attributes to group by.
+    """
+    order = list(attribute_order) if attribute_order is not None else list(
+        segmentation.cut_attributes
+    )
+    if not order:
+        raise VisualizationError(
+            "the segmentation carries no cut attributes; nothing to nest by"
+        )
+    root = HierarchyNode(label="(all)", count=segmentation.covered_count, depth=0)
+    root.segment_indexes = list(range(segmentation.depth))
+    _split_node(root, segmentation, order)
+    return root
+
+
+def _predicate_label(predicate: Optional[Predicate]) -> str:
+    if predicate is None or not predicate.is_constrained:
+        return "(any)"
+    return predicate.to_sdl()
+
+
+def _split_node(node: HierarchyNode, segmentation: Segmentation, order: Sequence[str]) -> None:
+    if node.depth >= len(order):
+        return
+    attribute = order[node.depth]
+    groups: Dict[str, HierarchyNode] = {}
+    for index in node.segment_indexes:
+        segment = segmentation.segments[index]
+        label = _predicate_label(segment.query.predicate_for(attribute))
+        child = groups.get(label)
+        if child is None:
+            child = HierarchyNode(label=label, count=0, depth=node.depth + 1)
+            groups[label] = child
+            node.children.append(child)
+        child.count += segment.count
+        child.segment_indexes.append(index)
+    node.children.sort(key=lambda child: child.count, reverse=True)
+    for child in node.children:
+        _split_node(child, segmentation, order)
+
+
+def multilevel_pie(
+    segmentation: Segmentation,
+    width: int = 36,
+    attribute_order: Optional[Sequence[str]] = None,
+    show_counts: bool = True,
+) -> str:
+    """Render a composed segmentation as an indented multi-level pie.
+
+    Each line is one sector: the bar length is proportional to the sector's
+    share of the context, indentation encodes the ring (cut attribute), and
+    the label shows the predicate the ring adds.
+    """
+    if width < 8:
+        raise VisualizationError("multi-level pie width must be at least 8")
+    root = hierarchy_of(segmentation, attribute_order)
+    total = max(1, root.count)
+    lines = [
+        f"multi-level pie over [{', '.join(attribute_order or segmentation.cut_attributes)}] "
+        f"({segmentation.depth} leaf segments, {root.count} rows)"
+    ]
+
+    def render(node: HierarchyNode) -> None:
+        for child in node.children:
+            share = child.count / total
+            filled = max(1, int(round(share * width)))
+            bar = _FULL_BLOCK * filled + _LIGHT_BLOCK * (width - filled)
+            indent = "  " * child.depth
+            suffix = f" {share:6.1%}"
+            if show_counts:
+                suffix += f" ({child.count})"
+            lines.append(f"{indent}{bar}{suffix}  {child.label}")
+            render(child)
+
+    render(root)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Unit tests for the COMPOSE primitive (Definition 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compose, cut_query
+from repro.errors import CompositionError
+from repro.sdl import RangePredicate, SDLQuery, Segment, Segmentation, check_partition
+from repro.storage import QueryEngine, Table
+
+
+def _dependent_engine() -> QueryEngine:
+    # type determines the tonnage band, as in Figure 2.
+    rows = []
+    for index in range(20):
+        rows.append({"type": "fluit", "tonnage": 1000 + 50 * index, "year": 1700 + index})
+    for index in range(20):
+        rows.append({"type": "jacht", "tonnage": 3000 + 50 * index, "year": 1750 + index})
+    return QueryEngine(Table.from_rows(rows, name="boats"))
+
+
+class TestCompose:
+    def test_composition_cuts_on_both_attribute_sets(self):
+        engine = _dependent_engine()
+        context = SDLQuery.over(["type", "tonnage", "year"])
+        by_type = cut_query(engine, context, "type")
+        by_tonnage = cut_query(engine, context, "tonnage")
+        composed = compose(engine, by_type, by_tonnage)
+        assert set(composed.cut_attributes) == {"type", "tonnage"}
+        assert composed.depth == 4
+        assert check_partition(engine, composed).is_partition
+
+    def test_composition_adapts_split_points_per_piece(self):
+        engine = _dependent_engine()
+        context = SDLQuery.over(["type", "tonnage"])
+        by_type = cut_query(engine, context, "type")
+        by_tonnage = cut_query(engine, context, "tonnage")
+        composed = compose(engine, by_type, by_tonnage)
+        # The tonnage ranges used inside the fluit pieces must be disjoint
+        # from those used inside the jacht pieces (medians are local).
+        fluit_bounds = []
+        jacht_bounds = []
+        for segment in composed.segments:
+            type_predicate = segment.query.predicate_for("type")
+            tonnage_predicate = segment.query.predicate_for("tonnage")
+            if "fluit" in type_predicate.values:
+                fluit_bounds.append(tonnage_predicate.high)
+            else:
+                jacht_bounds.append(tonnage_predicate.high)
+        assert max(fluit_bounds) < min(jacht_bounds)
+
+    def test_composition_with_multi_attribute_second_operand(self):
+        engine = _dependent_engine()
+        context = SDLQuery.over(["type", "tonnage", "year"])
+        by_type = cut_query(engine, context, "type")
+        by_tonnage = cut_query(engine, context, "tonnage")
+        by_year = cut_query(engine, context, "year")
+        two_attribute = compose(engine, by_tonnage, by_year)
+        composed = compose(engine, by_type, two_attribute)
+        assert set(composed.cut_attributes) == {"type", "tonnage", "year"}
+        assert check_partition(engine, composed).is_partition
+
+    def test_requires_same_context(self):
+        engine = _dependent_engine()
+        first_context = SDLQuery.over(["type", "tonnage"])
+        second_context = SDLQuery.over(["tonnage", "year"])
+        first = cut_query(engine, first_context, "type")
+        second = cut_query(engine, second_context, "tonnage")
+        with pytest.raises(CompositionError):
+            compose(engine, first, second)
+
+    def test_requires_cut_attributes_on_second_operand(self):
+        engine = _dependent_engine()
+        context = SDLQuery.over(["type", "tonnage"])
+        first = cut_query(engine, context, "type")
+        bare = Segmentation(
+            context,
+            [Segment(context, engine.count(context))],
+            cut_attributes=(),
+        )
+        with pytest.raises(CompositionError):
+            compose(engine, first, bare)
+
+    def test_counts_still_cover_context(self):
+        engine = _dependent_engine()
+        context = SDLQuery.over(["type", "tonnage"])
+        composed = compose(
+            engine,
+            cut_query(engine, context, "type"),
+            cut_query(engine, context, "tonnage"),
+        )
+        assert sum(composed.counts) == engine.count(context)
+
+    def test_compose_within_constrained_context(self):
+        engine = _dependent_engine()
+        context = SDLQuery(
+            [RangePredicate("year", 1700, 1750), SDLQuery.over(["type", "tonnage"]).predicates[0],
+             SDLQuery.over(["type", "tonnage"]).predicates[1]]
+        )
+        by_type = cut_query(engine, context, "type")
+        by_tonnage = cut_query(engine, context, "tonnage")
+        composed = compose(engine, by_type, by_tonnage)
+        assert composed.context_count == engine.count(context)
+        assert check_partition(engine, composed).is_partition

@@ -1,0 +1,114 @@
+"""Unit tests for heterogeneous segmentations (Section 5.2 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HBCuts,
+    entropy,
+    greedy_heterogeneous,
+    randomized_heterogeneous,
+)
+from repro.errors import SegmentationError
+from repro.sdl import SDLQuery, check_partition
+from repro.storage import QueryEngine, Table
+from repro.workloads import generate_voc
+
+
+@pytest.fixture(scope="module")
+def engine() -> QueryEngine:
+    return QueryEngine(generate_voc(rows=1500, seed=6))
+
+
+@pytest.fixture(scope="module")
+def context() -> SDLQuery:
+    return SDLQuery.over(["type_of_boat", "departure_harbour", "tonnage"])
+
+
+def _cut_attribute_of(segment):
+    """The attributes a segment actually constrains (beyond the context)."""
+    return tuple(p.attribute for p in segment.query.predicates if p.is_constrained)
+
+
+class TestGreedyHeterogeneous:
+    def test_produces_a_valid_partition(self, engine, context):
+        segmentation = greedy_heterogeneous(engine, context, max_depth=8)
+        assert 2 <= segmentation.depth <= 8
+        assert check_partition(engine, segmentation).is_partition
+        assert sum(segmentation.counts) == segmentation.context_count
+
+    def test_pieces_may_use_different_attributes(self, engine, context):
+        # The defining feature of the extension: unlike HB-cuts, two pieces
+        # of the same answer can constrain different attribute sets.
+        segmentation = greedy_heterogeneous(engine, context, max_depth=8)
+        attribute_sets = {_cut_attribute_of(segment) for segment in segmentation.segments}
+        assert len(attribute_sets) >= 2
+
+    def test_trace_records_each_step(self, engine, context):
+        segmentation, trace = greedy_heterogeneous(
+            engine, context, max_depth=6, return_trace=True
+        )
+        assert len(trace.steps) == segmentation.depth - 1
+        assert trace.candidate_evaluations >= len(trace.steps)
+        entropies = [step[2] for step in trace.steps]
+        assert entropies == sorted(entropies), "entropy grows monotonically"
+
+    def test_entropy_not_worse_than_hbcuts_at_same_depth(self, engine, context):
+        hb_best = HBCuts().run(engine, context).best()
+        heterogeneous = greedy_heterogeneous(engine, context, max_depth=hb_best.depth)
+        assert entropy(heterogeneous) >= entropy(hb_best) - 0.05
+
+    def test_respects_attribute_restriction(self, engine, context):
+        segmentation = greedy_heterogeneous(
+            engine, context, attributes=["tonnage"], max_depth=4
+        )
+        for segment in segmentation.segments:
+            assert set(_cut_attribute_of(segment)) <= {"tonnage"}
+
+    def test_uncuttable_context_raises(self):
+        table = Table.from_dict({"constant": ["x"] * 10})
+        with pytest.raises(SegmentationError):
+            greedy_heterogeneous(QueryEngine(table), SDLQuery.over(["constant"]))
+
+    def test_empty_context_raises(self, engine):
+        with pytest.raises(SegmentationError):
+            greedy_heterogeneous(engine, SDLQuery())
+
+
+class TestRandomizedHeterogeneous:
+    def test_produces_a_valid_partition(self, engine, context):
+        segmentation = randomized_heterogeneous(engine, context, max_depth=8, seed=1)
+        assert 2 <= segmentation.depth <= 8
+        assert check_partition(engine, segmentation).is_partition
+
+    def test_deterministic_given_seed(self, engine, context):
+        first = randomized_heterogeneous(engine, context, max_depth=6, seed=42)
+        second = randomized_heterogeneous(engine, context, max_depth=6, seed=42)
+        assert first.counts == second.counts
+        assert first.queries == second.queries
+
+    def test_fewer_candidate_evaluations_than_greedy(self, engine, context):
+        _, greedy_trace = greedy_heterogeneous(
+            engine, context, max_depth=8, return_trace=True
+        )
+        _, random_trace = randomized_heterogeneous(
+            engine, context, max_depth=8, seed=3, samples_per_step=3, return_trace=True
+        )
+        assert random_trace.candidate_evaluations < greedy_trace.candidate_evaluations
+
+    def test_invalid_samples_per_step(self, engine, context):
+        with pytest.raises(SegmentationError):
+            randomized_heterogeneous(engine, context, samples_per_step=0)
+
+    def test_uncuttable_context_raises(self):
+        table = Table.from_dict({"constant": ["x"] * 10})
+        with pytest.raises(SegmentationError):
+            randomized_heterogeneous(QueryEngine(table), SDLQuery.over(["constant"]), seed=1)
+
+    def test_entropy_reasonably_close_to_greedy(self, engine, context):
+        greedy = greedy_heterogeneous(engine, context, max_depth=8)
+        randomized = randomized_heterogeneous(
+            engine, context, max_depth=8, seed=7, samples_per_step=4
+        )
+        assert entropy(randomized) >= 0.6 * entropy(greedy)

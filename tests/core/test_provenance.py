@@ -1,0 +1,115 @@
+"""Unit tests for advice / session provenance records."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core import (
+    Charles,
+    ExplorationSession,
+    advice_record,
+    answer_record,
+    segmentation_record,
+    session_record,
+    session_to_json,
+)
+from repro.workloads import generate_voc
+
+
+@pytest.fixture(scope="module")
+def advisor() -> Charles:
+    return Charles(generate_voc(rows=800, seed=15))
+
+
+@pytest.fixture(scope="module")
+def advice(advisor):
+    return advisor.advise(["type_of_boat", "departure_harbour", "tonnage"], max_answers=3)
+
+
+class TestSegmentationRecord:
+    def test_carries_sdl_sql_and_counts(self, advice):
+        record = segmentation_record(advice.best().segmentation, table_name="voc")
+        assert record["context"].startswith("(")
+        assert record["cut_attributes"]
+        assert len(record["segments"]) == advice.best().segmentation.depth
+        first = record["segments"][0]
+        assert first["sql"].startswith('SELECT * FROM "voc"')
+        assert first["rows"] > 0
+        assert 0.0 < first["cover"] <= 1.0
+
+    def test_covers_sum_to_one(self, advice):
+        record = segmentation_record(advice.best().segmentation)
+        assert sum(segment["cover"] for segment in record["segments"]) == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_sql_is_executable(self, advisor, advice):
+        table = advisor.table
+        connection = sqlite3.connect(":memory:")
+        columns = ", ".join(f'"{name}"' for name in table.column_names)
+        placeholders = ", ".join("?" for _ in table.column_names)
+        connection.execute(f"CREATE TABLE voc ({columns})")
+        connection.executemany(
+            f"INSERT INTO voc VALUES ({placeholders})",
+            [tuple(row[name] for name in table.column_names) for row in table.iter_rows()],
+        )
+        record = segmentation_record(advice.best().segmentation, table_name="voc")
+        for segment in record["segments"]:
+            count = connection.execute(
+                f"SELECT COUNT(*) FROM voc WHERE {segment['where']}"
+            ).fetchone()[0]
+            assert count == segment["rows"]
+        connection.close()
+
+
+class TestAnswerAndAdviceRecords:
+    def test_answer_record_fields(self, advice):
+        record = answer_record(advice.best(), table_name="voc")
+        assert record["rank"] == 1
+        assert set(record["metrics"]) >= {"entropy", "breadth", "simplicity"}
+        assert record["attributes"]
+
+    def test_advice_record_lists_every_answer(self, advice):
+        record = advice_record(advice, table_name="voc")
+        assert len(record["answers"]) == len(advice.answers)
+        assert record["ranker"] == "entropy"
+        assert record["database_operations"] > 0
+
+    def test_advice_record_is_json_serialisable(self, advice):
+        text = json.dumps(advice_record(advice))
+        assert "entropy" in text
+
+
+class TestSessionRecord:
+    def test_records_every_level_and_choice(self, advisor):
+        session = ExplorationSession(advisor, max_answers=3)
+        session.start(["type_of_boat", "departure_harbour", "tonnage"])
+        session.drill(0, 0)
+        record = session_record(session)
+        assert record["depth"] == 1
+        assert len(record["steps"]) == 2
+        root, drilled = record["steps"]
+        assert root["chosen_answer"] == 0
+        assert root["chosen_segment"] == 0
+        assert drilled["chosen_answer"] is None
+        assert drilled["rows"] < root["rows"]
+        assert record["breadcrumbs"][0] == "(root)"
+
+    def test_root_step_carries_the_advice(self, advisor):
+        session = ExplorationSession(advisor, max_answers=3)
+        session.start(["type_of_boat", "tonnage"])
+        session.advise()
+        record = session_record(session)
+        assert "advice" in record["steps"][0]
+
+    def test_json_round_trip(self, advisor):
+        session = ExplorationSession(advisor, max_answers=3)
+        session.start(["type_of_boat", "tonnage"])
+        session.drill(0, 1)
+        text = session_to_json(session)
+        parsed = json.loads(text)
+        assert parsed["table"] == advisor.table.name
+        assert parsed["depth"] == 1

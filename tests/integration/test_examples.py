@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs end to end on a reduced scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+_CASES = [
+    ("quickstart.py", []),
+    ("voc_shipping.py", ["--rows", "800", "--seed", "3"]),
+    ("astronomy_survey.py", ["--rows", "2000", "--seed", "3"]),
+    ("weblog_drilldown.py", ["--rows", "2500", "--seed", "3"]),
+]
+
+
+@pytest.mark.parametrize(("script", "arguments"), _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs_and_produces_output(script, arguments):
+    path = _EXAMPLES_DIR / script
+    assert path.exists(), f"example script missing: {path}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert len(completed.stdout.splitlines()) > 10
+
+
+def test_examples_directory_has_a_quickstart_and_domain_scenarios():
+    scripts = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3

@@ -1,0 +1,146 @@
+"""Property-based tests: the partition invariants of CUT, COMPOSE and product.
+
+Whatever data the generators produce, the primitives must return valid
+partitions of their context (Definition 3): pairwise-disjoint queries whose
+union covers the context, with counts summing to the context cardinality.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import compose, cut_query, cut_segmentation, product
+from repro.errors import CannotCutError
+from repro.sdl import SDLQuery, check_partition
+from repro.storage import QueryEngine, Table
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def mixed_tables(draw):
+    """Small tables with one numeric and one nominal column, arbitrary content."""
+    size = draw(st.integers(min_value=4, max_value=60))
+    numeric = draw(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=size, max_size=size)
+    )
+    labels = draw(
+        st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=size, max_size=size)
+    )
+    return Table.from_dict({"x": numeric, "t": labels}, name="random")
+
+
+@st.composite
+def numeric_tables(draw):
+    size = draw(st.integers(min_value=4, max_value=80))
+    first = draw(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=size, max_size=size)
+    )
+    second = draw(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=size, max_size=size)
+    )
+    return Table.from_dict({"x": first, "y": second}, name="random")
+
+
+class TestCutInvariants:
+    @_SETTINGS
+    @given(table=mixed_tables(), attribute=st.sampled_from(["x", "t"]))
+    def test_cut_query_partitions_the_context(self, table, attribute):
+        engine = QueryEngine(table)
+        context = SDLQuery.over(["x", "t"])
+        try:
+            segmentation = cut_query(engine, context, attribute)
+        except CannotCutError:
+            return  # degenerate column: nothing to check
+        assert segmentation.depth == 2
+        assert sum(segmentation.counts) == table.num_rows
+        assert check_partition(engine, segmentation).is_partition
+        assert all(count > 0 for count in segmentation.counts)
+
+    @_SETTINGS
+    @given(table=numeric_tables())
+    def test_repeated_cuts_remain_partitions(self, table):
+        engine = QueryEngine(table)
+        context = SDLQuery.over(["x", "y"])
+        try:
+            segmentation = cut_query(engine, context, "x")
+            segmentation = cut_segmentation(engine, segmentation, "y")
+            segmentation = cut_segmentation(engine, segmentation, "x")
+        except CannotCutError:
+            return
+        assert check_partition(engine, segmentation).is_partition
+        assert sum(segmentation.counts) == table.num_rows
+
+
+class TestComposeAndProductInvariants:
+    @_SETTINGS
+    @given(table=numeric_tables())
+    def test_compose_partitions_the_context(self, table):
+        engine = QueryEngine(table)
+        context = SDLQuery.over(["x", "y"])
+        try:
+            first = cut_query(engine, context, "x")
+            second = cut_query(engine, context, "y")
+        except CannotCutError:
+            return
+        composed = compose(engine, first, second)
+        assert check_partition(engine, composed).is_partition
+        assert sum(composed.counts) == table.num_rows
+        assert set(composed.cut_attributes) == {"x", "y"}
+
+    @_SETTINGS
+    @given(table=numeric_tables())
+    def test_product_partitions_and_never_exceeds_kl_cells(self, table):
+        engine = QueryEngine(table)
+        context = SDLQuery.over(["x", "y"])
+        try:
+            first = cut_query(engine, context, "x")
+            second = cut_query(engine, context, "y")
+        except CannotCutError:
+            return
+        cells = product(engine, first, second)
+        assert cells.depth <= first.depth * second.depth
+        assert sum(cells.counts) == table.num_rows
+        assert check_partition(engine, cells).is_partition
+
+    @_SETTINGS
+    @given(table=mixed_tables())
+    def test_product_counts_equal_compose_counts_total(self, table):
+        engine = QueryEngine(table)
+        context = SDLQuery.over(["x", "t"])
+        try:
+            first = cut_query(engine, context, "x")
+            second = cut_query(engine, context, "t")
+        except CannotCutError:
+            return
+        composed = compose(engine, first, second)
+        cells = product(engine, first, second)
+        assert sum(composed.counts) == sum(cells.counts) == table.num_rows
+
+
+class TestConstrainedContexts:
+    @_SETTINGS
+    @given(
+        table=numeric_tables(),
+        low=st.integers(min_value=0, max_value=250),
+        span=st.integers(min_value=10, max_value=250),
+    )
+    def test_cut_inside_a_range_context(self, table, low, span):
+        from repro.sdl import NoConstraint, RangePredicate
+
+        engine = QueryEngine(table)
+        context = SDLQuery([RangePredicate("x", low, low + span), NoConstraint("y")])
+        context_count = engine.count(context)
+        try:
+            segmentation = cut_query(engine, context, "y")
+        except CannotCutError:
+            return
+        assert segmentation.context_count == context_count
+        assert sum(segmentation.counts) == context_count
+        assert check_partition(engine, segmentation).is_partition

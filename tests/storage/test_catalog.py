@@ -1,0 +1,108 @@
+"""Unit tests for the table catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Catalog, QueryEngine, Table
+
+
+def _table(name: str = "boats") -> Table:
+    return Table.from_dict({"x": [1, 2, 3]}, name=name)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register(_table())
+        assert "boats" in catalog
+        assert catalog.table("boats").num_rows == 3
+
+    def test_register_under_custom_name(self):
+        catalog = Catalog()
+        catalog.register(_table(), name="other")
+        assert "other" in catalog
+        assert "boats" not in catalog
+
+    def test_register_empty_name_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(SchemaError):
+            catalog.register(_table(name=""))
+
+    def test_register_factory_is_lazy(self):
+        calls = []
+
+        def factory() -> Table:
+            calls.append(1)
+            return _table("lazy")
+
+        catalog = Catalog()
+        catalog.register_factory("lazy", factory)
+        assert "lazy" in catalog
+        assert not calls
+        catalog.table("lazy")
+        catalog.table("lazy")
+        assert len(calls) == 1
+
+    def test_unknown_table(self):
+        with pytest.raises(SchemaError):
+            Catalog().table("missing")
+
+    def test_names_iteration_len(self):
+        catalog = Catalog()
+        catalog.register(_table("b"))
+        catalog.register_factory("a", lambda: _table("a"))
+        assert catalog.names() == ["a", "b"]
+        assert list(catalog) == ["a", "b"]
+        assert len(catalog) == 2
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.register(_table())
+        catalog.drop("boats")
+        assert "boats" not in catalog
+
+
+class TestEngines:
+    def test_engine_is_cached(self):
+        catalog = Catalog()
+        catalog.register(_table())
+        assert catalog.engine("boats") is catalog.engine("boats")
+
+    def test_engine_with_options_is_fresh(self):
+        catalog = Catalog()
+        catalog.register(_table())
+        default = catalog.engine("boats")
+        custom = catalog.engine("boats", cache_size=0)
+        assert custom is not default
+        assert isinstance(custom, QueryEngine)
+
+    def test_reregistering_invalidates_engine(self):
+        catalog = Catalog()
+        catalog.register(_table())
+        old_engine = catalog.engine("boats")
+        catalog.register(_table())
+        assert catalog.engine("boats") is not old_engine
+
+
+class TestDirectoryLoading:
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "one.csv").write_text("a,b\n1,2\n", encoding="utf-8")
+        (tmp_path / "two.csv").write_text("c\nx\n", encoding="utf-8")
+        catalog = Catalog()
+        registered = catalog.load_directory(tmp_path)
+        assert registered == ["one", "two"]
+        assert catalog.table("two").column_names == ["c"]
+
+    def test_load_directory_requires_directory(self, tmp_path):
+        with pytest.raises(SchemaError):
+            Catalog().load_directory(tmp_path / "missing")
+
+    def test_describe(self, tmp_path):
+        catalog = Catalog()
+        catalog.register(_table())
+        catalog.register_factory("lazy", lambda: _table("lazy"))
+        text = catalog.describe()
+        assert "boats" in text
+        assert "(lazy)" in text

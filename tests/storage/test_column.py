@@ -1,0 +1,212 @@
+"""Unit tests for the typed column implementations."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError, TypeMismatchError
+from repro.storage.column import (
+    BoolColumn,
+    DateColumn,
+    NumericColumn,
+    StringColumn,
+    build_column,
+)
+from repro.storage.types import DataType
+
+
+class TestNumericColumn:
+    def test_basic_aggregates(self):
+        column = NumericColumn("x", [5, 1, 3, 2, 4], DataType.INT)
+        assert len(column) == 5
+        assert column.minimum() == 1
+        assert column.maximum() == 5
+        assert column.median() == 3
+
+    def test_even_count_median_is_arithmetic(self):
+        column = NumericColumn("x", [1, 2, 3, 4], DataType.INT)
+        assert column.median() == pytest.approx(2.5)
+
+    def test_missing_values_excluded(self):
+        column = NumericColumn("x", [1, None, 3], DataType.INT)
+        assert column.count_valid() == 2
+        assert column.value_at(1) is None
+        assert column.minimum() == 1
+        assert column.maximum() == 3
+
+    def test_empty_selection_raises(self):
+        column = NumericColumn("x", [1, 2], DataType.INT)
+        mask = np.zeros(2, dtype=bool)
+        with pytest.raises(EmptyColumnError):
+            column.minimum(mask)
+        with pytest.raises(EmptyColumnError):
+            column.median(mask)
+
+    def test_value_counts(self):
+        column = NumericColumn("x", [1, 1, 2, None], DataType.INT)
+        assert column.value_counts() == {1: 2, 2: 1}
+        assert column.distinct_count() == 2
+
+    def test_mask_range_inclusivity(self):
+        column = NumericColumn("x", [1, 2, 3, 4, 5], DataType.INT)
+        closed = column.mask_range(2, 4)
+        assert closed.tolist() == [False, True, True, True, False]
+        half_open = column.mask_range(2, 4, include_high=False)
+        assert half_open.tolist() == [False, True, True, False, False]
+
+    def test_mask_range_excludes_missing(self):
+        column = NumericColumn("x", [1, None, 3], DataType.INT)
+        assert column.mask_range(0, 10).tolist() == [True, False, True]
+
+    def test_mask_set(self):
+        column = NumericColumn("x", [1, 2, 3], DataType.INT)
+        assert column.mask_set([1, 3]).tolist() == [True, False, True]
+        assert column.mask_set([]).tolist() == [False, False, False]
+
+    def test_mask_range_rejects_non_numeric_bound(self):
+        column = NumericColumn("x", [1, 2, 3], DataType.INT)
+        with pytest.raises(TypeMismatchError):
+            column.mask_range("abc", 5)
+
+    def test_take_and_filter(self):
+        column = NumericColumn("x", [10, 20, 30, 40], DataType.INT)
+        taken = column.take(np.array([2, 0]))
+        assert taken.values_list() == [30, 10]
+        filtered = column.filter(np.array([True, False, True, False]))
+        assert filtered.values_list() == [10, 30]
+
+    def test_float_column_decoding(self):
+        column = NumericColumn("x", [1.5, 2.5], DataType.FLOAT)
+        assert column.value_at(0) == pytest.approx(1.5)
+        assert isinstance(column.value_at(0), float)
+
+    def test_masked_aggregate(self):
+        column = NumericColumn("x", [1, 2, 3, 4], DataType.INT)
+        mask = np.array([False, True, True, False])
+        assert column.minimum(mask) == 2
+        assert column.maximum(mask) == 3
+
+    def test_mask_length_mismatch_rejected(self):
+        column = NumericColumn("x", [1, 2, 3], DataType.INT)
+        with pytest.raises(TypeMismatchError):
+            column.count_valid(np.array([True, False]))
+
+
+class TestDateColumn:
+    def test_stores_and_decodes_dates(self):
+        column = DateColumn("d", ["2020-01-01", dt.date(2021, 6, 1), None])
+        assert column.value_at(0) == dt.date(2020, 1, 1)
+        assert column.value_at(1) == dt.date(2021, 6, 1)
+        assert column.value_at(2) is None
+
+    def test_aggregates_return_dates(self):
+        column = DateColumn("d", ["2020-01-01", "2020-01-03", "2020-01-05"])
+        assert column.minimum() == dt.date(2020, 1, 1)
+        assert column.maximum() == dt.date(2020, 1, 5)
+        assert column.median() == dt.date(2020, 1, 3)
+
+    def test_mask_range_accepts_dates_and_strings(self):
+        column = DateColumn("d", ["2020-01-01", "2020-06-01", "2021-01-01"])
+        mask = column.mask_range("2020-02-01", dt.date(2020, 12, 31))
+        assert mask.tolist() == [False, True, False]
+
+    def test_take_preserves_type(self):
+        column = DateColumn("d", ["2020-01-01", "2020-06-01"])
+        taken = column.take(np.array([1]))
+        assert isinstance(taken, DateColumn)
+        assert taken.value_at(0) == dt.date(2020, 6, 1)
+
+
+class TestStringColumn:
+    def test_dictionary_encoding(self):
+        column = StringColumn("s", ["a", "b", "a", None])
+        assert column.categories == ["a", "b"]
+        assert column.value_at(0) == "a"
+        assert column.value_at(3) is None
+        assert column.count_valid() == 3
+
+    def test_value_counts(self):
+        column = StringColumn("s", ["a", "b", "a", None])
+        assert column.value_counts() == {"a": 2, "b": 1}
+
+    def test_mask_set_and_unknown_values(self):
+        column = StringColumn("s", ["a", "b", "c"])
+        assert column.mask_set(["a", "z"]).tolist() == [True, False, False]
+        assert column.mask_set(["z"]).tolist() == [False, False, False]
+
+    def test_mask_range_lexicographic(self):
+        column = StringColumn("s", ["apple", "banana", "cherry"])
+        assert column.mask_range("b", "c").tolist() == [False, True, False]
+
+    def test_median_not_defined(self):
+        column = StringColumn("s", ["a", "b"])
+        with pytest.raises(TypeMismatchError):
+            column.median()
+
+    def test_min_max_lexicographic(self):
+        column = StringColumn("s", ["pear", "apple", "cherry"])
+        assert column.minimum() == "apple"
+        assert column.maximum() == "pear"
+
+    def test_empty_selection_raises(self):
+        column = StringColumn("s", ["a"])
+        with pytest.raises(EmptyColumnError):
+            column.minimum(np.array([False]))
+
+    def test_take_preserves_dictionary(self):
+        column = StringColumn("s", ["a", "b", "c"])
+        taken = column.take(np.array([2, 1]))
+        assert taken.values_list() == ["c", "b"]
+
+    def test_non_string_values_are_stringified(self):
+        column = StringColumn("s", [200, 404, 200])
+        assert column.value_counts() == {"200": 2, "404": 1}
+
+
+class TestBoolColumn:
+    def test_value_counts(self):
+        column = BoolColumn("b", [True, False, True, None])
+        assert column.value_counts() == {False: 1, True: 2}
+
+    def test_mask_set(self):
+        column = BoolColumn("b", [True, False, None])
+        assert column.mask_set([True]).tolist() == [True, False, False]
+        assert column.mask_set([True, False]).tolist() == [True, True, False]
+        assert column.mask_set([]).tolist() == [False, False, False]
+
+    def test_mask_range(self):
+        column = BoolColumn("b", [True, False, True])
+        assert column.mask_range(False, False).tolist() == [False, True, False]
+
+    def test_median_not_defined(self):
+        with pytest.raises(TypeMismatchError):
+            BoolColumn("b", [True]).median()
+
+    def test_min_max(self):
+        column = BoolColumn("b", [True, False])
+        assert column.minimum() is False
+        assert column.maximum() is True
+
+    def test_coercion_from_text(self):
+        column = BoolColumn("b", ["true", "false", "1", "no"])
+        assert column.values_list() == [True, False, True, False]
+
+
+class TestBuildColumn:
+    @pytest.mark.parametrize(
+        ("dtype", "values", "expected_class"),
+        [
+            (DataType.INT, [1, 2], NumericColumn),
+            (DataType.FLOAT, [1.0, 2.0], NumericColumn),
+            (DataType.DATE, ["2020-01-01"], DateColumn),
+            (DataType.STRING, ["a"], StringColumn),
+            (DataType.BOOL, [True], BoolColumn),
+        ],
+    )
+    def test_factory_dispatch(self, dtype, values, expected_class):
+        column = build_column("c", values, dtype)
+        assert isinstance(column, expected_class)
+        assert column.dtype is dtype

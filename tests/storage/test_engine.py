@@ -1,0 +1,157 @@
+"""Unit tests for the query engine (counts, medians, caching, accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdl import NoConstraint, RangePredicate, SDLQuery, SetPredicate
+from repro.storage import QueryEngine, Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        {
+            "tonnage": [1000, 1100, 1200, 1300, 1400, 1500],
+            "type": ["fluit", "fluit", "fluit", "jacht", "jacht", "jacht"],
+            "year": [1700, 1705, 1710, 1750, 1755, 1760],
+        },
+        name="boats",
+    )
+
+
+@pytest.fixture()
+def engine(table: Table) -> QueryEngine:
+    return QueryEngine(table)
+
+
+def _fluit_query() -> SDLQuery:
+    return SDLQuery([SetPredicate("type", frozenset({"fluit"})), NoConstraint("tonnage")])
+
+
+class TestEvaluationAndCounts:
+    def test_count_whole_table(self, engine):
+        assert engine.count(SDLQuery.over(["tonnage"])) == 6
+
+    def test_count_with_predicate(self, engine):
+        assert engine.count(_fluit_query()) == 3
+
+    def test_cover_table_relative(self, engine):
+        assert engine.cover(_fluit_query()) == pytest.approx(0.5)
+
+    def test_cover_context_relative(self, engine):
+        context = SDLQuery([RangePredicate("tonnage", 1000, 1200)])
+        query = _fluit_query().refine(RangePredicate("tonnage", 1000, 1100))
+        assert engine.cover(query, context) == pytest.approx(2 / 3)
+
+    def test_cover_of_empty_context_is_zero(self, engine):
+        context = SDLQuery([RangePredicate("tonnage", 9000, 9999)])
+        assert engine.cover(_fluit_query(), context) == 0.0
+
+
+class TestAggregates:
+    def test_median_whole_table(self, engine):
+        assert engine.median("tonnage") == pytest.approx(1250)
+
+    def test_median_under_query(self, engine):
+        assert engine.median("tonnage", _fluit_query()) == 1100
+
+    def test_minmax(self, engine):
+        assert engine.minmax("tonnage") == (1000, 1500)
+        assert engine.minmax("tonnage", _fluit_query()) == (1000, 1200)
+
+    def test_value_frequencies(self, engine):
+        assert engine.value_frequencies("type") == {"fluit": 3, "jacht": 3}
+        query = SDLQuery([RangePredicate("year", 1750, 1760)])
+        assert engine.value_frequencies("type", query) == {"jacht": 3}
+
+    def test_distinct_count(self, engine):
+        assert engine.distinct_count("type") == 2
+        assert engine.distinct_count("type", _fluit_query()) == 1
+
+    def test_unconstrained_query_equals_no_query(self, engine):
+        context = SDLQuery.over(["tonnage", "type"])
+        assert engine.median("tonnage", context) == engine.median("tonnage")
+
+
+class TestCaching:
+    def test_cache_hits_recorded(self, engine):
+        query = _fluit_query()
+        engine.count(query)
+        engine.count(query)
+        assert engine.counter.cache_hits >= 1
+        assert engine.counter.evaluations == 1
+
+    def test_cache_disabled(self, table):
+        engine = QueryEngine(table, cache_size=0)
+        query = _fluit_query()
+        engine.count(query)
+        engine.count(query)
+        assert engine.counter.cache_hits == 0
+        assert engine.counter.evaluations == 2
+
+    def test_cache_eviction(self, table):
+        engine = QueryEngine(table, cache_size=2)
+        for low in range(1000, 1500, 100):
+            engine.count(SDLQuery([RangePredicate("tonnage", low, low + 50)]))
+        assert engine.cache_info["entries"] <= 2
+        assert engine.cache_info["evictions"] > 0
+
+    def test_clear_cache(self, engine):
+        engine.count(_fluit_query())
+        engine.clear_cache()
+        assert engine.cache_info["entries"] == 0
+
+    def test_equivalent_queries_share_cache_entry(self, engine):
+        first = SDLQuery([SetPredicate("type", frozenset({"fluit"})), NoConstraint("tonnage")])
+        second = SDLQuery([NoConstraint("tonnage"), SetPredicate("type", frozenset({"fluit"}))])
+        engine.count(first)
+        before = engine.counter.evaluations
+        engine.count(second)
+        assert engine.counter.evaluations == before
+
+
+class TestOperationCounter:
+    def test_counts_each_operation_type(self, engine):
+        engine.counter.reset()
+        query = _fluit_query()
+        engine.count(query)
+        engine.median("tonnage", query)
+        engine.minmax("tonnage", query)
+        engine.value_frequencies("type", query)
+        snapshot = engine.counter.snapshot()
+        assert snapshot["count_calls"] == 1
+        assert snapshot["median_calls"] == 1
+        assert snapshot["minmax_calls"] == 1
+        assert snapshot["frequency_calls"] == 1
+        assert snapshot["total_database_operations"] == 4
+
+    def test_reset(self, engine):
+        engine.count(_fluit_query())
+        engine.counter.reset()
+        assert engine.counter.total_database_operations == 0
+
+
+class TestMaterialise:
+    def test_materialize_returns_filtered_table(self, engine):
+        result = engine.materialize(_fluit_query())
+        assert result.num_rows == 3
+        assert set(result.to_dict()["type"]) == {"fluit"}
+
+    def test_counts_for_batch(self, engine):
+        queries = [_fluit_query(), SDLQuery([RangePredicate("tonnage", 1300, 1500)])]
+        assert engine.counts_for(queries) == (3, 3)
+
+
+class TestIndexedEngine:
+    def test_indexed_median_matches_plain(self, table):
+        plain = QueryEngine(table, use_index=False)
+        indexed = QueryEngine(table, use_index=True)
+        assert plain.median("tonnage") == indexed.median("tonnage")
+        assert plain.minmax("year") == indexed.minmax("year")
+
+    def test_index_is_reused(self, table):
+        engine = QueryEngine(table, use_index=True)
+        first = engine.index_for("tonnage")
+        second = engine.index_for("tonnage")
+        assert first is second

@@ -1,0 +1,93 @@
+"""Unit tests for predicate/query evaluation into selection masks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.sdl import NoConstraint, RangePredicate, SDLQuery, SetPredicate
+from repro.storage import Table
+from repro.storage.expression import predicate_mask, query_mask
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        {
+            "tonnage": [1000, 1100, 1200, 1300, None],
+            "type": ["fluit", "jacht", "fluit", "galjoot", "fluit"],
+        },
+        name="boats",
+    )
+
+
+class TestPredicateMask:
+    def test_no_constraint_selects_all(self, table):
+        mask = predicate_mask(table, NoConstraint("tonnage"))
+        assert mask.tolist() == [True] * 5
+
+    def test_no_constraint_unknown_column(self, table):
+        with pytest.raises(UnknownColumnError):
+            predicate_mask(table, NoConstraint("missing"))
+
+    def test_range_predicate(self, table):
+        mask = predicate_mask(table, RangePredicate("tonnage", 1100, 1200))
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_half_open_range_predicate(self, table):
+        mask = predicate_mask(
+            table, RangePredicate("tonnage", 1000, 1200, include_high=False)
+        )
+        assert mask.tolist() == [True, True, False, False, False]
+
+    def test_set_predicate(self, table):
+        mask = predicate_mask(table, SetPredicate("type", frozenset({"fluit"})))
+        assert mask.tolist() == [True, False, True, False, True]
+
+    def test_missing_values_never_match(self, table):
+        mask = predicate_mask(table, RangePredicate("tonnage", 0, 10_000))
+        assert mask.tolist()[-1] is False or mask.tolist()[-1] == False  # noqa: E712
+
+
+class TestQueryMask:
+    def test_conjunction(self, table):
+        query = SDLQuery(
+            [
+                RangePredicate("tonnage", 1000, 1200),
+                SetPredicate("type", frozenset({"fluit"})),
+            ]
+        )
+        mask = query_mask(table, query)
+        assert mask.tolist() == [True, False, True, False, False]
+
+    def test_unconstrained_query_selects_all(self, table):
+        query = SDLQuery.over(["tonnage", "type"])
+        assert query_mask(table, query).sum() == 5
+
+    def test_empty_query_selects_all(self, table):
+        assert query_mask(table, SDLQuery()).sum() == 5
+
+    def test_unconstrained_attribute_must_exist(self, table):
+        query = SDLQuery([NoConstraint("missing")])
+        with pytest.raises(UnknownColumnError):
+            query_mask(table, query)
+
+    def test_unsatisfiable_conjunction_is_empty(self, table):
+        query = SDLQuery(
+            [
+                RangePredicate("tonnage", 1000, 1000),
+                SetPredicate("type", frozenset({"jacht"})),
+            ]
+        )
+        assert query_mask(table, query).sum() == 0
+
+    def test_matches_row_and_mask_agree(self, table):
+        query = SDLQuery(
+            [
+                RangePredicate("tonnage", 1050, 1300),
+                SetPredicate("type", frozenset({"jacht", "galjoot"})),
+            ]
+        )
+        mask = query_mask(table, query)
+        for index, row in enumerate(table.iter_rows()):
+            assert bool(mask[index]) == query.matches_row(row)

@@ -1,0 +1,90 @@
+"""Unit tests for sorted-column indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.storage.column import DateColumn, NumericColumn, StringColumn
+from repro.storage.index import SortedIndex
+from repro.storage.types import DataType
+
+
+class TestNumericIndex:
+    def test_min_max_median(self):
+        column = NumericColumn("x", [5, 3, 9, 1, 7], DataType.INT)
+        index = SortedIndex(column)
+        assert index.minimum() == 1
+        assert index.maximum() == 9
+        assert index.median() == 5
+
+    def test_median_matches_column(self):
+        values = [4, 8, 15, 16, 23, 42]
+        column = NumericColumn("x", values, DataType.INT)
+        assert SortedIndex(column).median() == column.median()
+
+    def test_quantiles(self):
+        column = NumericColumn("x", list(range(1, 101)), DataType.INT)
+        index = SortedIndex(column)
+        assert index.quantile(0.0) == 1
+        assert index.quantile(1.0) == 100
+        assert abs(index.quantile(0.25) - 26) <= 1
+
+    def test_quantile_out_of_range(self):
+        index = SortedIndex(NumericColumn("x", [1, 2], DataType.INT))
+        with pytest.raises(ValueError):
+            index.quantile(1.5)
+
+    def test_range_count(self):
+        column = NumericColumn("x", list(range(10)), DataType.INT)
+        index = SortedIndex(column)
+        assert index.range_count(2, 5) == 4
+        assert index.range_count(2, 5, include_high=False) == 3
+        assert index.range_count(2, 5, include_low=False) == 3
+        assert index.range_count(100, 200) == 0
+
+    def test_range_count_matches_mask(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        column = NumericColumn("x", values, DataType.INT)
+        index = SortedIndex(column)
+        mask_count = int(column.mask_range(2, 5).sum())
+        assert index.range_count(2, 5) == mask_count
+
+    def test_rank(self):
+        column = NumericColumn("x", [10, 20, 30], DataType.INT)
+        index = SortedIndex(column)
+        assert index.rank(20, side="left") == 1
+        assert index.rank(20, side="right") == 2
+
+    def test_missing_values_excluded(self):
+        column = NumericColumn("x", [1, None, 3], DataType.INT)
+        assert len(SortedIndex(column)) == 2
+
+    def test_empty_index_raises(self):
+        column = NumericColumn("x", [None, None], DataType.INT)
+        index = SortedIndex(column)
+        assert index.is_empty
+        with pytest.raises(EmptyColumnError):
+            index.median()
+        assert index.range_count(0, 10) == 0
+
+
+class TestDateIndex:
+    def test_median_is_a_date(self):
+        column = DateColumn("d", ["2020-01-01", "2020-01-05", "2020-01-09"])
+        median = SortedIndex(column).median()
+        assert median == column.median()
+
+
+class TestStringIndex:
+    def test_min_max_and_middle(self):
+        column = StringColumn("s", ["pear", "apple", "cherry"])
+        index = SortedIndex(column)
+        assert index.minimum() == "apple"
+        assert index.maximum() == "pear"
+        assert index.median() == "cherry"
+
+    def test_range_count_lexicographic(self):
+        column = StringColumn("s", ["apple", "banana", "cherry", "date"])
+        index = SortedIndex(column)
+        assert index.range_count("b", "d") == 2

@@ -1,0 +1,114 @@
+"""Unit tests for sampling strategies and the sampled engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sdl import RangePredicate, SDLQuery, SetPredicate
+from repro.storage import SampledEngine, Table, sample_table, uniform_sample_indices
+from repro.storage.sampling import reservoir_sample
+from repro.workloads import generate_voc
+
+
+class TestUniformSampleIndices:
+    def test_sample_size(self):
+        indices = uniform_sample_indices(100, sample_size=10, seed=1)
+        assert len(indices) == 10
+        assert len(set(indices.tolist())) == 10
+        assert indices.max() < 100
+
+    def test_fraction(self):
+        indices = uniform_sample_indices(200, fraction=0.25, seed=1)
+        assert len(indices) == 50
+
+    def test_indices_are_sorted(self):
+        indices = uniform_sample_indices(100, sample_size=20, seed=3)
+        assert indices.tolist() == sorted(indices.tolist())
+
+    def test_sample_capped_at_population(self):
+        indices = uniform_sample_indices(5, sample_size=50, seed=1)
+        assert len(indices) == 5
+
+    def test_deterministic_with_seed(self):
+        first = uniform_sample_indices(100, sample_size=10, seed=42)
+        second = uniform_sample_indices(100, sample_size=10, seed=42)
+        assert first.tolist() == second.tolist()
+
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(StorageError):
+            uniform_sample_indices(10)
+        with pytest.raises(StorageError):
+            uniform_sample_indices(10, sample_size=2, fraction=0.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(StorageError):
+            uniform_sample_indices(10, fraction=0.0)
+        with pytest.raises(StorageError):
+            uniform_sample_indices(10, fraction=1.5)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(StorageError):
+            uniform_sample_indices(10, sample_size=0)
+
+
+class TestReservoirSample:
+    def test_sample_size_respected(self):
+        sample = reservoir_sample(range(1000), k=10, seed=7)
+        assert len(sample) == 10
+        assert all(0 <= value < 1000 for value in sample)
+
+    def test_short_stream_returned_whole(self):
+        assert reservoir_sample(range(3), k=10, seed=7) == [0, 1, 2]
+
+    def test_invalid_k(self):
+        with pytest.raises(StorageError):
+            reservoir_sample(range(10), k=0)
+
+    def test_deterministic_with_seed(self):
+        assert reservoir_sample(range(100), 5, seed=1) == reservoir_sample(range(100), 5, seed=1)
+
+
+class TestSampleTable:
+    def test_sampled_table_size(self):
+        table = Table.from_dict({"x": list(range(100))})
+        sampled = sample_table(table, fraction=0.2, seed=1)
+        assert sampled.num_rows == 20
+        assert sampled.column_names == ["x"]
+
+
+class TestSampledEngine:
+    @pytest.fixture(scope="class")
+    def voc(self):
+        return generate_voc(rows=4000, seed=5)
+
+    def test_invalid_fraction_rejected(self, voc):
+        with pytest.raises(StorageError):
+            SampledEngine(voc, fraction=0.0)
+
+    def test_count_estimates_are_scaled(self, voc):
+        engine = SampledEngine(voc, fraction=0.25, seed=1)
+        query = SDLQuery([SetPredicate("type_of_boat", frozenset({"fluit"}))])
+        exact = engine.exact_count(query)
+        estimate = engine.count(query)
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_estimation_error_reasonable(self, voc):
+        engine = SampledEngine(voc, fraction=0.3, seed=2)
+        query = SDLQuery([RangePredicate("tonnage", 1000, 2000)])
+        assert engine.estimation_error(query) < 0.2
+
+    def test_median_close_to_exact(self, voc):
+        engine = SampledEngine(voc, fraction=0.25, seed=3)
+        exact_median = engine.base_engine.median("tonnage")
+        sampled_median = engine.median("tonnage")
+        assert abs(sampled_median - exact_median) / exact_median < 0.1
+
+    def test_scale_factor(self, voc):
+        engine = SampledEngine(voc, fraction=0.5, seed=1)
+        assert engine.scale_factor == pytest.approx(2.0, rel=0.05)
+
+    def test_zero_exact_count_error_is_zero_or_one(self, voc):
+        engine = SampledEngine(voc, fraction=0.5, seed=1)
+        query = SDLQuery([RangePredicate("tonnage", 90_000, 99_000)])
+        assert engine.estimation_error(query) in (0.0, 1.0)

@@ -1,0 +1,146 @@
+"""Unit tests for SDL ↔ SQL translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLGenerationError, SQLParseError
+from repro.sdl import NoConstraint, RangePredicate, SDLQuery, SetPredicate
+from repro.storage.sql import (
+    count_query_sql,
+    parse_where,
+    predicate_to_sql,
+    query_to_sql,
+    query_to_where,
+    sql_literal,
+)
+
+
+class TestSQLLiteral:
+    def test_numbers(self):
+        assert sql_literal(42) == "42"
+        assert sql_literal(3.5) == "3.5"
+
+    def test_booleans(self):
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal(False) == "FALSE"
+
+    def test_string_escaping(self):
+        assert sql_literal("d'Orville") == "'d''Orville'"
+
+    def test_null_rejected(self):
+        with pytest.raises(SQLGenerationError):
+            sql_literal(None)
+
+
+class TestPredicateToSQL:
+    def test_no_constraint(self):
+        assert predicate_to_sql(NoConstraint("a")) == "TRUE"
+
+    def test_closed_range(self):
+        sql = predicate_to_sql(RangePredicate("tonnage", 1000, 2000))
+        assert sql == '"tonnage" >= 1000 AND "tonnage" <= 2000'
+
+    def test_half_open_range(self):
+        sql = predicate_to_sql(RangePredicate("tonnage", 1000, 2000, include_high=False))
+        assert sql == '"tonnage" >= 1000 AND "tonnage" < 2000'
+
+    def test_set_predicate(self):
+        sql = predicate_to_sql(SetPredicate("type", frozenset({"jacht", "fluit"})))
+        assert sql == "\"type\" IN ('fluit', 'jacht')"
+
+
+class TestQueryToSQL:
+    def test_where_clause(self):
+        query = SDLQuery(
+            [RangePredicate("tonnage", 1000, 2000), NoConstraint("year"),
+             SetPredicate("type", frozenset({"fluit"}))]
+        )
+        where = query_to_where(query)
+        assert '"tonnage" >= 1000' in where
+        assert "IN ('fluit')" in where
+        assert "year" not in where  # unconstrained columns do not filter
+
+    def test_unconstrained_query(self):
+        assert query_to_where(SDLQuery.over(["a", "b"])) == "TRUE"
+
+    def test_full_select(self):
+        query = SDLQuery([RangePredicate("tonnage", 1, 2)])
+        sql = query_to_sql(query, "voyages")
+        assert sql.startswith('SELECT * FROM "voyages" WHERE')
+
+    def test_count_select(self):
+        query = SDLQuery([RangePredicate("tonnage", 1, 2)])
+        assert "COUNT(*)" in count_query_sql(query, "voyages")
+
+
+class TestParseWhere:
+    def test_between_and_in(self):
+        query = parse_where(
+            "tonnage BETWEEN 1000 AND 5000 AND type_of_boat IN ('jacht', 'fluit')"
+        )
+        assert query.predicate_for("tonnage") == RangePredicate("tonnage", 1000, 5000)
+        assert query.predicate_for("type_of_boat") == SetPredicate(
+            "type_of_boat", frozenset({"jacht", "fluit"})
+        )
+
+    def test_comparison_operators(self):
+        query = parse_where("tonnage >= 1000 AND tonnage < 2000")
+        predicate = query.predicate_for("tonnage")
+        assert isinstance(predicate, RangePredicate)
+        assert predicate.low == 1000 and predicate.include_low
+        assert predicate.high == 2000 and not predicate.include_high
+
+    def test_equality_on_string(self):
+        query = parse_where("type = 'fluit'")
+        assert query.predicate_for("type") == SetPredicate("type", frozenset({"fluit"}))
+
+    def test_equality_on_number(self):
+        query = parse_where("year = 1700")
+        assert query.predicate_for("year") == RangePredicate("year", 1700, 1700)
+
+    def test_quoted_identifier(self):
+        query = parse_where('"departure harbour" = \'Bantam\'')
+        assert query.predicate_for("departure harbour") is not None
+
+    def test_parenthesised_comparison(self):
+        query = parse_where("(tonnage >= 10) AND (tonnage <= 20)")
+        assert query.predicate_for("tonnage") == RangePredicate("tonnage", 10, 20)
+
+    def test_keyword_case_insensitive(self):
+        query = parse_where("tonnage between 1 and 5 and type in ('x')")
+        assert len(query.constrained_attributes) == 2
+
+    def test_contradictory_constraints_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_where("tonnage >= 100 AND tonnage <= 50")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "tonnage <> 5",
+            "tonnage LIKE 'a%'",
+            "tonnage >= 'abc'",
+            "tonnage >=",
+            "tonnage IN ()",
+            "AND tonnage = 1",
+        ],
+    )
+    def test_invalid_where_rejected(self, text):
+        with pytest.raises(SQLParseError):
+            parse_where(text)
+
+
+class TestRoundTrip:
+    def test_sdl_to_sql_to_sdl(self):
+        original = SDLQuery(
+            [
+                RangePredicate("tonnage", 1000, 2000),
+                SetPredicate("type", frozenset({"fluit", "jacht"})),
+            ]
+        )
+        where = query_to_where(original)
+        reparsed = parse_where(where)
+        assert reparsed.predicate_for("tonnage") == original.predicate_for("tonnage")
+        assert reparsed.predicate_for("type") == original.predicate_for("type")

@@ -1,0 +1,128 @@
+"""Unit and property tests for the P² streaming quantile estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyColumnError, StorageError
+from repro.sdl import RangePredicate, SDLQuery
+from repro.storage import QueryEngine, Table
+from repro.storage.streaming import (
+    P2QuantileEstimator,
+    StreamingMedianSketch,
+    streaming_median,
+)
+
+
+class TestP2Estimator:
+    def test_rejects_invalid_quantile(self):
+        with pytest.raises(StorageError):
+            P2QuantileEstimator(0.0)
+        with pytest.raises(StorageError):
+            P2QuantileEstimator(1.0)
+
+    def test_estimate_before_any_observation(self):
+        with pytest.raises(EmptyColumnError):
+            P2QuantileEstimator(0.5).estimate()
+
+    def test_exact_for_fewer_than_five_observations(self):
+        estimator = P2QuantileEstimator(0.5)
+        estimator.extend([10, 2, 8])
+        assert estimator.estimate() == 8  # middle of the sorted prefix
+
+    def test_median_of_uniform_stream(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1000, size=20_000)
+        estimator = P2QuantileEstimator(0.5)
+        estimator.extend(values)
+        assert estimator.estimate() == pytest.approx(float(np.median(values)), rel=0.02)
+
+    def test_median_of_gaussian_stream(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(100, 15, size=20_000)
+        estimator = P2QuantileEstimator(0.5)
+        estimator.extend(values)
+        assert estimator.estimate() == pytest.approx(float(np.median(values)), abs=1.0)
+
+    def test_tail_quantile_of_skewed_stream(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(mean=3.0, sigma=1.0, size=30_000)
+        estimator = P2QuantileEstimator(0.9)
+        estimator.extend(values)
+        exact = float(np.quantile(values, 0.9))
+        assert estimator.estimate() == pytest.approx(exact, rel=0.05)
+
+    def test_count_tracks_observations(self):
+        estimator = P2QuantileEstimator(0.5)
+        estimator.extend(range(100))
+        assert estimator.count == 100
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    def test_estimate_always_within_observed_range(self, values):
+        estimator = P2QuantileEstimator(0.5)
+        estimator.extend(values)
+        estimate = estimator.estimate()
+        assert min(values) <= estimate <= max(values)
+
+
+class TestStreamingMedianSketch:
+    def test_median_and_extra_quantiles(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0, 100, size=10_000)
+        sketch = StreamingMedianSketch(extra_quantiles=(0.25, 0.75))
+        sketch.extend(values)
+        assert sketch.median() == pytest.approx(50, abs=3)
+        assert sketch.quantile(0.25) == pytest.approx(25, abs=3)
+        assert sketch.quantile(0.75) == pytest.approx(75, abs=3)
+        assert sketch.count == 10_000
+
+    def test_untracked_quantile_rejected(self):
+        sketch = StreamingMedianSketch()
+        sketch.update(1.0)
+        with pytest.raises(StorageError):
+            sketch.quantile(0.9)
+
+
+class TestStreamingMedianOverEngine:
+    @pytest.fixture()
+    def engine(self) -> QueryEngine:
+        rng = np.random.default_rng(5)
+        return QueryEngine(
+            Table.from_dict(
+                {
+                    "value": [float(v) for v in rng.normal(500, 50, size=8000)],
+                    "group": ["a" if v else "b" for v in rng.integers(0, 2, size=8000)],
+                }
+            )
+        )
+
+    def test_matches_exact_median_closely(self, engine):
+        exact = engine.median("value")
+        estimate = streaming_median(engine, "value")
+        assert estimate == pytest.approx(exact, rel=0.02)
+
+    def test_respects_query_restriction(self, engine):
+        query = SDLQuery([RangePredicate("value", 0, 500)])
+        exact = engine.median("value", query)
+        estimate = streaming_median(engine, "value", query)
+        assert estimate == pytest.approx(exact, rel=0.03)
+        assert estimate <= 502
+
+    def test_rejects_nominal_columns(self, engine):
+        with pytest.raises(StorageError):
+            streaming_median(engine, "group")
+
+    def test_empty_selection_rejected(self, engine):
+        query = SDLQuery([RangePredicate("value", 10_000, 20_000)])
+        with pytest.raises(EmptyColumnError):
+            streaming_median(engine, "value", query)

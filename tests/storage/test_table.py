@@ -1,0 +1,150 @@
+"""Unit tests for the Table relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.storage import DataType, Table
+from repro.storage.column import NumericColumn, StringColumn
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        {
+            "tonnage": [1000, 1100, 1200, 1300],
+            "type": ["fluit", "jacht", "fluit", "jacht"],
+            "year": [1700, 1710, 1720, 1730],
+        },
+        name="boats",
+    )
+
+
+class TestConstruction:
+    def test_from_dict_infers_types(self, table):
+        schema = table.schema()
+        assert schema["tonnage"] is DataType.INT
+        assert schema["type"] is DataType.STRING
+
+    def test_from_dict_type_override(self):
+        table = Table.from_dict({"x": [1, 2]}, types={"x": DataType.FLOAT})
+        assert table.dtype("x") is DataType.FLOAT
+
+    def test_from_rows_preserves_first_seen_order(self):
+        table = Table.from_rows([{"a": 1, "b": 2}, {"b": 3, "a": 4, "c": 5}])
+        assert table.column_names == ["a", "b", "c"]
+        assert table.row(0)["c"] is None
+
+    def test_from_rows_with_explicit_columns(self):
+        table = Table.from_rows([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert table.column_names == ["b", "a"]
+
+    def test_from_rows_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows([])
+
+    def test_requires_at_least_one_column(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                "t",
+                [
+                    NumericColumn("a", [1, 2], DataType.INT),
+                    NumericColumn("b", [1], DataType.INT),
+                ],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                "t",
+                [
+                    NumericColumn("a", [1], DataType.INT),
+                    NumericColumn("a", [2], DataType.INT),
+                ],
+            )
+
+
+class TestAccess:
+    def test_row_access(self, table):
+        assert table.row(0) == {"tonnage": 1000, "type": "fluit", "year": 1700}
+        assert table.row(-1)["tonnage"] == 1300
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.row(99)
+
+    def test_unknown_column(self, table):
+        with pytest.raises(UnknownColumnError) as excinfo:
+            table.column("missing")
+        assert "missing" in str(excinfo.value)
+        assert "tonnage" in str(excinfo.value)
+
+    def test_iter_rows_and_to_dict(self, table):
+        rows = list(table.iter_rows())
+        assert len(rows) == 4
+        assert table.to_dict()["type"] == ["fluit", "jacht", "fluit", "jacht"]
+
+    def test_head(self, table):
+        assert len(table.head(2)) == 2
+        assert len(table.head(99)) == 4
+
+    def test_has_column(self, table):
+        assert table.has_column("tonnage")
+        assert not table.has_column("missing")
+
+
+class TestDerivation:
+    def test_filter(self, table):
+        mask = np.array([True, False, True, False])
+        filtered = table.filter(mask)
+        assert filtered.num_rows == 2
+        assert filtered.to_dict()["type"] == ["fluit", "fluit"]
+
+    def test_filter_length_mismatch(self, table):
+        with pytest.raises(SchemaError):
+            table.filter(np.array([True]))
+
+    def test_take(self, table):
+        taken = table.take([3, 0])
+        assert taken.to_dict()["tonnage"] == [1300, 1000]
+
+    def test_take_out_of_range(self, table):
+        with pytest.raises(SchemaError):
+            table.take([99])
+
+    def test_select_columns(self, table):
+        projected = table.select_columns(["year", "type"])
+        assert projected.column_names == ["year", "type"]
+
+    def test_with_column_adds(self, table):
+        extra = StringColumn("flag", ["a", "b", "c", "d"])
+        extended = table.with_column(extra)
+        assert "flag" in extended.column_names
+        assert table.num_columns == 3  # original unchanged
+
+    def test_with_column_replaces(self, table):
+        replacement = NumericColumn("tonnage", [1, 2, 3, 4], DataType.INT)
+        replaced = table.with_column(replacement)
+        assert replaced.to_dict()["tonnage"] == [1, 2, 3, 4]
+        assert replaced.num_columns == 3
+
+    def test_with_column_length_mismatch(self, table):
+        with pytest.raises(SchemaError):
+            table.with_column(NumericColumn("flag", [1], DataType.INT))
+
+    def test_rename(self, table):
+        assert table.rename("other").name == "other"
+
+
+class TestDisplay:
+    def test_repr_and_describe(self, table):
+        assert "boats" in repr(table)
+        described = table.describe()
+        assert "4 rows" in described
+        assert "tonnage" in described

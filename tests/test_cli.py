@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("demo", "advise", "profile", "segment", "datasets"):
+            args = parser.parse_args(
+                [command] + (["--on", "tonnage"] if command == "segment" else [])
+            )
+            assert args.command == command
+
+    def test_advise_defaults_follow_the_paper(self):
+        args = build_parser().parse_args(["advise", "--dataset", "voc"])
+        assert args.max_indep == pytest.approx(0.99)
+        assert args.max_depth == 12
+
+
+class TestCommands:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_datasets_lists_builtins(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "voc" in output and "weblog" in output and "astronomy" in output
+
+    def test_demo_runs_figure1_scenario(self, capsys):
+        assert main(["demo", "--rows", "400", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "ranked answers" in output
+        assert "tonnage" in output
+
+    def test_advise_on_builtin_dataset(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--columns", "type_of_boat", "tonnage",
+                "--max-answers", "3",
+            ]
+        )
+        assert exit_code == 0
+        assert "selected answer" in capsys.readouterr().out
+
+    def test_advise_with_sql_context(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--context", "tonnage BETWEEN 1000 AND 3000 AND type_of_boat IN ('fluit', 'jacht')",
+                "--max-answers", "2",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_advise_requires_a_source(self, capsys):
+        assert main(["advise", "--columns", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_advise_on_csv_file(self, tmp_path, capsys):
+        csv_path = tmp_path / "data.csv"
+        rows = ["x,category"]
+        for index in range(60):
+            rows.append(f"{index},{'a' if index < 30 else 'b'}")
+        csv_path.write_text("\n".join(rows) + "\n", encoding="utf-8")
+        exit_code = main(["advise", "--csv", str(csv_path), "--max-answers", "2"])
+        assert exit_code == 0
+        assert "ranked answers" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--dataset", "weblog", "--rows", "300"]) == 0
+        output = capsys.readouterr().out
+        assert "url_category" in output
+
+    def test_segment_command(self, capsys):
+        exit_code = main(
+            [
+                "segment",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--on", "departure_harbour", "tonnage",
+                "--style", "table",
+            ]
+        )
+        assert exit_code == 0
+        assert "Segmentation" in capsys.readouterr().out
+
+    def test_segment_treemap_style(self, capsys):
+        exit_code = main(
+            ["segment", "--dataset", "voc", "--rows", "400", "--on", "tonnage",
+             "--style", "treemap"]
+        )
+        assert exit_code == 0
+
+    def test_error_is_reported_with_exit_code_two(self, capsys):
+        exit_code = main(
+            ["segment", "--dataset", "voc", "--rows", "400", "--on", "not_a_column"]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_advise_with_distribution_probe(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--columns", "type_of_boat", "departure_harbour",
+                "--show-distribution", "tonnage",
+                "--max-answers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "distribution of 'tonnage'" in capsys.readouterr().out
+
+    def test_explore_with_drill_path(self, capsys):
+        exit_code = main(
+            [
+                "explore",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--columns", "type_of_boat", "tonnage",
+                "--path", "0:0", "0:0",
+                "--max-answers", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "drilled into answer 0" in output
+        assert "level 2" in output
+
+    def test_explore_with_invalid_path_token(self, capsys):
+        exit_code = main(
+            [
+                "explore",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--columns", "type_of_boat", "tonnage",
+                "--path", "nonsense",
+            ]
+        )
+        assert exit_code == 2
+        assert "invalid drill step" in capsys.readouterr().err
+
+    def test_surprise_ranker_option(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--columns", "type_of_boat", "tonnage", "departure_harbour",
+                "--ranker", "surprise",
+                "--max-answers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "surprise" in capsys.readouterr().out
+
+    def test_weighted_ranker_option(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--columns", "type_of_boat", "tonnage",
+                "--ranker", "weighted",
+                "--max-answers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "weighted" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Unit tests for the multi-level pie renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Charles, compose, cut_query
+from repro.errors import VisualizationError
+from repro.sdl import SDLQuery, Segment, Segmentation
+from repro.storage import QueryEngine
+from repro.viz import hierarchy_of, multilevel_pie
+from repro.workloads import generate_voc
+
+
+@pytest.fixture(scope="module")
+def engine() -> QueryEngine:
+    return QueryEngine(generate_voc(rows=1200, seed=12))
+
+
+@pytest.fixture(scope="module")
+def composed(engine):
+    context = SDLQuery.over(["type_of_boat", "tonnage"])
+    by_type = cut_query(engine, context, "type_of_boat")
+    by_tonnage = cut_query(engine, context, "tonnage")
+    return compose(engine, by_type, by_tonnage)
+
+
+class TestHierarchy:
+    def test_root_covers_all_segments(self, composed):
+        root = hierarchy_of(composed)
+        assert root.count == composed.covered_count
+        assert sorted(
+            index for child in root.children for index in child.segment_indexes
+        ) == list(range(composed.depth))
+
+    def test_first_ring_groups_by_first_cut_attribute(self, composed):
+        root = hierarchy_of(composed)
+        # Two boat-type groups at the outer ring, each split by tonnage below.
+        assert len(root.children) == 2
+        for child in root.children:
+            assert child.depth == 1
+            assert len(child.children) == 2
+            assert all(grandchild.is_leaf for grandchild in child.children)
+
+    def test_child_counts_sum_to_parent(self, composed):
+        root = hierarchy_of(composed)
+        for child in root.children:
+            assert sum(grandchild.count for grandchild in child.children) == child.count
+        assert sum(child.count for child in root.children) == root.count
+
+    def test_children_ordered_by_count(self, composed):
+        root = hierarchy_of(composed)
+        counts = [child.count for child in root.children]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_explicit_attribute_order(self, composed):
+        root = hierarchy_of(composed, attribute_order=["tonnage", "type_of_boat"])
+        # Nesting by tonnage first yields tonnage labels at the outer ring.
+        assert all("tonnage" in child.label for child in root.children)
+
+    def test_requires_cut_attributes(self, engine):
+        context = SDLQuery.over(["type_of_boat"])
+        bare = Segmentation(context, [Segment(context, engine.count(context))])
+        with pytest.raises(VisualizationError):
+            hierarchy_of(bare)
+
+
+class TestMultilevelPie:
+    def test_one_line_per_sector_plus_header(self, composed):
+        text = multilevel_pie(composed)
+        # 1 header + 2 outer sectors + 4 leaf sectors.
+        assert len(text.splitlines()) == 7
+
+    def test_indentation_encodes_the_ring(self, composed):
+        lines = multilevel_pie(composed).splitlines()[1:]
+        outer = [line for line in lines if not line.startswith("    ")]
+        inner = [line for line in lines if line.startswith("    ")]
+        assert len(outer) == 2
+        assert len(inner) == 4
+
+    def test_counts_and_percentages_present(self, composed):
+        text = multilevel_pie(composed, show_counts=True)
+        assert "%" in text
+        assert "(" in text
+        without_counts = multilevel_pie(composed, show_counts=False)
+        assert "(" not in without_counts.splitlines()[1].split("  ")[-2]
+
+    def test_invalid_width(self, composed):
+        with pytest.raises(VisualizationError):
+            multilevel_pie(composed, width=4)
+
+    def test_works_on_advisor_output(self, engine):
+        advisor = Charles(engine)
+        advice = advisor.advise(
+            ["type_of_boat", "departure_harbour", "tonnage"], max_answers=1
+        )
+        text = multilevel_pie(advice.best().segmentation)
+        assert "multi-level pie" in text
+        assert len(text.splitlines()) > advice.best().segmentation.depth
