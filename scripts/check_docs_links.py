@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Docs link-check: verify that relative Markdown links point at real files.
+
+Scans every ``*.md`` file in the repository (skipping hidden directories)
+for inline links ``[text](target)`` and checks that non-URL targets exist
+relative to the file containing them.  Exits non-zero listing every broken
+link, so CI fails when documentation drifts from the tree.
+
+Usage::
+
+    python scripts/check_docs_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(root: Path) -> List[Path]:
+    return [
+        path
+        for path in sorted(root.rglob("*.md"))
+        if not any(part.startswith(".") for part in path.relative_to(root).parts)
+    ]
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    problems: List[Tuple[Path, str]] = []
+    for markdown in iter_markdown_files(root):
+        text = markdown.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (markdown.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append((markdown.relative_to(root), target))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    problems = broken_links(root)
+    checked = len(iter_markdown_files(root))
+    if problems:
+        print(f"broken links in {checked} markdown file(s):")
+        for path, target in problems:
+            print(f"  {path}: {target}")
+        return 1
+    print(f"docs link-check: {checked} markdown file(s), no broken links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

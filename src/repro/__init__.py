@@ -14,8 +14,10 @@ Package layout
 * :mod:`repro.core` — the paper's contribution: CUT / COMPOSE / product,
   quality metrics, the HB-cuts heuristic, ranking, the Charles facade,
   interactive sessions, quantile/lazy extensions and baselines;
+* :mod:`repro.service` — the multi-user service layer: named sessions,
+  shared per-table result caches, batched engine passes;
 * :mod:`repro.workloads` — synthetic datasets (VOC shipping, astronomy,
-  weblog, parametric ground-truth tables);
+  weblog, parametric ground-truth tables, concurrent user scenarios);
 * :mod:`repro.viz` — terminal pie charts, tree maps and advice reports;
 * :mod:`repro.cli` — the ``charles`` command-line interface.
 
@@ -42,6 +44,7 @@ from repro.storage import (
     Catalog,
     DataType,
     QueryEngine,
+    ResultCache,
     SampledEngine,
     Table,
     load_csv,
@@ -67,8 +70,16 @@ from repro.core import (
     indep,
     product,
 )
+from repro.service import (
+    AdvisorService,
+    ServiceReport,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceSession,
+)
 from repro.workloads import (
     generate_astronomy,
+    generate_concurrent_workload,
     generate_voc,
     generate_weblog,
 )
@@ -93,6 +104,7 @@ __all__ = [
     "Table",
     "QueryEngine",
     "SampledEngine",
+    "ResultCache",
     "Catalog",
     "load_csv",
     "parse_where",
@@ -115,10 +127,17 @@ __all__ = [
     "WeightedRanker",
     "ExplorationSession",
     "LazyAdvisor",
+    # service
+    "AdvisorService",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceReport",
+    "ServiceSession",
     # workloads
     "generate_voc",
     "generate_astronomy",
     "generate_weblog",
+    "generate_concurrent_workload",
     # viz
     "pie_chart",
     "treemap",

@@ -6,6 +6,8 @@ Sub-commands:
 * ``advise``   — answer a context query over a CSV file or built-in dataset;
 * ``profile``  — print the statistical profile of a table (or of a context);
 * ``segment``  — build one segmentation by cutting on explicit attributes;
+* ``serve``    — run a multi-user workload through the advisor service and
+  report throughput, cache hit rates and batching statistics;
 * ``datasets`` — list the built-in synthetic workloads.
 """
 
@@ -21,6 +23,7 @@ from repro.core.interestingness import SurpriseRanker
 from repro.core.ranking import EntropyRanker, LexicographicRanker, WeightedRanker
 from repro.core.session import ExplorationSession
 from repro.errors import CharlesError
+from repro.service import AdvisorService
 from repro.storage.csv_loader import load_csv
 from repro.storage.engine import QueryEngine
 from repro.storage.table import Table
@@ -31,6 +34,7 @@ from repro.viz.treemap import treemap
 from repro.workloads import (
     FIGURE1_CONTEXT_COLUMNS,
     generate_astronomy,
+    generate_concurrent_workload,
     generate_voc,
     generate_weblog,
 )
@@ -118,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
     segment.add_argument("--on", nargs="+", required=True,
                          help="attributes to cut on, in order")
     segment.add_argument("--style", choices=("pie", "treemap", "table"), default="pie")
+
+    serve = subparsers.add_parser(
+        "serve", help="run a multi-user workload through the advisor service"
+    )
+    add_source_arguments(serve)
+    serve.add_argument("--users", type=int, default=4,
+                       help="number of simulated concurrent users")
+    serve.add_argument("--steps", type=int, default=3,
+                       help="drill/back actions per user after the first advise")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="threads serving the users (1 = sequential)")
+    serve.add_argument("--distinct-paths", type=int, default=None,
+                       help="unique exploration paths shared round-robin "
+                            "(default: one per user)")
+    serve.add_argument("--hot-contexts", type=int, default=2,
+                       help="size of the popular starting-context pool")
+    serve.add_argument("--cache-capacity", type=int, default=4096,
+                       help="entries of the shared per-table result cache")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable batched INDEP evaluation")
 
     subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     return parser
@@ -237,6 +261,28 @@ def _command_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    scripts = generate_concurrent_workload(
+        table.column_names,
+        users=args.users,
+        steps=args.steps,
+        seed=args.seed,
+        hot_contexts=args.hot_contexts,
+        distinct_paths=args.distinct_paths,
+    )
+    service = AdvisorService(
+        table,
+        cache_capacity=args.cache_capacity,
+        batch_indep=not args.no_batching,
+    )
+    report = service.serve(scripts, workers=args.workers)
+    print(report.describe())
+    print()
+    print(service.describe())
+    return 0
+
+
 def _command_datasets(_: argparse.Namespace) -> int:
     print("built-in synthetic datasets:")
     print("  voc        VOC shipping voyages (Figure 1 schema, planted dependencies)")
@@ -251,6 +297,7 @@ _COMMANDS = {
     "explore": _command_explore,
     "profile": _command_profile,
     "segment": _command_segment,
+    "serve": _command_serve,
     "datasets": _command_datasets,
 }
 

@@ -24,9 +24,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import AdvisorError, CannotCutError
+from repro.errors import AdvisorError, CannotCutError, CompositionError
 from repro.sdl.query import SDLQuery
-from repro.sdl.segmentation import Segmentation
+from repro.sdl.segmentation import Segment, Segmentation
 from repro.storage.engine import QueryEngine
 from repro.core.compose import compose
 from repro.core.cut import cut_query
@@ -72,6 +72,13 @@ class HBCutsConfig:
     reuse_indep:
         Cache INDEP values of candidate pairs across iterations (the
         Section 5.1 optimisation).  Disabling it is the E5 ablation.
+    batch_indep:
+        Evaluate the INDEP of every not-yet-cached candidate pair of an
+        iteration in a single multi-query engine pass
+        (:meth:`~repro.storage.engine.QueryEngine.count_batch`) instead of
+        one product at a time.  Bit-for-bit identical results — same
+        counts, same tie-breaking, same ordering — but concurrent sessions
+        routed through the service layer coalesce their passes.
     """
 
     max_indep: float = DEFAULT_MAX_INDEP
@@ -81,6 +88,7 @@ class HBCutsConfig:
     stopping: str = "threshold"
     alpha: float = 0.01
     reuse_indep: bool = True
+    batch_indep: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.max_indep <= 1.0:
@@ -110,6 +118,9 @@ class HBCutsTrace:
         Number of INDEP evaluations actually computed (cache misses).
     pair_cache_hits:
         Number of INDEP evaluations answered from the cache.
+    batched_passes:
+        Number of multi-query engine passes issued by the batched INDEP
+        path (0 unless ``batch_indep`` is enabled).
     compositions:
         Attribute sets composed, in order.
     indep_values:
@@ -126,6 +137,7 @@ class HBCutsTrace:
     iterations: int = 0
     pair_evaluations: int = 0
     pair_cache_hits: int = 0
+    batched_passes: int = 0
     compositions: List[Tuple[str, ...]] = field(default_factory=list)
     indep_values: List[float] = field(default_factory=list)
     stop_reason: str = ""
@@ -271,6 +283,8 @@ class HBCuts:
         trace: HBCutsTrace,
     ) -> Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]:
         """Line 11 of Figure 4: argmin over candidate pairs of INDEP."""
+        if self.config.batch_indep and hasattr(engine, "count_batch"):
+            return self._most_dependent_pair_batched(engine, candidates, cache, trace)
         best: Optional[Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]] = None
         for i in range(len(candidates)):
             for j in range(i + 1, len(candidates)):
@@ -292,6 +306,90 @@ class HBCuts:
                         cache[key] = (value, product_segmentation)
                 if best is None or value < best[1]:
                     best = ((first, second), value, product_segmentation)
+        assert best is not None  # the caller guarantees >= 2 candidates
+        return best
+
+    def _most_dependent_pair_batched(
+        self,
+        engine: QueryEngine,
+        candidates: Sequence[Segmentation],
+        cache: Dict[frozenset, Tuple[float, Segmentation]],
+        trace: HBCutsTrace,
+    ) -> Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]:
+        """The argmin of Figure 4's line 11, with all products in one pass.
+
+        Collects the product cells of every candidate pair whose INDEP is
+        not cached, issues their counts through one
+        :meth:`~repro.storage.engine.QueryEngine.count_batch` call, and
+        rebuilds each product exactly as :func:`repro.core.product.product`
+        would (same cell order, same ``drop_empty`` rule), so the selected
+        pair — and therefore the whole HB-cuts run — is identical to the
+        sequential path.
+        """
+        pairs = [
+            (candidates[i], candidates[j])
+            for i in range(len(candidates))
+            for j in range(i + 1, len(candidates))
+        ]
+        evaluated: Dict[frozenset, Tuple[float, Segmentation]] = {}
+        uncached: List[Tuple[Segmentation, Segmentation]] = []
+        for first, second in pairs:
+            key = self._pair_key(first, second)
+            cached = cache.get(key) if self.config.reuse_indep else None
+            if cached is not None:
+                trace.pair_cache_hits += 1
+                evaluated[key] = cached
+            else:
+                uncached.append((first, second))
+
+        if uncached:
+            trace.batched_passes += 1
+            cells_per_pair: List[List[SDLQuery]] = []
+            flat_queries: List[SDLQuery] = []
+            for first, second in uncached:
+                cells: List[SDLQuery] = []
+                for left in first.segments:
+                    for right in second.segments:
+                        merged = left.query.merge(right.query)
+                        if merged is None:
+                            continue
+                        cells.append(merged)
+                cells_per_pair.append(cells)
+                flat_queries.extend(cells)
+            counts = engine.count_batch(flat_queries)
+            position = 0
+            for (first, second), cells in zip(uncached, cells_per_pair):
+                segments: List[Segment] = []
+                for merged in cells:
+                    count = counts[position]
+                    position += 1
+                    if self.config.drop_empty and count == 0:
+                        continue
+                    segments.append(Segment(merged, count))
+                if not segments:
+                    raise CompositionError("the SDL product is empty")
+                product_segmentation = Segmentation(
+                    context=first.context,
+                    segments=segments,
+                    context_count=first.context_count,
+                    cut_attributes=tuple(
+                        dict.fromkeys((*first.cut_attributes, *second.cut_attributes))
+                    ),
+                )
+                value = indep_from_entropies(
+                    entropy(product_segmentation), entropy(first), entropy(second)
+                )
+                trace.pair_evaluations += 1
+                key = self._pair_key(first, second)
+                evaluated[key] = (value, product_segmentation)
+                if self.config.reuse_indep:
+                    cache[key] = (value, product_segmentation)
+
+        best: Optional[Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]] = None
+        for first, second in pairs:
+            value, product_segmentation = evaluated[self._pair_key(first, second)]
+            if best is None or value < best[1]:
+                best = ((first, second), value, product_segmentation)
         assert best is not None  # the caller guarantees >= 2 candidates
         return best
 

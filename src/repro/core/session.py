@@ -6,12 +6,18 @@ the next context — "answering queries with queries" until the data region
 of interest is isolated.  :class:`ExplorationSession` captures that loop
 programmatically: it keeps a navigation stack of contexts, records every
 advice produced along the way, and supports going back.
+
+The session itself is a *thin client*: it owns no engine and no cache,
+only the navigation stack.  Advice is obtained through the advisor — or,
+when the session is managed by :class:`repro.service.AdvisorService`,
+through the service's ``advise_fn`` hook, which routes the request into
+the shared per-table result cache and the batched engine passes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import SessionError
 from repro.sdl.formatter import format_segment_label
@@ -48,10 +54,16 @@ class ExplorationSession:
         The :class:`~repro.core.advisor.Charles` instance to consult.
     max_answers:
         Number of ranked answers requested at each step.
+    advise_fn:
+        Optional override for producing advice from a context.  When set
+        (the service layer sets it), :meth:`advise` calls
+        ``advise_fn(context, max_answers)`` instead of the advisor, so
+        advice can be served from a cache shared across sessions.
     """
 
     advisor: Charles
     max_answers: int = 10
+    advise_fn: Optional[Callable[[SDLQuery, int], Advice]] = None
     _stack: List[ExplorationStep] = field(default_factory=list)
 
     # -- navigation -------------------------------------------------------------
@@ -87,7 +99,10 @@ class ExplorationSession:
         """Ask Charles for segmentations of the current context (cached per step)."""
         step = self.current
         if step.advice is None:
-            step.advice = self.advisor.advise(step.context, max_answers=self.max_answers)
+            if self.advise_fn is not None:
+                step.advice = self.advise_fn(step.context, self.max_answers)
+            else:
+                step.advice = self.advisor.advise(step.context, max_answers=self.max_answers)
         return step.advice
 
     def drill(self, answer_index: int, segment_index: int) -> Advice:

@@ -1,0 +1,38 @@
+"""Service layer: concurrent exploration sessions over shared tables.
+
+The paper observes (Section 5.1) that Charles issues only two kinds of
+back-end operations — medians and counts over predicates — which makes the
+advisor embarrassingly cacheable and batchable across users.  This package
+is the subsystem built on that observation:
+
+* :mod:`repro.service.service` — :class:`AdvisorService`, the session
+  pool, per-table shared caches and the ``submit``/``serve`` entry points;
+* :mod:`repro.service.sessions` — :class:`ServiceSession`, one named
+  drill-down session backed by the shared runtime;
+* :mod:`repro.service.batching` — :class:`BatchCoordinator` and
+  :class:`BatchedEngine`, which merge concurrent HB-cuts INDEP passes
+  into single multi-query engine evaluations.
+
+The CLI's ``serve`` sub-command and benchmark E12 drive this layer with
+the multi-user scenarios of :mod:`repro.workloads.concurrent`.
+"""
+
+from repro.service.batching import BatchCoordinator, BatchedEngine, BatchStats
+from repro.service.service import (
+    AdvisorService,
+    ServiceReport,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.sessions import ServiceSession
+
+__all__ = [
+    "AdvisorService",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceReport",
+    "ServiceSession",
+    "BatchCoordinator",
+    "BatchedEngine",
+    "BatchStats",
+]

@@ -1,0 +1,546 @@
+"""The advisor service: many sessions, shared caching, batched back-ends.
+
+:class:`AdvisorService` turns the single-shot :class:`~repro.core.advisor.Charles`
+facade into a multi-user service, following the request → parse → plan →
+execute pipeline idiom of service layers.  Per registered table it keeps a
+*table runtime*:
+
+* one shared :class:`~repro.storage.cache.ResultCache` holding selection
+  masks and count/median aggregates, keyed by
+  :func:`~repro.sdl.formatter.query_signature` — the paper's observation
+  that only two back-end operations exist makes this cache cover
+  essentially all repeated work;
+* one advice-level cache, so identical context queries from different
+  users are answered without re-running HB-cuts at all;
+* one :class:`~repro.service.batching.BatchCoordinator` that merges the
+  batched INDEP passes of concurrently running HB-cuts into single
+  multi-query engine evaluations.
+
+Sessions are named and concurrent: each owns a
+:class:`~repro.service.batching.BatchedEngine` (private operation
+counters, shared cache) and a thin
+:class:`~repro.core.session.ExplorationSession` navigation stack.
+
+Entry points: :meth:`AdvisorService.submit` for one request,
+:meth:`AdvisorService.serve` for a whole multi-user workload (see
+:func:`repro.workloads.concurrent.generate_concurrent_workload`), both
+wired into the CLI's ``serve`` sub-command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.advisor import Advice, Charles, ContextLike
+from repro.core.hbcuts import HBCutsConfig
+from repro.core.ranking import EntropyRanker, Ranker
+from repro.errors import AdvisorError, CharlesError, SessionError
+from repro.sdl.formatter import query_signature
+from repro.sdl.query import SDLQuery
+from repro.service.batching import BatchCoordinator, BatchedEngine
+from repro.service.sessions import ServiceSession
+from repro.storage.cache import ResultCache
+from repro.storage.table import Table
+
+__all__ = ["ServiceRequest", "ServiceResponse", "ServiceReport", "AdvisorService"]
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One operation submitted to the service.
+
+    ``op`` is one of ``open``, ``advise``, ``drill``, ``back``, ``close``,
+    ``count`` or ``stats``; the remaining fields parameterise it.
+    """
+
+    op: str
+    session: str = ""
+    table: Optional[str] = None
+    context: ContextLike = None
+    answer_index: int = 0
+    segment_index: int = 0
+
+
+@dataclass
+class ServiceResponse:
+    """Outcome of one :class:`ServiceRequest`."""
+
+    ok: bool
+    op: str
+    session: str = ""
+    result: Any = None
+    error: Optional[str] = None
+
+
+@dataclass
+class ServiceReport:
+    """Summary of one :meth:`AdvisorService.serve` run."""
+
+    users: int
+    requests: int
+    wall_seconds: float
+    errors: List[str] = field(default_factory=list)
+    table_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate requests per second across all simulated users."""
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"served {self.requests} request(s) from {self.users} user(s) "
+            f"in {self.wall_seconds:.3f}s — {self.throughput:.1f} req/s"
+        ]
+        for table, stats in self.table_stats.items():
+            results = stats["result_cache"]
+            advice = stats["advice_cache"]
+            batching = stats["batching"]
+            lines.append(
+                f"  table {table!r}: result cache hit rate {results['hit_rate']:.1%} "
+                f"({results['entries']} entries, {results['approx_bytes']} bytes), "
+                f"advice cache hit rate {advice['hit_rate']:.1%}"
+            )
+            lines.append(
+                f"    batching: {batching['passes']} pass(es) for "
+                f"{batching['queries']} queries "
+                f"({batching['unique_queries']} unique after dedup)"
+            )
+        if self.errors:
+            lines.append(f"  {len(self.errors)} request error(s); first: {self.errors[0]}")
+        return "\n".join(lines)
+
+
+def _ranker_cache_key(ranker: Ranker) -> str:
+    """A cache key covering the ranker's class *and* its parameters.
+
+    ``ranker.name`` alone would let two differently-parameterised rankers
+    of the same class (e.g. two :class:`WeightedRanker` weightings) share
+    cached advice.  Instance ``vars`` cover dataclass parameters; private
+    attributes (per-pass score caches) are excluded.
+    """
+    parameters = sorted(
+        (key, repr(value))
+        for key, value in vars(ranker).items()
+        if not key.startswith("_")
+    )
+    return f"{type(ranker).__module__}.{type(ranker).__qualname__}:{parameters}"
+
+
+class _TableRuntime:
+    """Shared per-table machinery: caches, primary engine, coordinator."""
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        cache_capacity: int,
+        advice_capacity: int,
+        batch_window: float,
+        use_index: bool,
+    ):
+        self.name = name
+        self.table = table
+        self.use_index = use_index
+        self.cache = ResultCache(capacity=cache_capacity, name=f"results:{name}")
+        self.advice_cache = ResultCache(capacity=advice_capacity, name=f"advice:{name}")
+        self.engine = BatchedEngine(table, cache=self.cache, use_index=use_index)
+        self.coordinator = BatchCoordinator(self.engine, window_seconds=batch_window)
+
+    def session_engine(self) -> BatchedEngine:
+        """A fresh per-session engine wired to the shared cache and coordinator."""
+        return BatchedEngine(
+            self.table,
+            cache=self.cache,
+            coordinator=self.coordinator,
+            use_index=self.use_index,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "rows": self.table.num_rows,
+            "result_cache": self.cache.stats().snapshot(),
+            "advice_cache": self.advice_cache.stats().snapshot(),
+            "batching": self.coordinator.stats.snapshot(),
+            "primary_engine": self.engine.counter.snapshot(),
+        }
+
+
+class AdvisorService:
+    """A pool of named exploration sessions over shared tables.
+
+    Parameters
+    ----------
+    tables:
+        Table(s) to register up front: a single :class:`Table`, an iterable
+        of tables (registered under their own names), or a name → table
+        mapping.  More can be added later with :meth:`register_table`.
+    cache_capacity:
+        Entries of the shared per-table mask/aggregate cache.
+    advice_capacity:
+        Entries of the per-table advice cache (whole ranked answers).
+    batch_window:
+        Seconds a batch leader waits for concurrent sessions before
+        flushing a merged engine pass (0 disables the wait, not batching).
+    config:
+        Base HB-cuts parameters for new sessions; ``batch_indep`` is
+        turned on by the service unless ``batch_indep=False`` is passed.
+    batch_indep:
+        Route HB-cuts INDEP evaluations through batched engine passes.
+    max_answers:
+        Default number of ranked answers per advise.
+    use_index:
+        Build sorted indexes in session engines.
+    """
+
+    def __init__(
+        self,
+        tables: Union[None, Table, Iterable[Table], Mapping[str, Table]] = None,
+        cache_capacity: int = 4096,
+        advice_capacity: int = 256,
+        batch_window: float = 0.002,
+        config: Optional[HBCutsConfig] = None,
+        batch_indep: bool = True,
+        max_answers: int = 10,
+        use_index: bool = False,
+    ):
+        self._tables: Dict[str, _TableRuntime] = {}
+        self._sessions: Dict[str, ServiceSession] = {}
+        self._lock = threading.RLock()
+        self._cache_capacity = int(cache_capacity)
+        self._advice_capacity = int(advice_capacity)
+        self._batch_window = float(batch_window)
+        base = config or HBCutsConfig()
+        self._config = (
+            dataclasses.replace(base, batch_indep=True) if batch_indep else base
+        )
+        self._max_answers = int(max_answers)
+        self._use_index = bool(use_index)
+        self._requests = 0
+        if tables is None:
+            return
+        if isinstance(tables, Table):
+            self.register_table(tables)
+        elif isinstance(tables, Mapping):
+            for name, table in tables.items():
+                self.register_table(table, name=name)
+        else:
+            for table in tables:
+                self.register_table(table)
+
+    # -- tables -------------------------------------------------------------
+
+    def register_table(self, table: Table, name: Optional[str] = None) -> str:
+        """Register a table and build its shared runtime; returns its name."""
+        resolved = name or table.name
+        with self._lock:
+            if resolved in self._tables:
+                raise AdvisorError(f"table {resolved!r} is already registered")
+            self._tables[resolved] = _TableRuntime(
+                resolved,
+                table,
+                cache_capacity=self._cache_capacity,
+                advice_capacity=self._advice_capacity,
+                batch_window=self._batch_window,
+                use_index=self._use_index,
+            )
+        return resolved
+
+    @property
+    def table_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tables)
+
+    def _runtime(self, table: Optional[str]) -> _TableRuntime:
+        with self._lock:
+            if table is not None:
+                runtime = self._tables.get(table)
+                if runtime is None:
+                    raise AdvisorError(
+                        f"unknown table {table!r}; registered: {sorted(self._tables)}"
+                    )
+                return runtime
+            if len(self._tables) == 1:
+                return next(iter(self._tables.values()))
+        raise AdvisorError(
+            "the service has several tables registered; name one explicitly"
+        )
+
+    # -- sessions -----------------------------------------------------------
+
+    def open_session(
+        self,
+        name: str,
+        table: Optional[str] = None,
+        context: ContextLike = None,
+        max_answers: Optional[int] = None,
+        config: Optional[HBCutsConfig] = None,
+        ranker: Optional[Ranker] = None,
+        replace: bool = False,
+    ) -> ServiceSession:
+        """Create a named session over a registered table.
+
+        With ``context`` given, the session is started (its first advice is
+        produced) before returning.
+        """
+        runtime = self._runtime(table)
+        session_config = config or self._config
+        advisor = Charles(
+            runtime.session_engine(),
+            config=session_config,
+            ranker=ranker or EntropyRanker(),
+        )
+        session = ServiceSession(
+            name=name,
+            table_name=runtime.name,
+            advisor=advisor,
+            max_answers=max_answers if max_answers is not None else self._max_answers,
+        )
+        session.exploration.advise_fn = self._make_advise_fn(session, runtime)
+        with self._lock:
+            if name in self._sessions and not replace:
+                raise SessionError(
+                    f"session {name!r} already exists; close it or pass replace=True"
+                )
+            self._sessions[name] = session
+        if context is not None:
+            self._tally()
+            session.advise(context)
+        return session
+
+    def session(self, name: str) -> ServiceSession:
+        """Look up an open session by name."""
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            raise SessionError(f"no open session named {name!r}")
+        return session
+
+    def close_session(self, name: str) -> Dict[str, Any]:
+        """Close a session; returns its final statistics."""
+        with self._lock:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            raise SessionError(f"no open session named {name!r}")
+        return session.stats()
+
+    @property
+    def session_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    # -- shared advice cache ------------------------------------------------
+
+    def _make_advise_fn(self, session: ServiceSession, runtime: _TableRuntime):
+        """The hook routing a session's advise through the shared advice cache."""
+        config_key = repr(session.advisor.config)
+        ranker_key = _ranker_cache_key(session.advisor.ranker)
+
+        def advise(context: SDLQuery, max_answers: int) -> Advice:
+            key = (
+                f"advice:{max_answers}:{ranker_key}:{config_key}:"
+                f"{query_signature(context)}"
+            )
+            return runtime.advice_cache.get_or_compute(
+                key,
+                lambda: session.advisor.advise(context, max_answers=max_answers),
+            )
+
+        return advise
+
+    # -- request entry points -----------------------------------------------
+
+    def advise(self, session_name: str, context: ContextLike = None) -> Advice:
+        """(Re)start a session at a context and return the ranked answers."""
+        self._tally()
+        return self.session(session_name).advise(context)
+
+    def drill(self, session_name: str, answer_index: int, segment_index: int) -> Advice:
+        """Drill a session into one segment of one ranked answer."""
+        self._tally()
+        return self.session(session_name).drill(answer_index, segment_index)
+
+    def back(self, session_name: str) -> Advice:
+        """Pop one drill-down level of a session."""
+        self._tally()
+        return self.session(session_name).back()
+
+    def count(self, context: ContextLike, table: Optional[str] = None) -> int:
+        """Cardinality of a context on a table (served by the shared engine)."""
+        self._tally()
+        runtime = self._runtime(table)
+        advisor = Charles(runtime.engine, config=self._config)
+        return advisor.count(context)
+
+    def _tally(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+    def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Execute one request; errors are returned, not raised."""
+        try:
+            if request.op == "open":
+                session = self.open_session(
+                    request.session,
+                    table=request.table,
+                    context=request.context,
+                    replace=True,
+                )
+                result: Any = session.name
+            elif request.op == "advise":
+                result = self.advise(request.session, request.context)
+            elif request.op == "drill":
+                result = self.drill(
+                    request.session, request.answer_index, request.segment_index
+                )
+            elif request.op == "back":
+                result = self.back(request.session)
+            elif request.op == "close":
+                result = self.close_session(request.session)
+            elif request.op == "count":
+                result = self.count(request.context, table=request.table)
+            elif request.op == "stats":
+                result = self.stats()
+            else:
+                raise AdvisorError(f"unknown service operation {request.op!r}")
+        except CharlesError as error:
+            return ServiceResponse(
+                ok=False, op=request.op, session=request.session, error=str(error)
+            )
+        return ServiceResponse(
+            ok=True, op=request.op, session=request.session, result=result
+        )
+
+    # -- workload execution -------------------------------------------------
+
+    def serve(
+        self,
+        scripts: Sequence[Any],
+        workers: int = 1,
+        table: Optional[str] = None,
+    ) -> ServiceReport:
+        """Run a multi-user workload and return a throughput report.
+
+        Parameters
+        ----------
+        scripts:
+            :class:`~repro.workloads.concurrent.UserScript` objects (or any
+            object with ``user`` and ``actions`` of the same shape).
+        workers:
+            Thread count; ``1`` executes users sequentially (deterministic),
+            more lets sessions run — and batch — concurrently.
+        table:
+            Table to serve when several are registered.
+        """
+        errors: List[str] = []
+        errors_lock = threading.Lock()
+        started = time.perf_counter()
+        if workers <= 1:
+            requests = sum(
+                self._run_script(script, table, errors, errors_lock)
+                for script in scripts
+            )
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(
+                        self._run_script, script, table, errors, errors_lock
+                    )
+                    for script in scripts
+                ]
+                requests = sum(future.result() for future in futures)
+        wall = time.perf_counter() - started
+        with self._lock:
+            table_stats = {name: rt.stats() for name, rt in self._tables.items()}
+        return ServiceReport(
+            users=len(scripts),
+            requests=requests,
+            wall_seconds=wall,
+            errors=errors,
+            table_stats=table_stats,
+        )
+
+    def _run_script(
+        self,
+        script: Any,
+        table: Optional[str],
+        errors: List[str],
+        errors_lock: threading.Lock,
+    ) -> int:
+        try:
+            session = self.open_session(script.user, table=table, replace=True)
+        except CharlesError as error:
+            with errors_lock:
+                errors.append(f"{script.user}: {error}")
+            return 0
+        executed = 0
+        for action in script.actions:
+            try:
+                if action.op == "advise":
+                    context = list(action.context) if action.context else None
+                    self.advise(script.user, context)
+                elif action.op == "drill":
+                    advice = session.current_advice()
+                    if advice is None or not advice.answers:
+                        continue
+                    answer_index = action.answer % len(advice.answers)
+                    segmentation = advice.answers[answer_index].segmentation
+                    segment_index = action.segment % segmentation.depth
+                    self.drill(script.user, answer_index, segment_index)
+                elif action.op == "back":
+                    if session.depth > 0:
+                        self.back(script.user)
+                else:
+                    raise AdvisorError(f"unknown workload action {action.op!r}")
+                executed += 1
+            except CharlesError as error:
+                with errors_lock:
+                    errors.append(f"{script.user}: {error}")
+        return executed
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-wide statistics: caches, batching, sessions, requests."""
+        with self._lock:
+            sessions = dict(self._sessions)
+            tables = dict(self._tables)
+            requests = self._requests
+        return {
+            "requests": requests,
+            "tables": {name: runtime.stats() for name, runtime in tables.items()},
+            "sessions": {name: session.stats() for name, session in sessions.items()},
+        }
+
+    def describe(self) -> str:
+        """Multi-line summary of the service state."""
+        stats = self.stats()
+        lines = [
+            f"advisor service — {len(stats['tables'])} table(s), "
+            f"{len(stats['sessions'])} open session(s), "
+            f"{stats['requests']} request(s) served"
+        ]
+        for name, table_stats in stats["tables"].items():
+            results = table_stats["result_cache"]
+            lines.append(
+                f"  table {name!r}: {table_stats['rows']} rows, "
+                f"result cache {results['entries']}/{results['capacity']} entries, "
+                f"hit rate {results['hit_rate']:.1%}"
+            )
+        for name, session_stats in stats["sessions"].items():
+            lines.append(
+                f"  session {name!r}: {session_stats['requests']} request(s), "
+                f"depth {session_stats['depth']}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdvisorService(tables={self.table_names}, "
+            f"sessions={len(self.session_names)})"
+        )

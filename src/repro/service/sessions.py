@@ -1,0 +1,124 @@
+"""Named exploration sessions managed by the advisor service.
+
+A :class:`ServiceSession` pairs one user-visible session name with a
+:class:`~repro.core.session.ExplorationSession` whose advisor runs on a
+:class:`~repro.service.batching.BatchedEngine` — a per-session engine that
+shares the table's result cache and coalesces batched passes with other
+sessions.  The session object itself stays thin: navigation state lives in
+the exploration stack, all heavy lifting in the table runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.core.advisor import Advice, Charles, ContextLike
+from repro.core.session import ExplorationSession
+from repro.errors import SessionError
+
+__all__ = ["ServiceSession"]
+
+
+class ServiceSession:
+    """One named, concurrent-safe exploration session over a shared table.
+
+    Parameters
+    ----------
+    name:
+        The service-wide unique session name.
+    table_name:
+        Name the backing table was registered under.
+    advisor:
+        A :class:`~repro.core.advisor.Charles` whose engine shares the
+        table runtime's cache.
+    max_answers:
+        Ranked answers requested at each step.
+    advise_fn:
+        Service hook that serves advice from the shared advice cache.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        advisor: Charles,
+        max_answers: int = 10,
+        advise_fn=None,
+    ):
+        self.name = name
+        self.table_name = table_name
+        self.advisor = advisor
+        self.exploration = ExplorationSession(
+            advisor=advisor, max_answers=max_answers, advise_fn=advise_fn
+        )
+        self.requests = 0
+        self._lock = threading.RLock()
+
+    # -- the Figure 1 loop --------------------------------------------------
+
+    def advise(self, context: ContextLike = None) -> Advice:
+        """Start (or restart) the session at a context and return advice."""
+        with self._lock:
+            self.requests += 1
+            return self.exploration.start(context)
+
+    def drill(self, answer_index: int, segment_index: int) -> Advice:
+        """Drill into one segment of one ranked answer."""
+        with self._lock:
+            self.requests += 1
+            if not self.exploration.started:
+                raise SessionError(
+                    f"session {self.name!r} has no context yet; submit an advise first"
+                )
+            return self.exploration.drill(answer_index, segment_index)
+
+    def back(self) -> Advice:
+        """Pop one drill-down level and return the advice at the restored context."""
+        with self._lock:
+            self.requests += 1
+            self.exploration.back()
+            return self.exploration.advise()
+
+    def current_advice(self) -> Optional[Advice]:
+        """The advice at the current context, or ``None`` before the first advise."""
+        with self._lock:
+            if not self.exploration.started:
+                return None
+            return self.exploration.advise()
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return self.exploration.depth if self.exploration.started else 0
+
+    def breadcrumbs(self) -> List[str]:
+        with self._lock:
+            if not self.exploration.started:
+                return []
+            return self.exploration.breadcrumbs()
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-session counters: requests served and engine operations."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "table": self.table_name,
+                "requests": self.requests,
+                "depth": self.depth,
+                "engine_operations": self.advisor.engine.counter.snapshot(),
+            }
+
+    def describe(self) -> str:
+        with self._lock:
+            header = f"session {self.name!r} on table {self.table_name!r}"
+            if not self.exploration.started:
+                return header + " (no context yet)"
+            return header + "\n" + self.exploration.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServiceSession(name={self.name!r}, table={self.table_name!r}, "
+            f"requests={self.requests}, depth={self.depth})"
+        )

@@ -8,7 +8,9 @@ NumPy-backed, dictionary-encoded column store with exactly that surface:
 * :mod:`repro.storage.types`, :mod:`repro.storage.column`,
   :mod:`repro.storage.table` — the physical layer;
 * :mod:`repro.storage.expression`, :mod:`repro.storage.engine` — SDL
-  evaluation, aggregates, mask caching and operation accounting;
+  evaluation, aggregates, batched passes and operation accounting;
+* :mod:`repro.storage.cache` — the shared, thread-safe result cache
+  (masks and aggregates) engines and the service layer plug into;
 * :mod:`repro.storage.statistics` — column/table profiling;
 * :mod:`repro.storage.index` — sorted-column indexes (ablation E6);
 * :mod:`repro.storage.sampling` — sampled engines (paper §5.2, E8);
@@ -28,6 +30,7 @@ from repro.storage.column import (
 )
 from repro.storage.table import Table
 from repro.storage.expression import predicate_mask, query_mask
+from repro.storage.cache import CacheStats, ResultCache
 from repro.storage.engine import OperationCounter, QueryEngine
 from repro.storage.index import SortedIndex
 from repro.storage.statistics import (
@@ -72,6 +75,8 @@ __all__ = [
     "query_mask",
     "QueryEngine",
     "OperationCounter",
+    "ResultCache",
+    "CacheStats",
     "SortedIndex",
     "ColumnProfile",
     "TableProfile",

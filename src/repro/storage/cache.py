@@ -1,0 +1,223 @@
+"""Shared, thread-safe result caching for query engines and the service layer.
+
+The paper (Section 5.1) observes that Charles issues only two kinds of
+back-end operations — medians and counts over predicates — which makes the
+advisor *embarrassingly cacheable*: the same selection masks and aggregates
+recur across iterations of HB-cuts, across drill-down steps, and, in a
+multi-user deployment, across users exploring the same table.
+
+:class:`ResultCache` is the one cache implementation behind all of that:
+a lockable, size-bounded LRU keyed by strings (engines use namespaced
+:func:`~repro.sdl.formatter.query_signature` keys such as ``mask:<sig>``
+or ``median:<attribute>:<sig>``).  A single instance can be shared by many
+:class:`~repro.storage.engine.QueryEngine` objects **over the same table**;
+the :mod:`repro.service` layer creates one per registered table and wires
+every session engine to it.
+
+Statistics (hits, misses, evictions, approximate byte footprint) are
+tracked under the cache's own lock, so concurrent sessions always observe
+consistent numbers: ``hits + misses == lookups`` holds at any instant.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+def _approx_size(value: Any) -> int:
+    """Approximate in-memory footprint of a cached value, in bytes."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    try:
+        return int(sys.getsizeof(value))
+    except TypeError:  # pragma: no cover - exotic objects
+        return 0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time statistics of a :class:`ResultCache`.
+
+    Attributes
+    ----------
+    capacity:
+        Maximum number of entries retained; ``0`` disables the cache.
+    entries:
+        Current number of cached values.
+    hits / misses:
+        Lookup outcomes since creation (or the last :meth:`ResultCache.reset_stats`).
+    evictions:
+        Entries dropped to respect ``capacity``.
+    puts:
+        Successful insertions.
+    approx_bytes:
+        Approximate footprint of the cached values (``ndarray.nbytes`` for
+        masks, ``sys.getsizeof`` otherwise).
+    """
+
+    capacity: int
+    entries: int
+    hits: int
+    misses: int
+    evictions: int
+    puts: int
+    approx_bytes: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict copy, convenient for report tables and JSON output."""
+        return {
+            "capacity": self.capacity,
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "approx_bytes": self.approx_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """A thread-safe, size-bounded LRU cache with usage statistics.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries.  ``0`` disables the cache: every lookup
+        misses and every insertion is dropped (used by the scalability
+        ablations, which measure uncached work).
+    name:
+        Cosmetic label shown in service reports.
+    """
+
+    def __init__(self, capacity: int = 256, name: str = "results"):
+        self.name = name
+        self._capacity = max(0, int(capacity))
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._bytes: Dict[str, int] = {}
+        self._approx_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._puts = 0
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache retains anything at all."""
+        return self._capacity > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # -- core operations ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` (recorded as hit/miss)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries beyond capacity."""
+        if not self.enabled:
+            return
+        size = _approx_size(value)
+        with self._lock:
+            if key in self._entries:
+                self._approx_bytes -= self._bytes.get(key, 0)
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._bytes[key] = size
+            self._approx_bytes += size
+            self._puts += 1
+            while len(self._entries) > self._capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._approx_bytes -= self._bytes.pop(evicted_key, 0)
+                self._evictions += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """The cached value, computing and inserting it on a miss.
+
+        ``compute`` runs *outside* the lock so a slow producer never blocks
+        other readers; two threads racing on the same key may both compute,
+        which is harmless for the deterministic values cached here.
+        """
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are retained)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes.clear()
+            self._approx_bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction/put counters."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._puts = 0
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """A consistent point-in-time view of the cache statistics."""
+        with self._lock:
+            return CacheStats(
+                capacity=self._capacity,
+                entries=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                puts=self._puts,
+                approx_bytes=self._approx_bytes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"ResultCache(name={self.name!r}, entries={stats.entries}/"
+            f"{stats.capacity}, hit_rate={stats.hit_rate:.1%})"
+        )

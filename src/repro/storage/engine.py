@@ -4,25 +4,38 @@ The paper (Section 5.1) observes that Charles only issues two kinds of
 database operations — *median calculations* and *counts over predicates* —
 and that a column store fits this workload.  :class:`QueryEngine` is the
 substitute back-end: it evaluates SDL queries into selection masks over a
-:class:`~repro.storage.table.Table`, caches those masks (the paper's
-computation-reuse hint), and exposes exactly the aggregates the advisor
-needs.
+:class:`~repro.storage.table.Table` and exposes exactly the aggregates the
+advisor needs.
+
+Caching lives in :class:`~repro.storage.cache.ResultCache` — a lockable,
+size-bounded, statistics-reporting LRU (it replaced the per-engine
+``OrderedDict`` the engine used to carry).  By default every engine owns a
+private cache; passing a shared instance via the ``cache`` parameter lets
+many engines over the **same table** reuse one another's selection masks,
+which is how the :mod:`repro.service` layer shares work between concurrent
+user sessions.  With ``cache_aggregates=True`` the engine additionally
+caches count/median/min-max *results* keyed by
+:func:`~repro.sdl.formatter.query_signature`, so repeated aggregates skip
+the mask entirely.
 
 Every call is tallied in an :class:`OperationCounter`, so benchmarks can
 report back-end work (number of scans, medians, counts, cache hits)
-independent of wall-clock noise.
+independent of wall-clock noise; cache-level statistics (hit rate,
+evictions, approximate bytes) are reported by the cache itself through
+:meth:`QueryEngine.cache_info` and surfaced per table by
+:meth:`repro.service.AdvisorService.stats`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sdl.formatter import query_signature
 from repro.sdl.query import SDLQuery
+from repro.storage.cache import ResultCache
 from repro.storage.expression import query_mask
 from repro.storage.index import SortedIndex
 from repro.storage.table import Table
@@ -34,12 +47,23 @@ __all__ = ["OperationCounter", "QueryEngine"]
 class OperationCounter:
     """Tally of back-end operations issued by the advisor.
 
+    The counter records *logical* work as seen by this engine; *cache*
+    statistics (hits, misses, evictions, memory footprint) live in the
+    engine's :class:`~repro.storage.cache.ResultCache` and — when the cache
+    is shared between engines — aggregate the traffic of every session
+    using it (see :meth:`QueryEngine.cache_info`).
+
     Attributes
     ----------
     evaluations:
         Number of query evaluations that actually scanned columns.
     cache_hits:
-        Number of evaluations answered from the mask cache.
+        Number of evaluations answered from the shared mask cache
+        (including duplicates coalesced inside one batched pass).
+    aggregate_hits:
+        Number of count/median/min-max requests answered from the shared
+        aggregate cache without touching a mask (only with
+        ``cache_aggregates=True``).
     count_calls:
         Number of cardinality requests.
     median_calls:
@@ -48,23 +72,30 @@ class OperationCounter:
         Number of value-frequency (group-by count) computations.
     minmax_calls:
         Number of min/max computations.
+    batch_calls:
+        Number of multi-query engine passes (:meth:`QueryEngine.count_batch`
+        and :meth:`QueryEngine.median_batch`).
     """
 
     evaluations: int = 0
     cache_hits: int = 0
+    aggregate_hits: int = 0
     count_calls: int = 0
     median_calls: int = 0
     frequency_calls: int = 0
     minmax_calls: int = 0
+    batch_calls: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
         self.evaluations = 0
         self.cache_hits = 0
+        self.aggregate_hits = 0
         self.count_calls = 0
         self.median_calls = 0
         self.frequency_calls = 0
         self.minmax_calls = 0
+        self.batch_calls = 0
 
     @property
     def total_database_operations(self) -> int:
@@ -81,20 +112,14 @@ class OperationCounter:
         return {
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
+            "aggregate_hits": self.aggregate_hits,
             "count_calls": self.count_calls,
             "median_calls": self.median_calls,
             "frequency_calls": self.frequency_calls,
             "minmax_calls": self.minmax_calls,
+            "batch_calls": self.batch_calls,
             "total_database_operations": self.total_database_operations,
         }
-
-
-@dataclass
-class _CacheStats:
-    capacity: int
-    entries: int = 0
-    evictions: int = 0
-    extra: Dict[str, Any] = field(default_factory=dict)
 
 
 class QueryEngine:
@@ -105,53 +130,57 @@ class QueryEngine:
     table:
         The relation to query.
     cache_size:
-        Maximum number of selection masks kept in the LRU cache.  ``0``
-        disables caching entirely (used by the scalability ablations).
+        Maximum number of results kept in the engine's private cache when
+        no shared ``cache`` is given.  ``0`` disables caching entirely
+        (used by the scalability ablations).
     use_index:
         When true, sorted-column indexes are built lazily and used to
         answer full-table medians and min/max requests without re-sorting.
+    cache:
+        An externally owned :class:`~repro.storage.cache.ResultCache` to
+        use instead of a private one.  Sharing a cache between engines is
+        only sound when they query the **same table** — the service layer
+        maintains one cache per registered table.
+    cache_aggregates:
+        Also cache count/median/min-max results (not just masks) in the
+        cache, keyed by ``<op>:<attribute>:<signature>``.  Off by default
+        so single-engine operation accounting matches the paper's
+        experiments; the service layer turns it on.
     """
 
-    def __init__(self, table: Table, cache_size: int = 256, use_index: bool = False):
+    def __init__(
+        self,
+        table: Table,
+        cache_size: int = 256,
+        use_index: bool = False,
+        cache: Optional[ResultCache] = None,
+        cache_aggregates: bool = False,
+    ):
         self.table = table
         self.counter = OperationCounter()
-        self._cache_size = int(cache_size)
-        self._mask_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        self._cache_stats = _CacheStats(capacity=self._cache_size)
+        self._cache_size = int(cache_size) if cache is None else cache.capacity
+        self._cache = cache if cache is not None else ResultCache(
+            capacity=int(cache_size), name=f"engine:{table.name}"
+        )
+        self._cache_aggregates = bool(cache_aggregates)
         self._use_index = bool(use_index)
         self._indexes: Dict[str, SortedIndex] = {}
 
     # -- cache --------------------------------------------------------------
 
     @property
-    def cache_info(self) -> Dict[str, int]:
-        """Cache occupancy and eviction counts."""
-        return {
-            "capacity": self._cache_stats.capacity,
-            "entries": len(self._mask_cache),
-            "evictions": self._cache_stats.evictions,
-        }
+    def cache(self) -> ResultCache:
+        """The (possibly shared) result cache backing this engine."""
+        return self._cache
+
+    @property
+    def cache_info(self) -> Dict[str, Any]:
+        """Cache occupancy, traffic and eviction statistics."""
+        return self._cache.stats().snapshot()
 
     def clear_cache(self) -> None:
-        """Drop every cached selection mask."""
-        self._mask_cache.clear()
-
-    def _cache_get(self, key: str) -> Optional[np.ndarray]:
-        if self._cache_size <= 0:
-            return None
-        mask = self._mask_cache.get(key)
-        if mask is not None:
-            self._mask_cache.move_to_end(key)
-        return mask
-
-    def _cache_put(self, key: str, mask: np.ndarray) -> None:
-        if self._cache_size <= 0:
-            return
-        self._mask_cache[key] = mask
-        self._mask_cache.move_to_end(key)
-        while len(self._mask_cache) > self._cache_size:
-            self._mask_cache.popitem(last=False)
-            self._cache_stats.evictions += 1
+        """Drop every cached result (affects all engines sharing the cache)."""
+        self._cache.clear()
 
     # -- index ---------------------------------------------------------------
 
@@ -167,20 +196,38 @@ class QueryEngine:
 
     def evaluate(self, query: SDLQuery) -> np.ndarray:
         """Boolean selection mask of the query over the table (cached)."""
-        key = query_signature(query)
-        cached = self._cache_get(key)
+        key = "mask:" + query_signature(query)
+        cached = self._cache.get(key)
         if cached is not None:
             self.counter.cache_hits += 1
             return cached
         self.counter.evaluations += 1
         mask = query_mask(self.table, query)
-        self._cache_put(key, mask)
+        self._cache.put(key, mask)
         return mask
+
+    def _aggregate_get(self, key: str) -> Optional[Any]:
+        if not self._cache_aggregates:
+            return None
+        value = self._cache.get(key)
+        if value is not None:
+            self.counter.aggregate_hits += 1
+        return value
+
+    def _aggregate_put(self, key: str, value: Any) -> None:
+        if self._cache_aggregates:
+            self._cache.put(key, value)
 
     def count(self, query: SDLQuery) -> int:
         """``|R(Q)|``: number of rows selected by the query."""
         self.counter.count_calls += 1
-        return int(np.count_nonzero(self.evaluate(query)))
+        key = "count::" + query_signature(query)
+        cached = self._aggregate_get(key)
+        if cached is not None:
+            return cached
+        value = int(np.count_nonzero(self.evaluate(query)))
+        self._aggregate_put(key, value)
+        return value
 
     def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
         """The cover ``C(Q)``.
@@ -203,25 +250,47 @@ class QueryEngine:
     def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
         """Arithmetic median of ``attribute`` over the query's result set."""
         self.counter.median_calls += 1
+        unconstrained = query is None or not query.constrained_attributes
+        key = "median:{}:{}".format(
+            attribute, "" if unconstrained else query_signature(query)
+        )
+        cached = self._aggregate_get(key)
+        if cached is not None:
+            return cached
         column = self.table.column(attribute)
-        if query is None or not query.constrained_attributes:
+        if unconstrained:
             if self._use_index:
-                return self.index_for(attribute).median()
-            return column.median()
-        mask = self.evaluate(query)
-        return column.median(mask)
+                value = self.index_for(attribute).median()
+            else:
+                value = column.median()
+        else:
+            mask = self.evaluate(query)
+            value = column.median(mask)
+        self._aggregate_put(key, value)
+        return value
 
     def minmax(self, attribute: str, query: Optional[SDLQuery] = None) -> Tuple[Any, Any]:
         """Minimum and maximum of ``attribute`` over the query's result set."""
         self.counter.minmax_calls += 1
+        unconstrained = query is None or not query.constrained_attributes
+        key = "minmax:{}:{}".format(
+            attribute, "" if unconstrained else query_signature(query)
+        )
+        cached = self._aggregate_get(key)
+        if cached is not None:
+            return cached
         column = self.table.column(attribute)
-        if query is None or not query.constrained_attributes:
+        if unconstrained:
             if self._use_index:
                 index = self.index_for(attribute)
-                return index.minimum(), index.maximum()
-            return column.minimum(), column.maximum()
-        mask = self.evaluate(query)
-        return column.minimum(mask), column.maximum(mask)
+                value = (index.minimum(), index.maximum())
+            else:
+                value = (column.minimum(), column.maximum())
+        else:
+            mask = self.evaluate(query)
+            value = (column.minimum(mask), column.maximum(mask))
+        self._aggregate_put(key, value)
+        return value
 
     def value_frequencies(
         self, attribute: str, query: Optional[SDLQuery] = None
@@ -235,6 +304,59 @@ class QueryEngine:
     def distinct_count(self, attribute: str, query: Optional[SDLQuery] = None) -> int:
         """Number of distinct non-missing values of ``attribute`` under the query."""
         return len(self.value_frequencies(attribute, query))
+
+    # -- batched passes -----------------------------------------------------------
+
+    def count_batch(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
+        """Cardinalities of many queries in a single engine pass.
+
+        Queries with identical signatures are evaluated once and their
+        result fanned out, so a batch of ``n`` requests touching ``u``
+        unique selections performs ``u`` evaluations at most.  Operation
+        accounting matches the sequential equivalent: one count call per
+        request, duplicates recorded as cache hits.
+        """
+        if not queries:
+            return ()
+        self.counter.batch_calls += 1
+        results: List[Optional[int]] = [None] * len(queries)
+        positions: "Dict[str, List[int]]" = {}
+        order: List[str] = []
+        for index, query in enumerate(queries):
+            signature = query_signature(query)
+            if signature not in positions:
+                positions[signature] = []
+                order.append(signature)
+            positions[signature].append(index)
+        for signature in order:
+            indices = positions[signature]
+            query = queries[indices[0]]
+            self.counter.count_calls += len(indices)
+            key = "count::" + signature
+            value = self._aggregate_get(key)
+            if value is None:
+                value = int(np.count_nonzero(self.evaluate(query)))
+                self._aggregate_put(key, value)
+            # Duplicates coalesced within the pass would have been mask-cache
+            # hits sequentially; account for them the same way.
+            self.counter.cache_hits += len(indices) - 1
+            for position in indices:
+                results[position] = value
+        return tuple(results)  # type: ignore[arg-type]
+
+    def median_batch(
+        self, attribute: str, queries: Sequence[Optional[SDLQuery]]
+    ) -> Tuple[Any, ...]:
+        """Medians of ``attribute`` under many queries as one logical batch.
+
+        Tallied as a single batch call; each median is computed in turn,
+        reusing cached masks and (with ``cache_aggregates``) cached
+        results, so repeated queries within the batch cost one evaluation.
+        """
+        if not queries:
+            return ()
+        self.counter.batch_calls += 1
+        return tuple(self.median(attribute, query) for query in queries)
 
     # -- materialisation ----------------------------------------------------------
 

@@ -6,7 +6,8 @@ with it; these generators produce tables with the same schema and planted
 dependency structure so every figure-level experiment can be regenerated
 offline.  :mod:`repro.workloads.synthetic` additionally provides
 parametric tables with *known* ground truth for property tests and
-benchmarks.
+benchmarks, and :mod:`repro.workloads.concurrent` generates multi-user
+exploration scenarios for the service layer and benchmark E12.
 """
 
 from repro.workloads.generators import (
@@ -22,6 +23,11 @@ from repro.workloads.generators import (
 from repro.workloads.voc import FIGURE1_CONTEXT_COLUMNS, VOC_COLUMNS, generate_voc
 from repro.workloads.astronomy import ASTRONOMY_COLUMNS, generate_astronomy
 from repro.workloads.weblog import WEBLOG_COLUMNS, generate_weblog
+from repro.workloads.concurrent import (
+    UserAction,
+    UserScript,
+    generate_concurrent_workload,
+)
 from repro.workloads.synthetic import (
     make_correlated_table,
     make_dependent_pair_table,
@@ -48,6 +54,9 @@ __all__ = [
     "ASTRONOMY_COLUMNS",
     "generate_weblog",
     "WEBLOG_COLUMNS",
+    "UserAction",
+    "UserScript",
+    "generate_concurrent_workload",
     "make_independent_table",
     "make_dependent_pair_table",
     "make_correlated_table",

@@ -1,0 +1,125 @@
+"""Multi-user exploration scenarios for the advisor service.
+
+The service layer (and benchmark E12) needs reproducible workloads in
+which *several users* explore the same table at once.  Real exploration
+traffic is skewed: most users start from a handful of popular contexts and
+many follow the same few drill paths (dashboards, shared links, tutorials)
+— which is exactly the structure that makes the advisor cacheable across
+users.  :func:`generate_concurrent_workload` models that skew with two
+knobs: a small pool of *hot contexts* and a bounded number of *distinct
+drill paths* shared round-robin among the users.
+
+The scripts are plain data (no engine references), so the same workload
+can be replayed against an :class:`~repro.service.AdvisorService` and
+against independent per-user advisors to compare throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+__all__ = ["UserAction", "UserScript", "generate_concurrent_workload"]
+
+
+@dataclass(frozen=True)
+class UserAction:
+    """One step of a user script.
+
+    ``op`` is ``advise`` (start/restart at ``context``), ``drill`` (pick
+    ``answer``/``segment``, interpreted modulo the available choices at
+    replay time) or ``back`` (pop one level).
+    """
+
+    op: str
+    context: Optional[Tuple[str, ...]] = None
+    answer: int = 0
+    segment: int = 0
+
+
+@dataclass(frozen=True)
+class UserScript:
+    """The full request sequence of one simulated user."""
+
+    user: str
+    actions: Tuple[UserAction, ...]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.actions)
+
+
+def generate_concurrent_workload(
+    columns: Sequence[str],
+    users: int = 4,
+    steps: int = 4,
+    seed: int = 0,
+    hot_contexts: int = 2,
+    context_width: int = 3,
+    distinct_paths: Optional[int] = None,
+    back_probability: float = 0.25,
+) -> List[UserScript]:
+    """Seeded scripts for ``users`` simulated users over one table.
+
+    Parameters
+    ----------
+    columns:
+        Column names of the table to explore.
+    users:
+        Number of simulated users (one script each).
+    steps:
+        Drill/back actions per user after the initial advise.
+    seed:
+        Makes the workload fully reproducible.
+    hot_contexts:
+        Size of the popular-context pool users start from.
+    context_width:
+        Attributes per starting context.
+    distinct_paths:
+        Number of unique (context, drill-path) combinations; users beyond
+        that repeat earlier paths round-robin (the cache-friendly skew of
+        real traffic).  ``None`` gives every user their own path.
+    back_probability:
+        Chance a step goes back up instead of drilling deeper.
+    """
+    if users <= 0:
+        raise WorkloadError(f"users must be positive, got {users}")
+    if steps < 0:
+        raise WorkloadError(f"steps must be non-negative, got {steps}")
+    if not columns:
+        raise WorkloadError("the workload needs at least one column")
+    rng = random.Random(seed)
+    width = min(context_width, len(columns))
+    pool = [
+        tuple(sorted(rng.sample(list(columns), width)))
+        for _ in range(max(1, hot_contexts))
+    ]
+
+    unique = users if distinct_paths is None else max(1, min(distinct_paths, users))
+    paths: List[Tuple[UserAction, ...]] = []
+    for path_index in range(unique):
+        context = pool[path_index % len(pool)]
+        actions: List[UserAction] = [UserAction("advise", context=context)]
+        depth = 0
+        for _ in range(steps):
+            if depth > 0 and rng.random() < back_probability:
+                actions.append(UserAction("back"))
+                depth -= 1
+            else:
+                actions.append(
+                    UserAction(
+                        "drill",
+                        answer=rng.randrange(0, 8),
+                        segment=rng.randrange(0, 12),
+                    )
+                )
+                depth += 1
+        paths.append(tuple(actions))
+
+    return [
+        UserScript(user=f"user-{index:02d}", actions=paths[index % len(paths)])
+        for index in range(users)
+    ]

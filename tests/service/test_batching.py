@@ -1,0 +1,156 @@
+"""Tests for batched engine passes, the batched INDEP path and the coordinator."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import HBCuts, HBCutsConfig
+from repro.sdl import RangePredicate, SDLQuery
+from repro.service import BatchCoordinator, BatchedEngine
+from repro.storage import QueryEngine, ResultCache, Table
+from repro.workloads import generate_voc
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return generate_voc(rows=1500, seed=3)
+
+
+def _context() -> SDLQuery:
+    return SDLQuery.over(["type_of_boat", "departure_harbour", "tonnage", "built"])
+
+
+def _range_queries(n: int):
+    return [
+        SDLQuery([RangePredicate("tonnage", 100 * i, 100 * i + 250)]) for i in range(n)
+    ]
+
+
+class TestCountBatch:
+    def test_matches_sequential_counts(self, table):
+        queries = _range_queries(8)
+        sequential = QueryEngine(table)
+        batched = QueryEngine(table)
+        assert batched.count_batch(queries) == tuple(
+            sequential.count(query) for query in queries
+        )
+
+    def test_duplicates_coalesced(self, table):
+        engine = QueryEngine(table)
+        query = _range_queries(1)[0]
+        counts = engine.count_batch([query, query, query])
+        assert counts[0] == counts[1] == counts[2]
+        assert engine.counter.evaluations == 1
+        assert engine.counter.cache_hits == 2
+        assert engine.counter.count_calls == 3
+        assert engine.counter.batch_calls == 1
+
+    def test_aggregate_cache_round_trip(self, table):
+        cache = ResultCache(capacity=512)
+        first = QueryEngine(table, cache=cache, cache_aggregates=True)
+        second = QueryEngine(table, cache=cache, cache_aggregates=True)
+        queries = _range_queries(4)
+        expected = first.count_batch(queries)
+        assert second.count_batch(queries) == expected
+        # The second engine never evaluated a mask: counts came from the cache.
+        assert second.counter.evaluations == 0
+        assert second.counter.aggregate_hits == len(queries)
+
+
+class TestBatchedIndep:
+    def test_batched_equals_sequential_bit_for_bit(self, table):
+        """The acceptance criterion: identical segmentations, not just scores."""
+
+        def run(batch: bool):
+            engine = QueryEngine(table)
+            return HBCuts(HBCutsConfig(batch_indep=batch)).run(engine, _context())
+
+        sequential, batched = run(False), run(True)
+
+        def fingerprint(result):
+            return [
+                (
+                    segmentation.cut_attributes,
+                    tuple(
+                        (segment.query.to_sdl(), segment.count)
+                        for segment in segmentation.segments
+                    ),
+                )
+                for segmentation in result.segmentations
+            ]
+
+        assert fingerprint(sequential) == fingerprint(batched)
+        assert sequential.trace.indep_values == batched.trace.indep_values
+        assert sequential.trace.stop_reason == batched.trace.stop_reason
+        assert sequential.trace.pair_evaluations == batched.trace.pair_evaluations
+        assert batched.trace.batched_passes > 0
+        assert sequential.trace.batched_passes == 0
+
+    def test_batched_respects_reuse_ablation(self, table):
+        engine = QueryEngine(table)
+        config = HBCutsConfig(batch_indep=True, reuse_indep=False)
+        result = HBCuts(config).run(engine, _context())
+        assert result.trace.pair_cache_hits == 0
+
+    def test_same_operation_accounting(self, table):
+        def ops(batch: bool):
+            engine = QueryEngine(table)
+            HBCuts(HBCutsConfig(batch_indep=batch)).run(engine, _context())
+            snapshot = engine.counter.snapshot()
+            snapshot.pop("batch_calls")
+            return snapshot
+
+        assert ops(False) == ops(True)
+
+
+class TestBatchCoordinator:
+    def test_single_caller_round_trip(self, table):
+        engine = QueryEngine(table)
+        coordinator = BatchCoordinator(engine, window_seconds=0.0)
+        queries = _range_queries(5)
+        assert coordinator.counts(queries) == engine.counts_for(queries)
+        assert coordinator.stats.passes == 1
+        assert coordinator.stats.requests == 1
+
+    def test_concurrent_callers_get_correct_results(self, table):
+        reference = QueryEngine(table)
+        cache = ResultCache(capacity=1024)
+        engine = BatchedEngine(table, cache=cache)
+        coordinator = BatchCoordinator(engine, window_seconds=0.005)
+        queries = _range_queries(6)
+        expected = reference.counts_for(queries)
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = coordinator.counts(queries)
+
+        workers = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+
+        assert all(results[i] == expected for i in range(4))
+        stats = coordinator.stats.snapshot()
+        assert stats["requests"] == 4
+        assert stats["queries"] == 4 * len(queries)
+        # At least some requests were merged into a shared pass.
+        assert stats["passes"] <= stats["requests"]
+        assert stats["fallbacks"] == 0
+
+    def test_batched_engine_routes_through_coordinator(self, table):
+        cache = ResultCache(capacity=1024)
+        primary = BatchedEngine(table, cache=cache)
+        coordinator = BatchCoordinator(primary, window_seconds=0.0)
+        session_engine = BatchedEngine(table, cache=cache, coordinator=coordinator)
+        queries = _range_queries(3)
+        expected = QueryEngine(table).counts_for(queries)
+        assert session_engine.count_batch(queries) == tuple(expected)
+        assert coordinator.stats.passes == 1
+        # Logical accounting stays on the session engine.
+        assert session_engine.counter.count_calls == 3
+        assert session_engine.counter.batch_calls == 1

@@ -1,0 +1,209 @@
+"""Tests for the advisor service: sessions, shared caches, serve/submit."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import AdvisorError, SessionError
+from repro.service import AdvisorService, ServiceRequest
+from repro.workloads import generate_concurrent_workload, generate_voc
+
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_voc(rows=1500, seed=11)
+
+
+@pytest.fixture()
+def service(table):
+    return AdvisorService(table, batch_window=0.0)
+
+
+class TestSessions:
+    def test_open_advise_drill_back(self, service):
+        session = service.open_session("alice")
+        advice = service.advise("alice", _CONTEXT)
+        assert advice.answers
+        drilled = service.drill("alice", 0, 0)
+        assert drilled.context != advice.context
+        assert session.depth == 1
+        restored = service.back("alice")
+        assert restored.context == advice.context
+        assert session.depth == 0
+
+    def test_duplicate_name_rejected_unless_replaced(self, service):
+        service.open_session("alice")
+        with pytest.raises(SessionError):
+            service.open_session("alice")
+        replacement = service.open_session("alice", replace=True)
+        assert service.session("alice") is replacement
+
+    def test_close_session_returns_stats(self, service):
+        service.open_session("alice", context=_CONTEXT)
+        stats = service.close_session("alice")
+        assert stats["requests"] == 1
+        with pytest.raises(SessionError):
+            service.session("alice")
+
+    def test_unknown_table_rejected(self, service):
+        with pytest.raises(AdvisorError):
+            service.open_session("bob", table="nope")
+
+
+class TestSharedCaching:
+    def test_identical_contexts_share_advice(self, service):
+        service.open_session("alice")
+        service.open_session("bob")
+        first = service.advise("alice", _CONTEXT)
+        second = service.advise("bob", _CONTEXT)
+        # The exact same Advice object is served from the shared cache.
+        assert second is first
+        advice_stats = service.stats()["tables"]["voc"]["advice_cache"]
+        assert advice_stats["hits"] == 1
+
+    def test_differently_parameterised_rankers_do_not_share_advice(self, service):
+        from repro.core.ranking import WeightedRanker
+
+        service.open_session(
+            "alice", ranker=WeightedRanker(entropy_weight=1.0, simplicity_weight=0.0)
+        )
+        service.open_session(
+            "bob", ranker=WeightedRanker(entropy_weight=0.0, simplicity_weight=5.0)
+        )
+        first = service.advise("alice", _CONTEXT)
+        second = service.advise("bob", _CONTEXT)
+        assert second is not first
+        # Same parameters do share.
+        service.open_session(
+            "carol", ranker=WeightedRanker(entropy_weight=1.0, simplicity_weight=0.0)
+        )
+        assert service.advise("carol", _CONTEXT) is first
+
+    def test_sessions_share_masks_and_aggregates(self, service):
+        service.open_session("alice")
+        service.open_session("bob")
+        service.advise("alice", _CONTEXT)
+        # Different max_answers defeats the advice cache but not the
+        # mask/aggregate cache underneath.
+        bob = service.session("bob")
+        bob.exploration.max_answers = 5
+        service.advise("bob", _CONTEXT)
+        assert bob.advisor.engine.counter.aggregate_hits > 0
+        assert bob.advisor.engine.counter.evaluations == 0
+
+    def test_concurrent_sessions_see_consistent_cache_stats(self, table):
+        service = AdvisorService(table, batch_window=0.002)
+        users = 6
+        barrier = threading.Barrier(users)
+        errors = []
+
+        def explore(index: int) -> None:
+            name = f"user-{index}"
+            try:
+                service.open_session(name)
+                barrier.wait()
+                advice = service.advise(name, _CONTEXT)
+                service.drill(name, index % len(advice.answers), 0)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=explore, args=(i,)) for i in range(users)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        cache_stats = service.stats()["tables"]["voc"]["result_cache"]
+        assert cache_stats["hits"] + cache_stats["misses"] > 0
+        assert cache_stats["entries"] <= cache_stats["capacity"]
+        assert 0.0 <= cache_stats["hit_rate"] <= 1.0
+        # Every session reads the same shared cache object.
+        snapshots = {
+            name: session["engine_operations"]
+            for name, session in service.stats()["sessions"].items()
+        }
+        assert len(snapshots) == users
+
+    def test_lru_eviction_bounds_service_memory(self, table):
+        service = AdvisorService(table, cache_capacity=16, batch_window=0.0)
+        service.open_session("alice", context=_CONTEXT)
+        stats = service.stats()["tables"]["voc"]["result_cache"]
+        assert stats["entries"] <= 16
+        assert stats["evictions"] > 0
+        # bool masks over 1500 rows: 16 entries stay under 16 × 1500 bytes
+        # plus scalar aggregates.
+        assert stats["approx_bytes"] <= 16 * table.num_rows
+
+
+class TestSubmitAndServe:
+    def test_submit_round_trip(self, service):
+        assert service.submit(
+            ServiceRequest(op="open", session="s1", context=_CONTEXT)
+        ).ok
+        drill = service.submit(ServiceRequest(op="drill", session="s1"))
+        assert drill.ok and drill.result.answers
+        assert service.submit(ServiceRequest(op="back", session="s1")).ok
+        count = service.submit(
+            ServiceRequest(op="count", context="tonnage: [0, 100000]")
+        )
+        assert count.ok and count.result > 0
+        stats = service.submit(ServiceRequest(op="stats"))
+        assert stats.ok and "tables" in stats.result
+        closed = service.submit(ServiceRequest(op="close", session="s1"))
+        assert closed.ok and closed.result["requests"] >= 2
+
+    def test_submit_reports_errors_instead_of_raising(self, service):
+        response = service.submit(ServiceRequest(op="drill", session="ghost"))
+        assert not response.ok
+        assert "ghost" in (response.error or "")
+        unknown = service.submit(ServiceRequest(op="frobnicate"))
+        assert not unknown.ok
+
+    def test_serve_workload_sequential_and_threaded(self, table):
+        scripts = generate_concurrent_workload(
+            table.column_names, users=4, steps=3, seed=2, distinct_paths=2
+        )
+        sequential = AdvisorService(table, batch_window=0.0).serve(scripts, workers=1)
+        threaded = AdvisorService(table, batch_window=0.002).serve(scripts, workers=4)
+        assert sequential.requests == threaded.requests > 0
+        assert not sequential.errors
+        assert not threaded.errors
+        assert sequential.throughput > 0
+        # The shared advice cache fires on the repeated paths.
+        assert sequential.table_stats["voc"]["advice_cache"]["hits"] > 0
+
+    def test_serve_records_open_errors_instead_of_raising(self, table):
+        service = AdvisorService({"a": table, "b": table}, batch_window=0.0)
+        scripts = generate_concurrent_workload(table.column_names, users=2, seed=4)
+        # Two tables and no table named: opening each session fails, but
+        # serve() reports it per user rather than crashing.
+        report = service.serve(scripts, workers=1)
+        assert report.requests == 0
+        assert len(report.errors) == 2
+
+
+class TestWorkloadGenerator:
+    def test_deterministic(self, table):
+        first = generate_concurrent_workload(table.column_names, users=5, seed=9)
+        second = generate_concurrent_workload(table.column_names, users=5, seed=9)
+        assert first == second
+
+    def test_distinct_paths_bounds_unique_scripts(self, table):
+        scripts = generate_concurrent_workload(
+            table.column_names, users=8, seed=1, distinct_paths=3
+        )
+        assert len(scripts) == 8
+        assert len({script.actions for script in scripts}) <= 3
+
+    def test_rejects_bad_arguments(self, table):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            generate_concurrent_workload(table.column_names, users=0)
+        with pytest.raises(WorkloadError):
+            generate_concurrent_workload([], users=1)

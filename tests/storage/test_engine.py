@@ -143,6 +143,48 @@ class TestMaterialise:
         assert engine.counts_for(queries) == (3, 3)
 
 
+class TestSharedCache:
+    def test_engines_share_masks(self, table):
+        from repro.storage import ResultCache
+
+        cache = ResultCache(capacity=32)
+        first = QueryEngine(table, cache=cache)
+        second = QueryEngine(table, cache=cache)
+        first.count(_fluit_query())
+        second.count(_fluit_query())
+        assert second.counter.evaluations == 0
+        assert second.counter.cache_hits == 1
+        assert cache.stats().hits == 1
+
+    def test_aggregate_caching_skips_the_mask(self, table):
+        from repro.storage import ResultCache
+
+        cache = ResultCache(capacity=32)
+        first = QueryEngine(table, cache=cache, cache_aggregates=True)
+        second = QueryEngine(table, cache=cache, cache_aggregates=True)
+        assert first.count(_fluit_query()) == second.count(_fluit_query())
+        assert first.median("tonnage", _fluit_query()) == second.median(
+            "tonnage", _fluit_query()
+        )
+        assert second.counter.evaluations == 0
+        assert second.counter.aggregate_hits == 2
+        # Logical accounting is unchanged by the cache.
+        assert second.counter.count_calls == 1
+        assert second.counter.median_calls == 1
+
+    def test_count_batch_matches_counts_for(self, engine):
+        queries = [_fluit_query(), SDLQuery([RangePredicate("tonnage", 1300, 1500)])]
+        assert engine.count_batch(queries) == engine.counts_for(queries)
+        assert engine.counter.batch_calls == 1
+
+    def test_median_batch(self, engine):
+        queries = [None, _fluit_query()]
+        assert engine.median_batch("tonnage", queries) == (
+            engine.median("tonnage"),
+            engine.median("tonnage", _fluit_query()),
+        )
+
+
 class TestIndexedEngine:
     def test_indexed_median_matches_plain(self, table):
         plain = QueryEngine(table, use_index=False)

@@ -10,7 +10,7 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("demo", "advise", "profile", "segment", "datasets"):
+        for command in ("demo", "advise", "profile", "segment", "serve", "datasets"):
             args = parser.parse_args(
                 [command] + (["--on", "tonnage"] if command == "segment" else [])
             )
@@ -76,6 +76,23 @@ class TestCommands:
         exit_code = main(["advise", "--csv", str(csv_path), "--max-answers", "2"])
         assert exit_code == 0
         assert "ranked answers" in capsys.readouterr().out
+
+    def test_serve_command_reports_throughput(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--users", "3",
+                "--steps", "2",
+                "--distinct-paths", "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "req/s" in output
+        assert "result cache hit rate" in output
+        assert "session 'user-00'" in output
 
     def test_profile_command(self, capsys):
         assert main(["profile", "--dataset", "weblog", "--rows", "300"]) == 0
