@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 
 import pytest
-from conftest import print_table
+from conftest import print_table, scale
 
 from repro.core import (
     HBCuts,
@@ -38,7 +38,7 @@ _CONTEXT = ["type_of_boat", "departure_harbour", "tonnage", "built", "yard"]
 
 @pytest.fixture(scope="module")
 def voc_30k():
-    return generate_voc(rows=30_000, seed=41)
+    return generate_voc(rows=scale(30_000, 1_000), seed=41)
 
 
 def test_e10_lazy_time_to_first_answer(benchmark, voc_30k):
@@ -85,7 +85,7 @@ def test_e10_lazy_time_to_first_answer(benchmark, voc_30k):
 
 
 def test_e10_quantile_cuts_isolate_the_gaussian_middle(benchmark):
-    table = make_gaussian_table(rows=20_000, mean=100.0, std=15.0, seed=19)
+    table = make_gaussian_table(rows=scale(20_000, 1_000), mean=100.0, std=15.0, seed=19)
     engine = QueryEngine(table)
     context = SDLQuery.over(["value", "region"])
 
@@ -122,7 +122,7 @@ def test_e10_quantile_cuts_isolate_the_gaussian_middle(benchmark):
 
 
 def test_e10_quantile_cuts_on_skewed_data(benchmark):
-    table = make_zipf_table(rows=20_000, exponent=1.4, categories=16, seed=29)
+    table = make_zipf_table(rows=scale(20_000, 1_000), exponent=1.4, categories=16, seed=29)
     engine = QueryEngine(table)
     context = SDLQuery.over(["category", "score"])
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 
 import pytest
-from conftest import print_table
+from conftest import is_smoke, print_table, scale
 
 from repro.core import Charles, ExplorationSession, HBCuts, HBCutsConfig
 from repro.sdl import SDLQuery
@@ -29,11 +29,11 @@ from repro.service import AdvisorService
 from repro.storage import QueryEngine
 from repro.workloads import generate_concurrent_workload, generate_voc
 
-_ROWS = 3000
+_ROWS = scale(3000, 400)
 _SEED = 5
 _STEPS = 4
 _DISTINCT_PATHS = 4
-_USER_WIDTHS = (1, 4, 16)
+_USER_WIDTHS = scale((1, 4, 16), (1, 8))
 
 
 @pytest.fixture(scope="module")
@@ -114,8 +114,12 @@ def test_e12_throughput_scaling(benchmark, service_table):
     )
 
     # Sharing pays off with scale: the cache hit rate grows with users...
+    widest = max(_USER_WIDTHS)
     hit_rate = lambda users: results[users].table_stats["voc"]["result_cache"]["hit_rate"]
-    assert hit_rate(16) > hit_rate(1)
+    if not is_smoke():
+        # At smoke scale the advice cache absorbs duplicated paths before
+        # they reach the result cache, so the rate comparison is moot.
+        assert hit_rate(widest) > hit_rate(1)
     # ...and the *work per request* shrinks (deterministic, unlike wall
     # clock): cache misses per served request drop as users pile onto the
     # same hot paths.
@@ -123,10 +127,10 @@ def test_e12_throughput_scaling(benchmark, service_table):
         results[users].table_stats["voc"]["result_cache"]["misses"]
         / results[users].requests
     )
-    assert misses_per_request(16) < misses_per_request(1)
-    advice_stats = results[16].table_stats["voc"]["advice_cache"]
+    assert misses_per_request(widest) < misses_per_request(1)
+    advice_stats = results[widest].table_stats["voc"]["advice_cache"]
     assert advice_stats["hits"] > 0
-    benchmark.extra_info["hit_rate_at_16_users"] = hit_rate(16)
+    benchmark.extra_info["hit_rate_at_max_users"] = hit_rate(widest)
 
 
 def test_e12_shared_service_vs_independent_engines(benchmark, service_table):

@@ -1,0 +1,156 @@
+"""E13 — the ExecutionBackend seam: cross-backend parity and throughput.
+
+The paper sells Charles as "a front-end for SQL systems" (Section 1)
+whose advisor issues only counts and medians (Section 5.1).  This
+benchmark validates the claim on the reproduction's backend seam:
+
+* **parity** — a full ``advise`` run over the VOC dataset produces
+  *identical* ranked segmentations (same cut attributes, same segments,
+  same counts, same scores) on the in-memory columnar engine and on the
+  SQLite backend, for both an unconstrained and a SQL-WHERE context;
+* **operation profile** — both backends issue the same logical operation
+  counts (the paper's "two operations" accounting is backend-independent);
+* **throughput** — raw counts/sec and medians/sec per backend, plus the
+  end-to-end advise latency, quantifying what the columnar substrate buys
+  over a stock SQL engine on the advisor's workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table, scale
+
+from repro.backends.registry import open_backend
+from repro.core import Charles
+from repro.sdl import RangePredicate, SDLQuery
+from repro.workloads import generate_voc
+
+_ROWS = scale(20_000, 800)
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage", "built"]
+_WHERE = "tonnage BETWEEN 300 AND 4500 AND type_of_boat NOT IN ('pinas')"
+_BACKENDS = ("memory", "sqlite")
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_voc(rows=_ROWS, seed=42)
+
+
+def _fingerprint(advice):
+    return [
+        (
+            answer.rank,
+            answer.segmentation.cut_attributes,
+            tuple(
+                (segment.query.to_sdl(), segment.count)
+                for segment in answer.segmentation.segments
+            ),
+            round(answer.score, 12),
+        )
+        for answer in advice.answers
+    ]
+
+
+def test_e13_cross_backend_parity(benchmark, table):
+    """Identical ranked segmentations on memory and sqlite (the headline)."""
+
+    def run_all():
+        results = {}
+        for spec in _BACKENDS:
+            advisor = Charles(table, backend=spec)
+            results[spec] = {
+                "columns": advisor.advise(_CONTEXT, max_answers=8),
+                "where": advisor.advise(_WHERE, max_answers=8),
+                "operations": advisor.engine.counter.snapshot(),
+            }
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for context_kind in ("columns", "where"):
+        fingerprints = {
+            spec: _fingerprint(results[spec][context_kind]) for spec in _BACKENDS
+        }
+        assert fingerprints["memory"] == fingerprints["sqlite"], context_kind
+        best = results["memory"][context_kind].best()
+        rows.append(
+            (
+                context_kind,
+                len(results["memory"][context_kind].answers),
+                ", ".join(best.attributes),
+                "identical" if fingerprints["memory"] == fingerprints["sqlite"] else "DIVERGED",
+            )
+        )
+    print_table(
+        "E13 — ranked answers across backends (VOC)",
+        ["context", "answers", "best answer", "memory vs sqlite"],
+        rows,
+    )
+
+    # The paper's two-operation accounting is a property of the advisor,
+    # not of the engine: logical operation counts match exactly.
+    memory_ops = results["memory"]["operations"]
+    sqlite_ops = results["sqlite"]["operations"]
+    for key in ("count_calls", "median_calls", "minmax_calls", "frequency_calls"):
+        assert memory_ops[key] == sqlite_ops[key], key
+    benchmark.extra_info["database_operations"] = memory_ops[
+        "total_database_operations"
+    ]
+
+
+def test_e13_backend_throughput(benchmark, table):
+    """Raw operation throughput and advise latency per backend."""
+    reference = open_backend("memory", table)
+    probes = [
+        query
+        for query in (
+            SDLQuery([RangePredicate("tonnage", 150 * i, 150 * i + 800)])
+            for i in range(scale(40, 10))
+        )
+        if reference.count(query) > 0  # medians need a non-empty selection
+    ]
+
+    def measure(spec):
+        backend = open_backend(spec, table)
+        started = time.perf_counter()
+        for query in probes:
+            backend.count(query)
+        count_elapsed = time.perf_counter() - started
+        backend = open_backend(spec, table)
+        started = time.perf_counter()
+        for query in probes:
+            backend.median("tonnage", query)
+        median_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        Charles(table, backend=spec).advise(_CONTEXT, max_answers=8)
+        advise_elapsed = time.perf_counter() - started
+        return count_elapsed, median_elapsed, advise_elapsed
+
+    def run_all():
+        return {spec: measure(spec) for spec in _BACKENDS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for spec, (count_elapsed, median_elapsed, advise_elapsed) in results.items():
+        rows.append(
+            (
+                spec,
+                f"{len(probes) / count_elapsed:,.0f}",
+                f"{len(probes) / median_elapsed:,.0f}",
+                f"{advise_elapsed * 1000:.1f} ms",
+            )
+        )
+    print_table(
+        f"E13 — backend throughput on VOC ({_ROWS} rows, {len(probes)} probes)",
+        ["backend", "counts/s", "medians/s", "advise latency"],
+        rows,
+    )
+    for spec, (count_elapsed, median_elapsed, advise_elapsed) in results.items():
+        benchmark.extra_info[f"{spec}_counts_per_s"] = round(
+            len(probes) / count_elapsed
+        )
+        benchmark.extra_info[f"{spec}_advise_ms"] = round(advise_elapsed * 1000, 1)

@@ -15,8 +15,10 @@ drawn outcome:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import pytest
-from conftest import print_table
+from conftest import print_table, scale
 
 from repro.core import compose, cut_query, cut_segmentation, entropy, indep, product
 from repro.sdl import SDLQuery, check_partition
@@ -24,8 +26,9 @@ from repro.storage import QueryEngine, Table
 from repro.workloads import make_rng
 
 
-def _figure2_table(rows: int = 4000, seed: int = 2) -> Table:
+def _figure2_table(rows: Optional[int] = None, seed: int = 2) -> Table:
     """A larger, noisy version of the Figure 2 fleet."""
+    rows = rows if rows is not None else scale(4000, 500)
     rng = make_rng(seed)
     data = {"type_of_boat": [], "tonnage": [], "departure_date": []}
     for _ in range(rows):

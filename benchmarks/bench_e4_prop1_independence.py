@@ -12,7 +12,7 @@ at every level: INDEP must start at ≈1 and decrease monotonically towards
 
 from __future__ import annotations
 
-from conftest import print_table
+from conftest import print_table, scale
 
 from repro.core import analyse_dependence, cut_query, entropy, product
 from repro.sdl import SDLQuery
@@ -20,7 +20,7 @@ from repro.storage import QueryEngine
 from repro.workloads import make_dependent_pair_table
 
 _STRENGTHS = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
-_ROWS = 6000
+_ROWS = scale(6000, 600)
 
 
 def _measure(strength: float, seed: int = 11):

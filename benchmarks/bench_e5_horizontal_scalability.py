@@ -20,15 +20,15 @@ from __future__ import annotations
 import time
 
 import pytest
-from conftest import print_table
+from conftest import print_table, scale
 
 from repro.core import HBCuts, HBCutsConfig, full_product_segmentation
 from repro.sdl import SDLQuery
 from repro.storage import QueryEngine
 from repro.workloads import make_wide_table
 
-_WIDTHS = (2, 3, 4, 5, 6, 8)
-_ROWS = 3000
+_WIDTHS = scale((2, 3, 4, 5, 6, 8), (2, 4, 6))
+_ROWS = scale(3000, 500)
 
 
 @pytest.fixture(scope="module")

@@ -17,14 +17,14 @@ from __future__ import annotations
 import time
 
 import pytest
-from conftest import print_table
+from conftest import is_smoke, print_table, scale
 
 from repro.core import Charles
 from repro.sdl import RangePredicate, SDLQuery
 from repro.storage import QueryEngine
 from repro.workloads import generate_voc
 
-_SIZES = (1_000, 5_000, 20_000, 50_000, 100_000)
+_SIZES = scale((1_000, 5_000, 20_000, 50_000, 100_000), (300, 600, 1_200))
 
 
 def _advise_once(rows: int):
@@ -74,7 +74,7 @@ def test_e6_runtime_vs_table_size(benchmark):
 
 @pytest.fixture(scope="module")
 def large_voc():
-    return generate_voc(rows=100_000, seed=23)
+    return generate_voc(rows=scale(100_000, 1_200), seed=23)
 
 
 def test_e6_primitive_count_cost(benchmark, large_voc):
@@ -122,5 +122,6 @@ def test_e6_ablation_sorted_index_for_full_column_medians(benchmark, large_voc):
         ],
     )
     assert plain.median("tonnage") == indexed.median("tonnage")
-    assert indexed_elapsed < plain_elapsed
+    if not is_smoke():  # wall-clock comparison is meaningless at smoke scale
+        assert indexed_elapsed < plain_elapsed
     benchmark.extra_info["speedup"] = round(plain_elapsed / max(indexed_elapsed, 1e-9), 1)

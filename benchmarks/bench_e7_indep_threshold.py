@@ -15,7 +15,7 @@ as the ablation.
 from __future__ import annotations
 
 import pytest
-from conftest import print_table
+from conftest import print_table, scale
 
 from repro.core import Charles, HBCutsConfig
 from repro.workloads import generate_astronomy, generate_voc, generate_weblog
@@ -47,7 +47,7 @@ def _top_answer_quality(table, columns, threshold=None, stopping="threshold"):
 @pytest.mark.parametrize("workload", sorted(_WORKLOADS))
 def test_e7_threshold_sweep(benchmark, workload):
     factory, columns = _WORKLOADS[workload]
-    table = factory(rows=3000, seed=31)
+    table = factory(rows=scale(3000, 500), seed=31)
 
     results = benchmark.pedantic(
         lambda: {t: _top_answer_quality(table, columns, threshold=t) for t in _THRESHOLDS},

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 
 import pytest
-from conftest import print_table
+from conftest import print_table, scale
 
 from repro.core import Charles
 from repro.sdl import SDLQuery, SetPredicate
@@ -33,7 +33,7 @@ _CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
 
 @pytest.fixture(scope="module")
 def big_voc():
-    return generate_voc(rows=100_000, seed=37)
+    return generate_voc(rows=scale(100_000, 3_000), seed=37)
 
 
 def _advise_with_rate(table, rate: float):

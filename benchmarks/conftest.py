@@ -10,12 +10,45 @@ survive in the JSON output.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import pytest
 
 from repro.storage import QueryEngine
 from repro.workloads import generate_astronomy, generate_voc, generate_weblog
+
+#: Set by ``--smoke`` (pytest_configure runs before bench modules import).
+SMOKE = False
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run every benchmark at tiny scale (CI rot check, not a measurement)",
+    )
+
+
+def pytest_configure(config) -> None:
+    global SMOKE
+    SMOKE = bool(config.getoption("--smoke", default=False))
+
+
+def scale(value: Any, smoke_value: Any) -> Any:
+    """The experiment-scale value, or its tiny ``--smoke`` substitute.
+
+    Benchmarks route every size-like constant (row counts, sweep widths,
+    user counts) through this helper so the CI smoke job can execute each
+    experiment end-to-end in seconds without touching the measurement
+    configuration.
+    """
+    return smoke_value if SMOKE else value
+
+
+def is_smoke() -> bool:
+    """Whether the suite runs under ``--smoke`` (skip scale-sensitive asserts)."""
+    return SMOKE
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -36,17 +69,17 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) ->
 @pytest.fixture(scope="session")
 def voc_table():
     """The Figure 1 workload at demo scale."""
-    return generate_voc(rows=5000, seed=42)
+    return generate_voc(rows=scale(5000, 600), seed=42)
 
 
 @pytest.fixture(scope="session")
 def astronomy_table():
-    return generate_astronomy(rows=5000, seed=7)
+    return generate_astronomy(rows=scale(5000, 600), seed=7)
 
 
 @pytest.fixture(scope="session")
 def weblog_table():
-    return generate_weblog(rows=5000, seed=13)
+    return generate_weblog(rows=scale(5000, 600), seed=13)
 
 
 @pytest.fixture()

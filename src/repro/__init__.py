@@ -11,6 +11,9 @@ Package layout
   queries, segmentations, parser/formatter, partition validation);
 * :mod:`repro.storage` — the in-memory column-store substrate (standing in
   for MonetDB): tables, the query engine, profiling, sampling, SQL glue;
+* :mod:`repro.backends` — the :class:`ExecutionBackend` protocol, the
+  SQLite backend and the spec registry (``"memory"``, ``"sqlite"``, …)
+  that make Charles a true front-end for SQL systems;
 * :mod:`repro.core` — the paper's contribution: CUT / COMPOSE / product,
   quality metrics, the HB-cuts heuristic, ranking, the Charles facade,
   interactive sessions, quantile/lazy extensions and baselines;
@@ -31,6 +34,7 @@ Quickstart
 
 from repro.errors import CharlesError
 from repro.sdl import (
+    ExclusionPredicate,
     NoConstraint,
     Predicate,
     RangePredicate,
@@ -39,6 +43,14 @@ from repro.sdl import (
     Segmentation,
     SetPredicate,
     parse_query,
+)
+from repro.backends import (
+    BackendRegistry,
+    BackendWrapper,
+    ExecutionBackend,
+    SQLiteBackend,
+    open_backend,
+    register_backend,
 )
 from repro.storage import (
     Catalog,
@@ -95,10 +107,18 @@ __all__ = [
     "NoConstraint",
     "RangePredicate",
     "SetPredicate",
+    "ExclusionPredicate",
     "SDLQuery",
     "Segment",
     "Segmentation",
     "parse_query",
+    # backends
+    "ExecutionBackend",
+    "BackendWrapper",
+    "BackendRegistry",
+    "SQLiteBackend",
+    "open_backend",
+    "register_backend",
     # storage
     "DataType",
     "Table",

@@ -1,0 +1,230 @@
+"""The ``ExecutionBackend`` protocol: the advisor ↔ storage contract.
+
+The paper positions Charles as "a front-end for SQL systems" (Section 1)
+and observes in Section 5.1 that the advisor needs only **two kinds of
+back-end operations** — counts over predicates and medians.  This module
+makes that observation a formal seam: :class:`ExecutionBackend` is the
+small protocol every execution engine implements, and everything above
+the storage layer (CUT/COMPOSE/product, HB-cuts, metrics, the `Charles`
+facade, the service layer) is written against it rather than against the
+concrete in-memory :class:`~repro.storage.engine.QueryEngine`.
+
+Conforming implementations shipped with the repo:
+
+* :class:`~repro.storage.engine.QueryEngine` — the in-memory columnar
+  engine (spec ``"memory"``);
+* :class:`~repro.storage.sampling.SampledEngine` — a wrapper that answers
+  statistics from a uniform sample of any backend (``"memory?sample=f"``);
+* :class:`~repro.backends.sqlite.SQLiteBackend` — executes segments by
+  rendering SDL through the :mod:`repro.storage.sql` glue against a
+  ``sqlite3`` database (spec ``"sqlite"`` / ``"sqlite:///path.db#table"``);
+* :class:`~repro.service.batching.BatchedEngine` — a wrapper that routes
+  batched count passes through a cross-session coordinator.
+
+Backends are obtained through :func:`repro.backends.open_backend`, which
+resolves a textual spec against the :class:`~repro.backends.registry.BackendRegistry`.
+
+Optional capabilities
+---------------------
+Two method families are deliberately *not* part of the protocol because
+they expose in-memory representations: ``evaluate(query) -> mask`` and
+``materialize(query) -> Table`` (plus the ``table`` attribute).  Callers
+that need them — the profiler's fast path, the partition validator, the
+histogram renderer — must check for them (``getattr(backend, "table",
+None)``) and degrade gracefully; :func:`repro.storage.statistics.profile_backend`
+is the aggregate-only fallback used by ``Charles.profile``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.sdl.query import SDLQuery
+
+__all__ = ["ExecutionBackend", "BackendWrapper"]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What the advisor requires from an execution engine.
+
+    The surface is intentionally tiny (the paper's two operations, plus
+    the schema introspection and batching hooks the reproduction grew):
+
+    ======================  ====================================================
+    member                  meaning
+    ======================  ====================================================
+    ``name``                the relation's name (used in reports and SQL)
+    ``num_rows``            ``|T|`` — cardinality of the relation
+    ``column_names``        attributes of the relation, in schema order
+    ``is_numeric(a)``       whether ``a`` supports arithmetic medians
+    ``count(q)``            ``|R(Q)|`` — rows selected by an SDL query
+    ``cover(q, c)``         ``|R(Q)| / |R(C)|`` (table-relative without ``c``)
+    ``median(a, q)``        arithmetic median of ``a`` over ``R(Q)``
+    ``minmax(a, q)``        minimum and maximum of ``a`` over ``R(Q)``
+    ``value_frequencies``   value → count histogram of ``a`` over ``R(Q)``
+    ``distinct_count``      number of distinct non-missing values
+    ``count_batch(qs)``     many counts in one engine pass (deduplicated)
+    ``median_batch``        many medians of one attribute as one pass
+    ``counts_for(qs)``      sequential convenience counts (one call each)
+    ``counter``             an ``OperationCounter`` tallying logical work
+    ``stats()``             backend-specific statistics snapshot (dict)
+    ``reset()``             zero the operation counters
+    ======================  ====================================================
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def num_rows(self) -> int: ...
+
+    @property
+    def column_names(self) -> List[str]: ...
+
+    @property
+    def counter(self) -> Any: ...
+
+    def is_numeric(self, attribute: str) -> bool: ...
+
+    def count(self, query: SDLQuery) -> int: ...
+
+    def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float: ...
+
+    def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any: ...
+
+    def minmax(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Tuple[Any, Any]: ...
+
+    def value_frequencies(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Dict[Any, int]: ...
+
+    def distinct_count(self, attribute: str, query: Optional[SDLQuery] = None) -> int: ...
+
+    def count_batch(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]: ...
+
+    def median_batch(
+        self, attribute: str, queries: Sequence[Optional[SDLQuery]]
+    ) -> Tuple[Any, ...]: ...
+
+    def counts_for(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]: ...
+
+    def stats(self) -> Dict[str, Any]: ...
+
+    def reset(self) -> None: ...
+
+
+class BackendWrapper:
+    """Base class for backends that decorate another backend.
+
+    :class:`~repro.storage.sampling.SampledEngine` and
+    :class:`~repro.service.batching.BatchedEngine` used to *subclass* the
+    concrete ``QueryEngine``; they now wrap **any**
+    :class:`ExecutionBackend` instead, overriding only the operations they
+    change.  Every protocol member delegates to the wrapped backend;
+    optional capabilities (``table``, ``evaluate``, ``materialize``,
+    ``cache`` …) pass through via ``__getattr__`` so a wrapper is exactly
+    as capable as what it wraps.
+    """
+
+    def __init__(self, inner: ExecutionBackend):
+        self._inner = inner
+
+    @property
+    def inner(self) -> ExecutionBackend:
+        """The wrapped backend (one layer down)."""
+        return self._inner
+
+    def unwrap(self) -> ExecutionBackend:
+        """The innermost backend below every wrapper layer."""
+        backend = self._inner
+        while isinstance(backend, BackendWrapper):
+            backend = backend.inner
+        return backend
+
+    # -- protocol delegation --------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def num_rows(self) -> int:
+        return self._inner.num_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return self._inner.column_names
+
+    @property
+    def counter(self) -> Any:
+        return self._inner.counter
+
+    def is_numeric(self, attribute: str) -> bool:
+        return self._inner.is_numeric(attribute)
+
+    def count(self, query: SDLQuery) -> int:
+        return self._inner.count(query)
+
+    def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
+        # Delegate rather than recompute from self.count: a wrapper that
+        # transforms counts (e.g. a sampling wrapper scaling estimates)
+        # defines its own consistent cover.
+        return self._inner.cover(query, context)
+
+    def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
+        return self._inner.median(attribute, query)
+
+    def minmax(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Tuple[Any, Any]:
+        return self._inner.minmax(attribute, query)
+
+    def value_frequencies(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Dict[Any, int]:
+        return self._inner.value_frequencies(attribute, query)
+
+    def distinct_count(self, attribute: str, query: Optional[SDLQuery] = None) -> int:
+        return self._inner.distinct_count(attribute, query)
+
+    def count_batch(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
+        return self._inner.count_batch(queries)
+
+    def median_batch(
+        self, attribute: str, queries: Sequence[Optional[SDLQuery]]
+    ) -> Tuple[Any, ...]:
+        return self._inner.median_batch(attribute, queries)
+
+    def counts_for(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
+        return tuple(self.count(query) for query in queries)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._inner.stats()
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    # -- optional capabilities pass through ------------------------------------
+
+    def __getattr__(self, item: str) -> Any:
+        # Only called when normal lookup fails: optional capabilities such
+        # as ``table``, ``evaluate``, ``materialize``, ``cache`` delegate to
+        # the wrapped backend.
+        if item == "_inner":  # guard against recursion before __init__ ran
+            raise AttributeError(item)
+        return getattr(self._inner, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self._inner!r})"

@@ -1,0 +1,267 @@
+"""Backend registry: textual specs → :class:`ExecutionBackend` instances.
+
+A backend *spec* is a compact URI-like string::
+
+    memory                      the in-memory columnar QueryEngine
+    memory?sample=0.1&seed=7    SampledEngine over a 10% uniform sample
+    memory?index=1&cache=512    engine options as query parameters
+    sqlite                      load the table into an in-memory SQLite db
+    sqlite?sample=0.25          … sampled, materialised inside SQLite
+    sqlite:///path/to/db.db#t   open table ``t`` of an existing database
+
+Grammar: ``scheme[://path][?key=value&...][#fragment]``.  The path after
+``://`` is used verbatim as a filesystem path — ``sqlite://x.db`` is
+relative to the working directory, ``sqlite:///var/data/x.db`` is
+absolute (note: *not* SQLAlchemy's three-slash-relative rule).  The
+scheme picks
+the factory from the :class:`BackendRegistry`; path, fragment and
+parameters are passed through.  :func:`open_backend` is the single entry
+point used by :class:`repro.core.advisor.Charles`,
+:meth:`repro.service.AdvisorService.register_table` and the CLI's
+``--backend`` flag; third-party backends (DuckDB, a remote service, a
+shard router) plug in through :func:`register_backend` without touching
+any consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+from urllib.parse import parse_qsl, unquote
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.sqlite import SQLiteBackend
+from repro.errors import BackendError
+from repro.storage.cache import ResultCache
+from repro.storage.engine import QueryEngine
+from repro.storage.sampling import SampledEngine
+from repro.storage.table import Table
+
+__all__ = [
+    "BackendSpec",
+    "BackendRegistry",
+    "default_registry",
+    "register_backend",
+    "open_backend",
+]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed backend spec (see the module docstring for the grammar)."""
+
+    scheme: str
+    path: str = ""
+    params: Dict[str, str] = field(default_factory=dict)
+    fragment: str = ""
+
+    @classmethod
+    def parse(cls, spec: str) -> "BackendSpec":
+        text = spec.strip()
+        if not text:
+            raise BackendError("empty backend spec")
+        text, _, fragment = text.partition("#")
+        text, _, query = text.partition("?")
+        scheme, separator, path = text.partition("://")
+        if not separator:
+            scheme, path = text, ""
+        if not scheme:
+            raise BackendError(f"backend spec {spec!r} names no scheme")
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        return cls(
+            scheme=scheme.lower(),
+            path=unquote(path),
+            params=params,
+            fragment=unquote(fragment),
+        )
+
+
+#: A factory receives the parsed spec plus construction context and
+#: returns a conforming backend.
+BackendFactory = Callable[..., ExecutionBackend]
+
+
+class BackendRegistry:
+    """Maps spec schemes to backend factories.
+
+    Factories are called as ``factory(spec, table=..., cache=...,
+    cache_aggregates=..., cache_size=..., use_index=...)`` where ``spec``
+    is the parsed :class:`BackendSpec` and ``table`` is the optional
+    source :class:`~repro.storage.table.Table` (required by schemes that
+    have no external storage of their own).
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, BackendFactory] = {}
+
+    def register(
+        self, scheme: str, factory: BackendFactory, replace: bool = False
+    ) -> None:
+        """Register a factory under a scheme name."""
+        key = scheme.lower()
+        if key in self._factories and not replace:
+            raise BackendError(
+                f"backend scheme {key!r} is already registered; pass replace=True"
+            )
+        self._factories[key] = factory
+
+    @property
+    def schemes(self) -> List[str]:
+        """The registered scheme names, sorted."""
+        return sorted(self._factories)
+
+    def open(
+        self,
+        spec: str,
+        table: Optional[Table] = None,
+        **context: Any,
+    ) -> ExecutionBackend:
+        """Resolve a spec string into a live backend."""
+        parsed = BackendSpec.parse(spec)
+        factory = self._factories.get(parsed.scheme)
+        if factory is None:
+            raise BackendError(
+                f"unknown backend scheme {parsed.scheme!r}; "
+                f"registered: {', '.join(self.schemes)}"
+            )
+        return factory(parsed, table=table, **context)
+
+
+def _spec_bool(spec: BackendSpec, key: str, default: bool = False) -> bool:
+    raw = spec.params.get(key)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+def _spec_float(spec: BackendSpec, key: str) -> Optional[float]:
+    raw = spec.params.get(key)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise BackendError(f"backend parameter {key}={raw!r} is not a number")
+
+
+def _spec_int(spec: BackendSpec, key: str) -> Optional[int]:
+    raw = spec.params.get(key)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise BackendError(f"backend parameter {key}={raw!r} is not an integer")
+
+
+def _maybe_sampled(
+    backend: ExecutionBackend, spec: BackendSpec
+) -> ExecutionBackend:
+    """Wrap a backend in a :class:`SampledEngine` when ``sample=f`` is set."""
+    fraction = _spec_float(spec, "sample")
+    if fraction is None or fraction >= 1.0:
+        return backend
+    return SampledEngine(backend, fraction=fraction, seed=_spec_int(spec, "seed"))
+
+
+def _memory_factory(
+    spec: BackendSpec,
+    table: Optional[Table] = None,
+    cache: Optional[ResultCache] = None,
+    cache_aggregates: bool = False,
+    cache_size: int = 256,
+    use_index: bool = False,
+) -> ExecutionBackend:
+    if table is None:
+        raise BackendError("the 'memory' backend requires a source table")
+    spec_cache = _spec_int(spec, "cache")
+    engine = QueryEngine(
+        table,
+        cache_size=spec_cache if spec_cache is not None else cache_size,
+        use_index=_spec_bool(spec, "index", use_index),
+        cache=cache,
+        cache_aggregates=cache_aggregates,
+    )
+    return _maybe_sampled(engine, spec)
+
+
+def _sqlite_factory(
+    spec: BackendSpec,
+    table: Optional[Table] = None,
+    cache: Optional[ResultCache] = None,
+    cache_aggregates: bool = True,
+    cache_size: int = 256,
+    use_index: bool = False,
+) -> ExecutionBackend:
+    del use_index  # SQLite plans its own access paths
+    database = spec.path or ":memory:"
+    spec_cache = _spec_int(spec, "cache")
+    options = {
+        "cache": cache,
+        "cache_aggregates": cache_aggregates,
+        "cache_size": spec_cache if spec_cache is not None else cache_size,
+    }
+    if table is not None:
+        backend: ExecutionBackend = SQLiteBackend.from_table(
+            table,
+            database=database,
+            table_name=spec.fragment or None,
+            if_exists="skip" if spec.path else "fail",
+            **options,
+        )
+    else:
+        if not spec.path:
+            raise BackendError(
+                "the 'sqlite' backend needs a source table or a database "
+                "path (sqlite:///path.db#table)"
+            )
+        backend = SQLiteBackend(
+            database, table_name=spec.fragment or None, **options
+        )
+    return _maybe_sampled(backend, spec)
+
+
+#: The process-wide registry, pre-populated with the built-in backends.
+default_registry = BackendRegistry()
+default_registry.register("memory", _memory_factory)
+default_registry.register("sqlite", _sqlite_factory)
+
+
+def register_backend(
+    scheme: str, factory: BackendFactory, replace: bool = False
+) -> None:
+    """Register a backend factory in the process-wide registry."""
+    default_registry.register(scheme, factory, replace=replace)
+
+
+def open_backend(
+    spec: Any,
+    table: Optional[Table] = None,
+    registry: Optional[BackendRegistry] = None,
+    **context: Any,
+) -> ExecutionBackend:
+    """Open a backend from a spec string (or pass an instance through).
+
+    Parameters
+    ----------
+    spec:
+        A spec string such as ``"memory"``, ``"memory?sample=0.1"`` or
+        ``"sqlite:///path.db#table"`` — or an already-built
+        :class:`ExecutionBackend`, returned unchanged (so every consumer
+        can accept either form).
+    table:
+        Source table for backends without external storage.
+    registry:
+        Registry to resolve against (default: the process-wide one).
+    context:
+        Construction context forwarded to the factory (``cache``,
+        ``cache_aggregates``, ``cache_size``, ``use_index``).
+    """
+    if not isinstance(spec, str):
+        if isinstance(spec, ExecutionBackend):
+            return spec
+        raise BackendError(
+            f"cannot open a backend from {type(spec).__name__!r}; "
+            "pass a spec string or an ExecutionBackend instance"
+        )
+    return (registry or default_registry).open(spec, table=table, **context)

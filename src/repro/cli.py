@@ -24,8 +24,8 @@ from repro.core.ranking import EntropyRanker, LexicographicRanker, WeightedRanke
 from repro.core.session import ExplorationSession
 from repro.errors import CharlesError
 from repro.service import AdvisorService
+from repro.backends.registry import open_backend
 from repro.storage.csv_loader import load_csv
-from repro.storage.engine import QueryEngine
 from repro.storage.table import Table
 from repro.viz.histogram import segment_distributions
 from repro.viz.piechart import pie_chart
@@ -79,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="entropy", help="ranking policy")
         sub.add_argument("--sample", type=float, default=None,
                          help="sampling fraction for statistics (0 < f < 1)")
+        sub.add_argument("--backend", default="memory",
+                         help="execution backend spec: memory (default), "
+                              "memory?sample=0.1, sqlite, "
+                              "sqlite:///path.db#table")
         sub.add_argument("--style", choices=("pie", "treemap", "table"), default="pie",
                          help="detail renderer for the selected answer")
 
@@ -142,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="entries of the shared per-table result cache")
     serve.add_argument("--no-batching", action="store_true",
                        help="disable batched INDEP evaluation")
+    serve.add_argument("--backend", default="memory",
+                       help="execution backend spec for the table runtime "
+                            "(memory, sqlite, ...)")
 
     subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     return parser
@@ -162,7 +169,7 @@ def _make_ranker(name: str, table: Table):
     if name == "lexicographic":
         return LexicographicRanker()
     if name == "surprise":
-        return SurpriseRanker(engine=QueryEngine(table))
+        return SurpriseRanker(engine=open_backend("memory", table))
     return EntropyRanker()
 
 
@@ -177,6 +184,7 @@ def _make_advisor(table: Table, args: argparse.Namespace) -> Charles:
         ranker=_make_ranker(getattr(args, "ranker", "entropy"), table),
         sample_fraction=getattr(args, "sample", None),
         seed=getattr(args, "seed", None),
+        backend=getattr(args, "backend", None) or "memory",
     )
 
 
@@ -206,7 +214,11 @@ def _command_advise(args: argparse.Namespace) -> int:
     probe = getattr(args, "show_distribution", None)
     if probe and advice.answers:
         print()
-        print(segment_distributions(advisor.engine, advice.best().segmentation, probe))
+        if advisor.table is None:
+            print(f"(distribution of {probe!r} unavailable: the "
+                  f"{args.backend!r} backend exposes no in-memory columns)")
+        else:
+            print(segment_distributions(advisor.engine, advice.best().segmentation, probe))
     return 0
 
 
@@ -275,6 +287,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         table,
         cache_capacity=args.cache_capacity,
         batch_indep=not args.no_batching,
+        backend=getattr(args, "backend", None) or "memory",
     )
     report = service.serve(scripts, workers=args.workers)
     print(report.describe())

@@ -14,15 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import open_backend
 from repro.errors import AdvisorError, SDLSyntaxError
 from repro.sdl.formatter import format_segment_label, format_segmentation
 from repro.sdl.parser import parse_query
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
 from repro.storage.sampling import SampledEngine
 from repro.storage.sql import parse_where
-from repro.storage.statistics import TableProfile, profile_table
+from repro.storage.statistics import TableProfile, profile_backend, profile_table
 from repro.storage.table import Table
 from repro.core.hbcuts import HBCuts, HBCutsConfig, HBCutsResult, HBCutsTrace
 from repro.core.metrics import SegmentationScores
@@ -125,9 +126,12 @@ class Charles:
     Parameters
     ----------
     table:
-        The relation to explore, or an already-built
-        :class:`~repro.storage.engine.QueryEngine` (useful to share mask
-        caches or to plug a :class:`~repro.storage.sampling.SampledEngine`).
+        The relation to explore — a :class:`~repro.storage.table.Table`
+        (executed through the backend selected by ``backend``) or an
+        already-built :class:`~repro.backends.base.ExecutionBackend`
+        (useful to share caches, or to plug a
+        :class:`~repro.storage.sampling.SampledEngine` or
+        :class:`~repro.backends.sqlite.SQLiteBackend` directly).
     config:
         HB-cuts parameters; defaults follow the paper (``max_indep=0.99``,
         ``max_depth=12``).
@@ -135,9 +139,15 @@ class Charles:
         Ranking policy; defaults to the paper's entropy ordering.
     sample_fraction:
         When set (0 < f < 1), statistics are computed on a uniform sample
-        of the table (Section 5.2's sampling extension).
+        of the data (Section 5.2's sampling extension) regardless of the
+        backend.
     seed:
         Random seed of the sampling engine.
+    backend:
+        Backend spec resolved through
+        :func:`repro.backends.open_backend` when ``table`` is a
+        :class:`Table` — e.g. ``"memory"`` (default),
+        ``"memory?sample=0.1"`` or ``"sqlite"``.
 
     Examples
     --------
@@ -150,26 +160,47 @@ class Charles:
 
     def __init__(
         self,
-        table: Union[Table, QueryEngine],
+        table: Union[Table, ExecutionBackend],
         config: Optional[HBCutsConfig] = None,
         ranker: Optional[Ranker] = None,
         sample_fraction: Optional[float] = None,
         seed: Optional[int] = None,
         cache_size: int = 256,
         use_index: bool = False,
+        backend: Optional[str] = None,
     ):
-        if isinstance(table, QueryEngine):
-            self.engine = table
-            self.table = table.table
+        if isinstance(table, Table):
+            self.engine = open_backend(
+                backend or "memory",
+                table,
+                cache_size=cache_size,
+                use_index=use_index,
+            )
         else:
-            self.table = table
-            if sample_fraction is not None and sample_fraction < 1.0:
-                self.engine = SampledEngine(
-                    table, fraction=sample_fraction, seed=seed,
-                    cache_size=cache_size, use_index=use_index,
+            if backend is not None:
+                raise AdvisorError(
+                    "pass either a backend spec or a backend instance, not both"
                 )
-            else:
-                self.engine = QueryEngine(table, cache_size=cache_size, use_index=use_index)
+            self.engine = open_backend(table)
+        if sample_fraction is not None and sample_fraction < 1.0:
+            if isinstance(self.engine, SampledEngine):
+                raise AdvisorError(
+                    "the backend already samples; pass either sample_fraction "
+                    "or a sampled backend spec (e.g. 'memory?sample=0.1'), "
+                    "not both"
+                )
+            # Sample whatever backend was opened (SQLite samples in SQL);
+            # the plain-table fast path keeps the historical behaviour.
+            source: Union[Table, ExecutionBackend] = (
+                table
+                if isinstance(table, Table) and (backend or "memory") == "memory"
+                else self.engine
+            )
+            self.engine = SampledEngine(
+                source, fraction=sample_fraction, seed=seed,
+                cache_size=cache_size, use_index=use_index,
+            )
+        self.table = getattr(self.engine, "table", None)
         self.config = config or HBCutsConfig()
         self.ranker = ranker or EntropyRanker()
         self._generator = HBCuts(self.config)
@@ -185,18 +216,19 @@ class Charles:
         * a string — parsed as SDL first, then as a SQL WHERE clause.
         """
         if context is None:
-            return SDLQuery.over(self.table.column_names)
+            return SDLQuery.over(self.engine.column_names)
         if isinstance(context, SDLQuery):
             return context
         if isinstance(context, str):
             return self._parse_text_context(context)
         if isinstance(context, Sequence):
             names = list(context)
-            unknown = [name for name in names if not self.table.has_column(str(name))]
+            available = set(self.engine.column_names)
+            unknown = [name for name in names if str(name) not in available]
             if unknown:
                 raise AdvisorError(
                     f"unknown column(s) in context: {unknown}; "
-                    f"available: {self.table.column_names}"
+                    f"available: {self.engine.column_names}"
                 )
             return SDLQuery.over([str(name) for name in names])
         raise AdvisorError(f"unsupported context type: {type(context).__name__}")
@@ -293,9 +325,15 @@ class Charles:
         return segmentation
 
     def profile(self, context: ContextLike = None) -> TableProfile:
-        """Statistical profile of the context's result set (CLI ``profile``)."""
+        """Statistical profile of the context's result set (CLI ``profile``).
+
+        Backends exposing their in-memory table use the mask-based fast
+        path; pure SQL backends are profiled through aggregates only.
+        """
         resolved = self.resolve_context(context)
-        return profile_table(self.table, context=resolved, engine=self.engine)
+        if self.table is not None:
+            return profile_table(self.table, context=resolved, engine=self.engine)
+        return profile_backend(self.engine, context=resolved)
 
     def count(self, context: ContextLike) -> int:
         """Cardinality of a context (convenience wrapper over the engine)."""
@@ -303,6 +341,6 @@ class Charles:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"Charles(table={self.table.name!r}, rows={self.table.num_rows}, "
+            f"Charles(table={self.engine.name!r}, rows={self.engine.num_rows}, "
             f"max_indep={self.config.max_indep}, max_depth={self.config.max_depth})"
         )

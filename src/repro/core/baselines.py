@@ -26,11 +26,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CannotCutError, SegmentationError
+from repro.errors import CannotCutError, PredicateError, SegmentationError
 from repro.sdl.predicates import RangePredicate, SetPredicate
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segment, Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.cut import cut_query, cut_segmentation
 from repro.core.median import DEFAULT_LOW_CARDINALITY_THRESHOLD, nominal_value_order
 from repro.core.product import product
@@ -45,7 +45,7 @@ __all__ = [
 
 
 def facet_segmentation(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     attribute: str,
     max_groups: int = 12,
@@ -61,14 +61,16 @@ def facet_segmentation(
     context_count = engine.count(context)
     if context_count == 0:
         raise CannotCutError(attribute, "the context selects no rows")
-    column = engine.table.column(attribute)
-    if column.dtype.is_numeric:
+    if engine.is_numeric(attribute):
         predicates = _equal_width_predicates(engine, context, attribute, max_groups)
     else:
         predicates = _per_value_predicates(engine, context, attribute, max_groups)
     segments: List[Segment] = []
     for predicate in predicates:
-        piece = context.refine(predicate)
+        try:
+            piece = context.refine(predicate)
+        except PredicateError as error:
+            raise CannotCutError(attribute, str(error)) from error
         if piece is None:
             continue
         count = engine.count(piece)
@@ -86,7 +88,7 @@ def facet_segmentation(
 
 
 def _per_value_predicates(
-    engine: QueryEngine, context: SDLQuery, attribute: str, max_groups: int
+    engine: ExecutionBackend, context: SDLQuery, attribute: str, max_groups: int
 ) -> List[SetPredicate]:
     frequencies = engine.value_frequencies(attribute, context)
     if len(frequencies) < 2:
@@ -103,7 +105,7 @@ def _per_value_predicates(
 
 
 def _equal_width_predicates(
-    engine: QueryEngine, context: SDLQuery, attribute: str, bins: int
+    engine: ExecutionBackend, context: SDLQuery, attribute: str, bins: int
 ) -> List[RangePredicate]:
     minimum, maximum = engine.minmax(attribute, context)
     if minimum == maximum:
@@ -127,7 +129,7 @@ def _equal_width_predicates(
 
 
 def all_facet_segmentations(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     attributes: Optional[Sequence[str]] = None,
     max_groups: int = 12,
@@ -146,7 +148,7 @@ def all_facet_segmentations(
 
 
 def random_segmentation(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     depth: int = 4,
     seed: Optional[int] = None,
@@ -181,7 +183,7 @@ def random_segmentation(
 
 
 def full_product_segmentation(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     attributes: Optional[Sequence[str]] = None,
     max_depth: Optional[int] = None,
@@ -210,7 +212,7 @@ def full_product_segmentation(
 
 
 def clique_like_segmentation(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     attributes: Optional[Sequence[str]] = None,
     bins: int = 4,

@@ -17,7 +17,7 @@ from typing import Sequence
 
 from repro.errors import CompositionError
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.cut import cut_segmentation
 from repro.core.median import DEFAULT_LOW_CARDINALITY_THRESHOLD
 
@@ -40,7 +40,7 @@ def compose_attributes(segmentation: Segmentation) -> Sequence[str]:
 
 
 def compose(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     first: Segmentation,
     second: Segmentation,
     low_cardinality_threshold: int = DEFAULT_LOW_CARDINALITY_THRESHOLD,

@@ -10,16 +10,16 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import CannotCutError
+from repro.errors import CannotCutError, PredicateError
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segment, Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.median import DEFAULT_LOW_CARDINALITY_THRESHOLD, median_split
 
 __all__ = ["cut_query", "cut_segmentation", "can_cut"]
 
 
-def can_cut(engine: QueryEngine, query: SDLQuery, attribute: str) -> bool:
+def can_cut(engine: ExecutionBackend, query: SDLQuery, attribute: str) -> bool:
     """Whether ``CUT_attribute(query)`` is defined (>= 2 distinct values)."""
     try:
         median_split(engine, query, attribute)
@@ -29,7 +29,7 @@ def can_cut(engine: QueryEngine, query: SDLQuery, attribute: str) -> bool:
 
 
 def cut_query(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     low_cardinality_threshold: int = DEFAULT_LOW_CARDINALITY_THRESHOLD,
@@ -58,7 +58,13 @@ def cut_query(
     context_count = engine.count(query)
     segments: List[Segment] = []
     for predicate in spec.predicates:
-        piece = query.refine(predicate)
+        try:
+            piece = query.refine(predicate)
+        except PredicateError as error:
+            # E.g. an exclusion constraint on a numeric attribute whose
+            # excluded values fall inside the cut range: the conjunction
+            # has no single-predicate form, so the attribute cannot be cut.
+            raise CannotCutError(attribute, str(error)) from error
         if piece is None:
             continue
         count = engine.count(piece)
@@ -78,7 +84,7 @@ def cut_query(
 
 
 def cut_segmentation(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     segmentation: Segmentation,
     attribute: str,
     low_cardinality_threshold: int = DEFAULT_LOW_CARDINALITY_THRESHOLD,

@@ -22,7 +22,7 @@ import numpy as np
 from scipy import stats
 
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.product import product_counts
 
 __all__ = [
@@ -38,7 +38,7 @@ __all__ = [
 
 
 def contingency_table(
-    engine: QueryEngine, first: Segmentation, second: Segmentation
+    engine: ExecutionBackend, first: Segmentation, second: Segmentation
 ) -> np.ndarray:
     """The ``K × L`` contingency table of two segmentations of the same context."""
     return np.asarray(product_counts(engine, first, second), dtype=np.float64)
@@ -158,7 +158,7 @@ class DependenceReport:
 
 
 def analyse_dependence(
-    engine: QueryEngine, first: Segmentation, second: Segmentation
+    engine: ExecutionBackend, first: Segmentation, second: Segmentation
 ) -> DependenceReport:
     """Compute the full dependence report for a pair of segmentations."""
     table = contingency_table(engine, first, second)
@@ -174,7 +174,7 @@ def analyse_dependence(
 
 
 def pairwise_indep_matrix(
-    engine: QueryEngine, segmentations: Sequence[Segmentation]
+    engine: ExecutionBackend, segmentations: Sequence[Segmentation]
 ) -> List[List[float]]:
     """Symmetric matrix of INDEP values over a list of segmentations.
 

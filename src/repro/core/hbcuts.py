@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import AdvisorError, CannotCutError, CompositionError
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segment, Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.compose import compose
 from repro.core.cut import cut_query
 from repro.core.dependence import chi_square_test, contingency_table
@@ -75,7 +75,7 @@ class HBCutsConfig:
     batch_indep:
         Evaluate the INDEP of every not-yet-cached candidate pair of an
         iteration in a single multi-query engine pass
-        (:meth:`~repro.storage.engine.QueryEngine.count_batch`) instead of
+        (:meth:`~repro.backends.base.ExecutionBackend.count_batch`) instead of
         one product at a time.  Bit-for-bit identical results — same
         counts, same tie-breaking, same ordering — but concurrent sessions
         routed through the service layer coalesce their passes.
@@ -184,7 +184,7 @@ class HBCuts:
 
     def run(
         self,
-        engine: QueryEngine,
+        engine: ExecutionBackend,
         context: SDLQuery,
         attributes: Optional[Sequence[str]] = None,
     ) -> HBCutsResult:
@@ -249,7 +249,7 @@ class HBCuts:
 
     def _initial_candidates(
         self,
-        engine: QueryEngine,
+        engine: ExecutionBackend,
         context: SDLQuery,
         attributes: Sequence[str],
         trace: HBCutsTrace,
@@ -277,7 +277,7 @@ class HBCuts:
 
     def _most_dependent_pair(
         self,
-        engine: QueryEngine,
+        engine: ExecutionBackend,
         candidates: Sequence[Segmentation],
         cache: Dict[frozenset, Tuple[float, Segmentation]],
         trace: HBCutsTrace,
@@ -311,7 +311,7 @@ class HBCuts:
 
     def _most_dependent_pair_batched(
         self,
-        engine: QueryEngine,
+        engine: ExecutionBackend,
         candidates: Sequence[Segmentation],
         cache: Dict[frozenset, Tuple[float, Segmentation]],
         trace: HBCutsTrace,
@@ -320,7 +320,7 @@ class HBCuts:
 
         Collects the product cells of every candidate pair whose INDEP is
         not cached, issues their counts through one
-        :meth:`~repro.storage.engine.QueryEngine.count_batch` call, and
+        :meth:`~repro.backends.base.ExecutionBackend.count_batch` call, and
         rebuilds each product exactly as :func:`repro.core.product.product`
         would (same cell order, same ``drop_empty`` rule), so the selected
         pair — and therefore the whole HB-cuts run — is identical to the
@@ -395,7 +395,7 @@ class HBCuts:
 
     def _should_stop(
         self,
-        engine: QueryEngine,
+        engine: ExecutionBackend,
         first: Segmentation,
         second: Segmentation,
         indep_value: float,
@@ -416,7 +416,7 @@ class HBCuts:
 
 
 def hb_cuts(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     max_indep: float = DEFAULT_MAX_INDEP,
     max_depth: int = DEFAULT_MAX_DEPTH,

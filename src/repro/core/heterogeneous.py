@@ -32,7 +32,7 @@ import numpy as np
 from repro.errors import CannotCutError, SegmentationError
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segment, Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.cut import cut_query
 from repro.core.median import DEFAULT_LOW_CARDINALITY_THRESHOLD
 
@@ -73,7 +73,7 @@ def _segmentation_entropy(counts: Sequence[int]) -> float:
 
 
 def _try_cut(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     low_cardinality_threshold: int,
@@ -100,7 +100,7 @@ def _apply_best_step(
 
 
 def greedy_heterogeneous(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     attributes: Optional[Sequence[str]] = None,
     max_depth: int = 12,
@@ -163,7 +163,7 @@ def greedy_heterogeneous(
 
 
 def randomized_heterogeneous(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     context: SDLQuery,
     attributes: Optional[Sequence[str]] = None,
     max_depth: int = 12,

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.metrics import SegmentationScores
 from repro.core.ranking import Ranker
 
@@ -71,7 +71,7 @@ def divergence_from_counts(segment_counts: Dict, context_counts: Dict) -> float:
 
 
 def segment_surprise(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     segment_query: SDLQuery,
     context: SDLQuery,
     attribute: str,
@@ -83,7 +83,7 @@ def segment_surprise(
 
 
 def segmentation_interestingness(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     segmentation: Segmentation,
     probe_attributes: Optional[Sequence[str]] = None,
 ) -> float:
@@ -134,7 +134,7 @@ class SurpriseRanker(Ranker):
     identity within a ranking pass.
     """
 
-    engine: QueryEngine = None  # type: ignore[assignment]
+    engine: ExecutionBackend = None  # type: ignore[assignment]
     surprise_weight: float = 1.0
     probe_attributes: Optional[Sequence[str]] = None
     _cache: Dict[int, float] = field(default_factory=dict, repr=False)
@@ -143,7 +143,7 @@ class SurpriseRanker(Ranker):
 
     def __post_init__(self) -> None:
         if self.engine is None:
-            raise ValueError("SurpriseRanker requires a QueryEngine")
+            raise ValueError("SurpriseRanker requires an execution backend")
         if self.surprise_weight < 0:
             raise ValueError("surprise_weight must be non-negative")
 

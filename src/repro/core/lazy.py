@@ -21,7 +21,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import AdvisorError, CannotCutError
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.compose import compose
 from repro.core.cut import cut_query
 from repro.core.hbcuts import HBCutsConfig
@@ -49,7 +49,7 @@ class LazyAdvisor:
     >>> more = advisor.next_batch(stream, 3)               # three more answers
     """
 
-    def __init__(self, engine: QueryEngine, config: Optional[HBCutsConfig] = None):
+    def __init__(self, engine: ExecutionBackend, config: Optional[HBCutsConfig] = None):
         self.engine = engine
         self.config = config or HBCutsConfig()
 

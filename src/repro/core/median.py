@@ -23,7 +23,7 @@ from typing import Any, List, Optional, Tuple
 from repro.errors import CannotCutError
 from repro.sdl.predicates import Predicate, RangePredicate, SetPredicate
 from repro.sdl.query import SDLQuery
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 
 __all__ = [
     "SplitSpec",
@@ -110,7 +110,7 @@ def nominal_split_point(ordered_values: List[Any], frequencies: dict) -> int:
 
 
 def median_split(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     low_cardinality_threshold: int = DEFAULT_LOW_CARDINALITY_THRESHOLD,
@@ -123,17 +123,17 @@ def median_split(
         When the attribute has fewer than two distinct values over the
         query's result set, or the result set is empty.
     """
-    column = engine.table.column(attribute)
+    numeric = engine.is_numeric(attribute)
     count = engine.count(query)
     if count == 0:
         raise CannotCutError(attribute, "the query selects no rows")
 
-    if column.dtype.is_numeric:
+    if numeric:
         return _numeric_split(engine, query, attribute)
     return _nominal_split(engine, query, attribute, low_cardinality_threshold)
 
 
-def _numeric_split(engine: QueryEngine, query: SDLQuery, attribute: str) -> SplitSpec:
+def _numeric_split(engine: ExecutionBackend, query: SDLQuery, attribute: str) -> SplitSpec:
     minimum, maximum = engine.minmax(attribute, query)
     if minimum == maximum:
         raise CannotCutError(attribute, "a single distinct value remains")
@@ -163,7 +163,7 @@ def _numeric_split(engine: QueryEngine, query: SDLQuery, attribute: str) -> Spli
 
 
 def _smallest_above(
-    engine: QueryEngine, query: SDLQuery, attribute: str, minimum: Any
+    engine: ExecutionBackend, query: SDLQuery, attribute: str, minimum: Any
 ) -> Optional[Any]:
     frequencies = engine.value_frequencies(attribute, query)
     candidates = [value for value in frequencies if value > minimum]
@@ -173,7 +173,7 @@ def _smallest_above(
 
 
 def _nominal_split(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     low_cardinality_threshold: int,

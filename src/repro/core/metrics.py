@@ -26,7 +26,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.product import product
 
 __all__ = [
@@ -110,7 +110,7 @@ def breadth(segmentation: Segmentation) -> int:
 
 
 def cover(
-    engine: QueryEngine, query: SDLQuery, context: Optional[SDLQuery] = None
+    engine: ExecutionBackend, query: SDLQuery, context: Optional[SDLQuery] = None
 ) -> float:
     """The cover ``C(Q)``.
 
@@ -131,7 +131,7 @@ def indep_from_entropies(
 
 
 def indep(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     first: Segmentation,
     second: Segmentation,
     return_product: bool = False,
@@ -150,7 +150,7 @@ def indep(
     return value
 
 
-def homogeneity_proxy(engine: QueryEngine, segmentation: Segmentation) -> float:
+def homogeneity_proxy(engine: ExecutionBackend, segmentation: Segmentation) -> float:
     """A cheap homogeneity proxy: mean within-segment concentration.
 
     The paper purposely does not quantify homogeneity; this proxy exists

@@ -13,13 +13,13 @@ from typing import List
 
 from repro.errors import CompositionError
 from repro.sdl.segmentation import Segment, Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 
 __all__ = ["product", "product_counts"]
 
 
 def product(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     first: Segmentation,
     second: Segmentation,
     drop_empty: bool = True,
@@ -66,7 +66,7 @@ def product(
 
 
 def product_counts(
-    engine: QueryEngine, first: Segmentation, second: Segmentation
+    engine: ExecutionBackend, first: Segmentation, second: Segmentation
 ) -> List[List[int]]:
     """The full ``K × L`` contingency table of the product (including zeros).
 

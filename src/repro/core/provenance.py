@@ -87,7 +87,7 @@ def session_record(
     and row count), the advice produced there (if any was requested), and
     which answer/segment the user chose to descend into.
     """
-    table = table_name or session.advisor.table.name
+    table = table_name or session.advisor.engine.name
     steps: List[Dict[str, Any]] = []
     for level, step in enumerate(session.history()):
         record: Dict[str, Any] = {

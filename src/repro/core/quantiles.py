@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
-from repro.errors import CannotCutError
+from repro.errors import CannotCutError, PredicateError
 from repro.sdl.predicates import RangePredicate, SetPredicate
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segment, Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 from repro.core.median import (
     DEFAULT_LOW_CARDINALITY_THRESHOLD,
     nominal_value_order,
@@ -47,7 +47,7 @@ def quantile_points(values: Sequence[Any], quantiles: Sequence[float]) -> List[A
 
 
 def quantile_cut_query(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     quantiles: Sequence[float] = (1.0 / 3.0, 2.0 / 3.0),
@@ -74,9 +74,7 @@ def quantile_cut_query(
     context_count = engine.count(query)
     if context_count == 0:
         raise CannotCutError(attribute, "the query selects no rows")
-    column = engine.table.column(attribute)
-
-    if column.dtype.is_numeric:
+    if engine.is_numeric(attribute):
         predicates = _numeric_quantile_predicates(engine, query, attribute, quantiles)
     else:
         predicates = _nominal_quantile_predicates(
@@ -85,7 +83,10 @@ def quantile_cut_query(
 
     segments: List[Segment] = []
     for predicate in predicates:
-        piece = query.refine(predicate)
+        try:
+            piece = query.refine(predicate)
+        except PredicateError as error:
+            raise CannotCutError(attribute, str(error)) from error
         if piece is None:
             continue
         count = engine.count(piece)
@@ -103,7 +104,7 @@ def quantile_cut_query(
 
 
 def _numeric_quantile_predicates(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     quantiles: Sequence[float],
@@ -111,8 +112,11 @@ def _numeric_quantile_predicates(
     minimum, maximum = engine.minmax(attribute, query)
     if minimum == maximum:
         raise CannotCutError(attribute, "a single distinct value remains")
-    mask = engine.evaluate(query)
-    values = [v for v in engine.table.column(attribute).values_list(mask) if v is not None]
+    # Reconstruct the selected multiset from the backend's histogram, so
+    # quantile points need no access to raw rows or selection masks.
+    values: List[Any] = []
+    for value, count in engine.value_frequencies(attribute, query).items():
+        values.extend([value] * count)
     points = [p for p in quantile_points(values, quantiles) if minimum < p <= maximum]
     if not points:
         # All requested quantiles collapse onto the minimum (heavily skewed
@@ -142,7 +146,7 @@ def _numeric_quantile_predicates(
 
 
 def _nominal_quantile_predicates(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     quantiles: Sequence[float],
@@ -171,7 +175,7 @@ def _nominal_quantile_predicates(
 
 
 def equal_frequency_segmentation(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     pieces: int = 4,

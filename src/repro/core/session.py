@@ -36,6 +36,7 @@ class ExplorationStep:
     chosen_answer: Optional[int] = None
     chosen_segment: Optional[int] = None
     label: str = "(root)"
+    cached_count: Optional[int] = None
 
     @property
     def row_count(self) -> Optional[int]:
@@ -59,11 +60,17 @@ class ExplorationSession:
         (the service layer sets it), :meth:`advise` calls
         ``advise_fn(context, max_answers)`` instead of the advisor, so
         advice can be served from a cache shared across sessions.
+    count_fn:
+        Optional override for counting a context's rows.  The service
+        layer points it at the table runtime's shared engine so
+        :meth:`describe` never bypasses the shared-cache routing the way
+        a direct ``advisor.count`` call would.
     """
 
     advisor: Charles
     max_answers: int = 10
     advise_fn: Optional[Callable[[SDLQuery, int], Advice]] = None
+    count_fn: Optional[Callable[[SDLQuery], int]] = None
     _stack: List[ExplorationStep] = field(default_factory=list)
 
     # -- navigation -------------------------------------------------------------
@@ -156,6 +163,23 @@ class ExplorationSession:
         """A copy of the exploration stack, root first."""
         return list(self._stack)
 
+    def _step_count(self, step: ExplorationStep) -> int:
+        """Row count of a step's context, cached on the step.
+
+        The advice produced at the step already knows the context's
+        cardinality, so no engine call is needed at all in the common
+        case; otherwise the count is routed through ``count_fn`` (the
+        service's shared-cache path) before falling back to the advisor.
+        """
+        if step.cached_count is None:
+            if step.row_count is not None:
+                step.cached_count = step.row_count
+            elif self.count_fn is not None:
+                step.cached_count = self.count_fn(step.context)
+            else:
+                step.cached_count = self.advisor.count(step.context)
+        return step.cached_count
+
     def describe(self) -> str:
         """Multi-line summary of the session state."""
         if not self._stack:
@@ -163,6 +187,6 @@ class ExplorationSession:
         lines = ["exploration session:"]
         for level, step in enumerate(self._stack):
             marker = "→" if level == len(self._stack) - 1 else " "
-            count = self.advisor.count(step.context)
+            count = self._step_count(step)
             lines.append(f" {marker} level {level}: {step.label}  ({count} rows)")
         return "\n".join(lines)

@@ -93,6 +93,14 @@ class SQLParseError(StorageError):
     """Raised when a WHERE-clause cannot be parsed back into SDL."""
 
 
+class BackendError(StorageError):
+    """Raised when an execution backend cannot be opened or operated.
+
+    Covers malformed backend specs, unknown registry schemes and failures
+    of external engines (e.g. a missing SQLite database file).
+    """
+
+
 class CoreError(CharlesError):
     """Base class for errors in the core advisor algorithms."""
 

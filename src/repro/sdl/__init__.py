@@ -14,6 +14,7 @@ contains:
 """
 
 from repro.sdl.predicates import (
+    ExclusionPredicate,
     NoConstraint,
     Predicate,
     RangePredicate,
@@ -43,6 +44,7 @@ __all__ = [
     "NoConstraint",
     "RangePredicate",
     "SetPredicate",
+    "ExclusionPredicate",
     "intersect_predicates",
     "predicate_from_values",
     "SDLQuery",

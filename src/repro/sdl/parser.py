@@ -9,9 +9,10 @@ objects.  The grammar, in EBNF-ish form::
 
     query      = "(" [ predicate { "," predicate } ] ")"
                | predicate { "," predicate }
-    predicate  = IDENT ":" [ range | set ]
+    predicate  = IDENT ":" [ range | set | exclusion ]
     range      = ("[" | "]") literal "," literal ("]" | "[")
     set        = "{" literal { "," literal } "}"
+    exclusion  = "!" set
     literal    = NUMBER | STRING | BAREWORD
 
 Numbers are parsed as ``int`` when possible, otherwise ``float``.  Strings
@@ -26,6 +27,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.errors import SDLSyntaxError
 from repro.sdl.predicates import (
+    ExclusionPredicate,
     NoConstraint,
     Predicate,
     RangePredicate,
@@ -180,8 +182,13 @@ class _Parser:
             return self._parse_range(str(attribute))
         if token.kind == "punct" and token.value == "{":
             return self._parse_set(str(attribute))
+        if token.kind == "bareword" and token.value == "!":
+            self._next()
+            inner = self._parse_set(str(attribute))
+            return ExclusionPredicate(inner.attribute, inner.values)
         raise SDLSyntaxError(
-            f"expected a range, a set, or nothing after ':', got {token.value!r}",
+            f"expected a range, a set, an exclusion, or nothing after ':', "
+            f"got {token.value!r}",
             text=self.text,
             position=token.position,
         )

@@ -1,11 +1,18 @@
 """SDL predicates (paper, Definition 1).
 
-An SDL predicate constrains a single attribute of the relation.  Three
-forms exist:
+An SDL predicate constrains a single attribute of the relation.  The
+paper defines three forms:
 
 * a *range constraint* ``Attr : [a0, a1]`` — :class:`RangePredicate`;
 * a *set constraint* ``Attr : {a0, a1, ..., aK}`` — :class:`SetPredicate`;
 * *no constraint* ``Attr :`` — :class:`NoConstraint`.
+
+The reproduction adds one conjunctive-safe extension so SQL ``NOT IN``
+contexts can be expressed:
+
+* an *exclusion constraint* ``Attr : !{a0, ..., aK}`` —
+  :class:`ExclusionPredicate`, the complement of a set constraint (missing
+  values never match, mirroring SQL's ``NOT IN`` NULL semantics).
 
 The paper's CUT primitive produces half-open ranges ``[min, med[`` and
 closed ranges ``[med, max]``; :class:`RangePredicate` therefore carries
@@ -28,6 +35,7 @@ __all__ = [
     "NoConstraint",
     "RangePredicate",
     "SetPredicate",
+    "ExclusionPredicate",
     "intersect_predicates",
 ]
 
@@ -203,6 +211,50 @@ class SetPredicate(Predicate):
         return value in self.values
 
 
+@dataclass(frozen=True)
+class ExclusionPredicate(Predicate):
+    """An exclusion constraint ``Attr : !{a0, a1, ..., aK}``.
+
+    The complement of a :class:`SetPredicate`: a row matches when the
+    attribute holds a *non-missing* value outside ``values`` (missing
+    values never match, mirroring SQL's three-valued ``NOT IN``).  This is
+    the conjunctive-safe encoding of a SQL ``NOT IN (...)`` context; it is
+    produced by :func:`repro.storage.sql.parse_where` and rendered back as
+    ``NOT IN`` by :func:`repro.storage.sql.predicate_to_sql`.
+
+    Parameters
+    ----------
+    values:
+        The excluded values.  Must be non-empty; duplicates are removed.
+    """
+
+    values: FrozenSet[Any] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "values", frozenset(self.values))
+        if not self.values:
+            raise PredicateError(
+                f"exclusion predicate on {self.attribute!r} requires at least one value"
+            )
+
+    @property
+    def is_constrained(self) -> bool:
+        return True
+
+    @property
+    def sorted_values(self) -> tuple:
+        """Excluded values in a deterministic order (display and signatures)."""
+        return tuple(sorted(self.values, key=lambda v: (str(type(v)), str(v))))
+
+    def to_sdl(self) -> str:
+        inner = ", ".join(_format_literal(v) for v in self.sorted_values)
+        return f"{self.attribute}: !{{{inner}}}"
+
+    def matches_value(self, value: Any) -> bool:
+        return value is not None and value not in self.values
+
+
 def intersect_predicates(first: Predicate, second: Predicate) -> Optional[Predicate]:
     """Return the conjunction of two predicates on the same attribute.
 
@@ -236,6 +288,8 @@ def intersect_predicates(first: Predicate, second: Predicate) -> Optional[Predic
         if not common:
             return None
         return SetPredicate(first.attribute, common)
+    if isinstance(first, ExclusionPredicate) or isinstance(second, ExclusionPredicate):
+        return _intersect_with_exclusion(first, second)
     if isinstance(first, RangePredicate) and isinstance(second, RangePredicate):
         return _intersect_ranges(first, second)
     # Mixed range / set: keep the set values that satisfy the range.
@@ -252,6 +306,48 @@ def intersect_predicates(first: Predicate, second: Predicate) -> Optional[Predic
     if not kept:
         return None
     return SetPredicate(set_pred.attribute, kept)
+
+
+def _intersect_with_exclusion(
+    first: Predicate, second: Predicate
+) -> Optional[Predicate]:
+    """Conjunction rules involving at least one :class:`ExclusionPredicate`.
+
+    * exclusion ∧ exclusion — exclude the union of both value sets;
+    * exclusion ∧ set — keep the set values that are not excluded;
+    * exclusion ∧ range — drop excluded values outside the range; if any
+      excluded value remains *inside* the range the conjunction cannot be
+      reduced to a single SDL predicate and a :class:`PredicateError` is
+      raised (the CUT primitive treats this as "cannot cut").
+    """
+    if isinstance(first, ExclusionPredicate) and isinstance(second, ExclusionPredicate):
+        return ExclusionPredicate(first.attribute, first.values | second.values)
+    exclusion, other = (
+        (first, second) if isinstance(first, ExclusionPredicate) else (second, first)
+    )
+    assert isinstance(exclusion, ExclusionPredicate)
+    if isinstance(other, SetPredicate):
+        kept = other.values - exclusion.values
+        if not kept:
+            return None
+        return SetPredicate(other.attribute, kept)
+    if isinstance(other, RangePredicate):
+        def _in_range(value: Any) -> bool:
+            try:
+                return other.matches_value(value)
+            except TypeError:  # not comparable with the bounds: outside
+                return False
+
+        inside = frozenset(value for value in exclusion.values if _in_range(value))
+        if not inside:
+            return other
+        raise PredicateError(
+            f"cannot reduce the conjunction of {other.to_sdl()!r} and "
+            f"{exclusion.to_sdl()!r} to a single SDL predicate"
+        )
+    raise PredicateError(
+        f"cannot intersect {type(first).__name__} with {type(second).__name__}"
+    )  # pragma: no cover - exhaustive over the SDL grammar
 
 
 def _intersect_ranges(

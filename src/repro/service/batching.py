@@ -9,7 +9,7 @@ multi-query engine passes*:
 * :class:`BatchCoordinator` — a small leader/follower coalescer.  The
   first thread to submit in a round becomes the leader, waits a short
   window for concurrent submitters, then executes every pending request in
-  one :meth:`~repro.storage.engine.QueryEngine.count_batch` call
+  one :meth:`~repro.backends.base.ExecutionBackend.count_batch` call
   (duplicate signatures across users are evaluated once).
 * :class:`BatchedEngine` — the per-session engine handed to each
   :class:`~repro.core.advisor.Charles` instance.  It shares the table's
@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.backends.base import BackendWrapper, ExecutionBackend
 from repro.sdl.formatter import query_signature
 from repro.sdl.query import SDLQuery
 from repro.storage.cache import ResultCache
-from repro.storage.engine import QueryEngine
 from repro.storage.table import Table
 
 __all__ = ["BatchStats", "BatchCoordinator", "BatchedEngine"]
@@ -101,7 +101,7 @@ class BatchCoordinator:
 
     def __init__(
         self,
-        engine: QueryEngine,
+        engine: ExecutionBackend,
         window_seconds: float = 0.002,
         timeout_seconds: float = 5.0,
     ):
@@ -168,33 +168,53 @@ class BatchCoordinator:
             request.done.set()
 
 
-class BatchedEngine(QueryEngine):
-    """A per-session engine that coalesces batch passes across sessions.
+class BatchedEngine(BackendWrapper):
+    """A per-session backend that coalesces batch passes across sessions.
 
-    It behaves exactly like a :class:`~repro.storage.engine.QueryEngine`
-    sharing the table's result cache (so single counts and medians reuse
-    other sessions' work), but its :meth:`count_batch` is routed through
-    the table's :class:`BatchCoordinator`, merging concurrent HB-cuts
-    INDEP passes into single multi-query evaluations.
+    A :class:`~repro.backends.base.BackendWrapper`: it behaves exactly
+    like the backend it wraps (typically one sharing the table's result
+    cache, so single counts and medians reuse other sessions' work), but
+    its :meth:`count_batch` is routed through the table's
+    :class:`BatchCoordinator`, merging concurrent HB-cuts INDEP passes
+    into single multi-query evaluations.
+
+    For backward compatibility the constructor also accepts a raw
+    :class:`~repro.storage.table.Table` plus a shared cache, in which
+    case the wrapped backend is an aggregate-caching ``"memory"`` engine
+    opened through the registry.
     """
 
     def __init__(
         self,
-        table: Table,
-        cache: ResultCache,
+        source: Union[Table, ExecutionBackend],
+        cache: Optional[ResultCache] = None,
         coordinator: Optional[BatchCoordinator] = None,
         use_index: bool = False,
     ):
-        super().__init__(
-            table, use_index=use_index, cache=cache, cache_aggregates=True
-        )
+        if isinstance(source, Table):
+            from repro.backends.registry import open_backend
+
+            inner = open_backend(
+                "memory",
+                source,
+                cache=cache,
+                cache_aggregates=True,
+                use_index=use_index,
+            )
+        else:
+            inner = source
+        super().__init__(inner)
         self._coordinator = coordinator
 
     def count_batch(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
         if self._coordinator is None or not queries:
-            return super().count_batch(queries)
+            return self.inner.count_batch(queries)
         # Logical accounting stays with the session; the physical pass runs
         # on the coordinator's engine (sharing the same cache).
         self.counter.batch_calls += 1
         self.counter.count_calls += len(queries)
         return self._coordinator.counts(queries)
+
+    def sibling(self) -> "BatchedEngine":
+        """A batched engine over a sibling of the wrapped backend."""
+        return BatchedEngine(self.inner.sibling(), coordinator=self._coordinator)

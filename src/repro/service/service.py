@@ -36,6 +36,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import open_backend
 from repro.core.advisor import Advice, Charles, ContextLike
 from repro.core.hbcuts import HBCutsConfig
 from repro.core.ranking import EntropyRanker, Ranker
@@ -133,7 +135,16 @@ def _ranker_cache_key(ranker: Ranker) -> str:
 
 
 class _TableRuntime:
-    """Shared per-table machinery: caches, primary engine, coordinator."""
+    """Shared per-table machinery: caches, primary backend, coordinator.
+
+    The primary backend is opened through the registry from a spec such as
+    ``"memory"`` or ``"sqlite"`` and wired to the table's shared
+    :class:`~repro.storage.cache.ResultCache` with aggregate caching on;
+    per-session backends are *siblings* of it (same data, same shared
+    cache, private operation counters) wrapped in a
+    :class:`~repro.service.batching.BatchedEngine` that routes batched
+    passes through the table's coordinator.
+    """
 
     def __init__(
         self,
@@ -143,27 +154,38 @@ class _TableRuntime:
         advice_capacity: int,
         batch_window: float,
         use_index: bool,
+        backend_spec: str = "memory",
     ):
         self.name = name
         self.table = table
         self.use_index = use_index
+        self.backend_spec = backend_spec
         self.cache = ResultCache(capacity=cache_capacity, name=f"results:{name}")
         self.advice_cache = ResultCache(capacity=advice_capacity, name=f"advice:{name}")
-        self.engine = BatchedEngine(table, cache=self.cache, use_index=use_index)
+        self._backend = open_backend(
+            backend_spec,
+            table,
+            cache=self.cache,
+            cache_aggregates=True,
+            use_index=use_index,
+        )
+        self.engine = BatchedEngine(self._backend)
         self.coordinator = BatchCoordinator(self.engine, window_seconds=batch_window)
+
+    def _spawn_backend(self) -> ExecutionBackend:
+        """A per-session view of the primary backend (private counters)."""
+        if hasattr(self._backend, "sibling"):
+            return self._backend.sibling()
+        return self._backend
 
     def session_engine(self) -> BatchedEngine:
         """A fresh per-session engine wired to the shared cache and coordinator."""
-        return BatchedEngine(
-            self.table,
-            cache=self.cache,
-            coordinator=self.coordinator,
-            use_index=self.use_index,
-        )
+        return BatchedEngine(self._spawn_backend(), coordinator=self.coordinator)
 
     def stats(self) -> Dict[str, Any]:
         return {
             "rows": self.table.num_rows,
+            "backend": self._backend.stats(),
             "result_cache": self.cache.stats().snapshot(),
             "advice_cache": self.advice_cache.stats().snapshot(),
             "batching": self.coordinator.stats.snapshot(),
@@ -196,6 +218,10 @@ class AdvisorService:
         Default number of ranked answers per advise.
     use_index:
         Build sorted indexes in session engines.
+    backend:
+        Default backend spec for registered tables (resolved through
+        :func:`repro.backends.open_backend`); ``register_table`` can
+        override it per table.
     """
 
     def __init__(
@@ -208,6 +234,7 @@ class AdvisorService:
         batch_indep: bool = True,
         max_answers: int = 10,
         use_index: bool = False,
+        backend: str = "memory",
     ):
         self._tables: Dict[str, _TableRuntime] = {}
         self._sessions: Dict[str, ServiceSession] = {}
@@ -221,6 +248,7 @@ class AdvisorService:
         )
         self._max_answers = int(max_answers)
         self._use_index = bool(use_index)
+        self._backend_spec = str(backend)
         self._requests = 0
         if tables is None:
             return
@@ -235,8 +263,20 @@ class AdvisorService:
 
     # -- tables -------------------------------------------------------------
 
-    def register_table(self, table: Table, name: Optional[str] = None) -> str:
-        """Register a table and build its shared runtime; returns its name."""
+    def register_table(
+        self,
+        table: Table,
+        name: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> str:
+        """Register a table and build its shared runtime; returns its name.
+
+        Parameters
+        ----------
+        backend:
+            Backend spec for this table's runtime (``"memory"``,
+            ``"sqlite"``, …); defaults to the service-wide spec.
+        """
         resolved = name or table.name
         with self._lock:
             if resolved in self._tables:
@@ -248,6 +288,7 @@ class AdvisorService:
                 advice_capacity=self._advice_capacity,
                 batch_window=self._batch_window,
                 use_index=self._use_index,
+                backend_spec=backend or self._backend_spec,
             )
         return resolved
 
@@ -302,6 +343,10 @@ class AdvisorService:
             max_answers=max_answers if max_answers is not None else self._max_answers,
         )
         session.exploration.advise_fn = self._make_advise_fn(session, runtime)
+        # Route the session's ad-hoc counts (describe(), breadcrumb row
+        # counts) through the runtime's primary engine: shared cache,
+        # aggregate caching, no private-engine bypass.
+        session.exploration.count_fn = runtime.engine.count
         with self._lock:
             if name in self._sessions and not replace:
                 raise SessionError(

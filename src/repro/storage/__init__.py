@@ -37,6 +37,7 @@ from repro.storage.statistics import (
     ColumnProfile,
     TableProfile,
     column_entropy,
+    profile_backend,
     profile_column,
     profile_table,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "TableProfile",
     "profile_column",
     "profile_table",
+    "profile_backend",
     "column_entropy",
     "SampledEngine",
     "sample_table",

@@ -40,7 +40,61 @@ from repro.storage.expression import query_mask
 from repro.storage.index import SortedIndex
 from repro.storage.table import Table
 
-__all__ = ["OperationCounter", "QueryEngine"]
+__all__ = ["OperationCounter", "QueryEngine", "deduplicated_count_batch"]
+
+
+def deduplicated_count_batch(
+    queries: Sequence[SDLQuery],
+    counter: "OperationCounter",
+    aggregate_get,
+    aggregate_put,
+    compute,
+) -> Tuple[int, ...]:
+    """Shared engine-pass skeleton for :meth:`count_batch` implementations.
+
+    Queries with identical signatures are computed once and their result
+    fanned out, with operation accounting matching the sequential
+    equivalent: one count call per request, duplicates recorded as cache
+    hits.  Both the columnar engine and the SQLite backend route their
+    batches through this single implementation so their traces stay
+    bit-for-bit comparable.
+
+    Parameters
+    ----------
+    counter:
+        The backend's :class:`OperationCounter` (tallied in place).
+    aggregate_get / aggregate_put:
+        The backend's aggregate-cache accessors (keyed ``count::<sig>``).
+    compute:
+        ``query -> int`` computing one uncached cardinality.
+    """
+    if not queries:
+        return ()
+    counter.batch_calls += 1
+    results: List[Optional[int]] = [None] * len(queries)
+    positions: Dict[str, List[int]] = {}
+    order: List[str] = []
+    for index, query in enumerate(queries):
+        signature = query_signature(query)
+        if signature not in positions:
+            positions[signature] = []
+            order.append(signature)
+        positions[signature].append(index)
+    for signature in order:
+        indices = positions[signature]
+        query = queries[indices[0]]
+        counter.count_calls += len(indices)
+        key = "count::" + signature
+        value = aggregate_get(key)
+        if value is None:
+            value = compute(query)
+            aggregate_put(key, value)
+        # Duplicates coalesced within the pass would have been cache hits
+        # sequentially; account for them the same way.
+        counter.cache_hits += len(indices) - 1
+        for position in indices:
+            results[position] = value
+    return tuple(results)  # type: ignore[return-value]
 
 
 @dataclass
@@ -165,6 +219,65 @@ class QueryEngine:
         self._cache_aggregates = bool(cache_aggregates)
         self._use_index = bool(use_index)
         self._indexes: Dict[str, SortedIndex] = {}
+
+    # -- schema introspection (ExecutionBackend protocol) ---------------------
+
+    @property
+    def name(self) -> str:
+        """The relation's name."""
+        return self.table.name
+
+    @property
+    def num_rows(self) -> int:
+        """``|T|``: cardinality of the relation."""
+        return self.table.num_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        """Attributes of the relation, in schema order."""
+        return self.table.column_names
+
+    def is_numeric(self, attribute: str) -> bool:
+        """Whether ``attribute`` supports arithmetic medians (paper §4.1)."""
+        return self.table.column(attribute).dtype.is_numeric
+
+    def stats(self) -> Dict[str, Any]:
+        """Backend statistics: identity, operation tallies and cache traffic."""
+        return {
+            "backend": "memory",
+            "table": self.table.name,
+            "rows": self.table.num_rows,
+            "operations": self.counter.snapshot(),
+            "cache": self.cache_info,
+        }
+
+    def reset(self) -> None:
+        """Zero the operation counters (cache contents are kept)."""
+        self.counter.reset()
+
+    # -- backend construction helpers ----------------------------------------
+
+    def sibling(self) -> "QueryEngine":
+        """A fresh engine over the same table sharing this engine's cache.
+
+        Used by the service layer to give each session private operation
+        counters while reusing the table runtime's shared cache.
+        """
+        return QueryEngine(
+            self.table,
+            cache=self._cache,
+            use_index=self._use_index,
+            cache_aggregates=self._cache_aggregates,
+        )
+
+    def sample(self, fraction: float, seed: Optional[int] = None) -> "QueryEngine":
+        """An engine over a uniform sample of the table (same engine options)."""
+        from repro.storage.sampling import sample_table
+
+        sampled = sample_table(self.table, fraction=fraction, seed=seed)
+        return QueryEngine(
+            sampled, cache_size=self._cache_size, use_index=self._use_index
+        )
 
     # -- cache --------------------------------------------------------------
 
@@ -316,33 +429,13 @@ class QueryEngine:
         accounting matches the sequential equivalent: one count call per
         request, duplicates recorded as cache hits.
         """
-        if not queries:
-            return ()
-        self.counter.batch_calls += 1
-        results: List[Optional[int]] = [None] * len(queries)
-        positions: "Dict[str, List[int]]" = {}
-        order: List[str] = []
-        for index, query in enumerate(queries):
-            signature = query_signature(query)
-            if signature not in positions:
-                positions[signature] = []
-                order.append(signature)
-            positions[signature].append(index)
-        for signature in order:
-            indices = positions[signature]
-            query = queries[indices[0]]
-            self.counter.count_calls += len(indices)
-            key = "count::" + signature
-            value = self._aggregate_get(key)
-            if value is None:
-                value = int(np.count_nonzero(self.evaluate(query)))
-                self._aggregate_put(key, value)
-            # Duplicates coalesced within the pass would have been mask-cache
-            # hits sequentially; account for them the same way.
-            self.counter.cache_hits += len(indices) - 1
-            for position in indices:
-                results[position] = value
-        return tuple(results)  # type: ignore[arg-type]
+        return deduplicated_count_batch(
+            queries,
+            self.counter,
+            self._aggregate_get,
+            self._aggregate_put,
+            lambda query: int(np.count_nonzero(self.evaluate(query))),
+        )
 
     def median_batch(
         self, attribute: str, queries: Sequence[Optional[SDLQuery]]

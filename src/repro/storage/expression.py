@@ -12,7 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TypeMismatchError
-from repro.sdl.predicates import NoConstraint, Predicate, RangePredicate, SetPredicate
+from repro.sdl.predicates import (
+    ExclusionPredicate,
+    NoConstraint,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
 from repro.sdl.query import SDLQuery
 from repro.storage.table import Table
 
@@ -40,6 +46,9 @@ def predicate_mask(table: Table, predicate: Predicate) -> np.ndarray:
         )
     if isinstance(predicate, SetPredicate):
         return column.mask_set(predicate.values)
+    if isinstance(predicate, ExclusionPredicate):
+        # NOT IN with SQL NULL semantics: missing values never match.
+        return column.valid_mask() & ~column.mask_set(predicate.values)
     raise TypeMismatchError(
         f"unsupported predicate type: {type(predicate).__name__}"
     )  # pragma: no cover - exhaustive over the SDL grammar

@@ -8,17 +8,25 @@ in-memory, but the SQL surface is preserved:
   render SDL objects as SQL, so any external SQL database could execute
   Charles' segments;
 * :func:`parse_where` parses a conjunctive WHERE clause (comparisons,
-  ``BETWEEN``, ``IN``) back into an :class:`~repro.sdl.query.SDLQuery`,
-  so users can state their context in familiar SQL.
+  ``BETWEEN``, ``IN``, ``NOT IN``, quoted identifiers) back into an
+  :class:`~repro.sdl.query.SDLQuery`, so users can state their context in
+  familiar SQL.  Disjunctions raise a clear :class:`~repro.errors.SQLParseError`
+  — the conjunctive SDL cannot express ``OR``.
+
+This glue is no longer decorative: :class:`repro.backends.sqlite.SQLiteBackend`
+executes Charles' segments by rendering them through
+:func:`count_query_sql` against a real ``sqlite3`` database.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Any, Dict, List, Optional
 
 from repro.errors import SQLGenerationError, SQLParseError
 from repro.sdl.predicates import (
+    ExclusionPredicate,
     NoConstraint,
     Predicate,
     RangePredicate,
@@ -49,21 +57,38 @@ def sql_literal(value: Any) -> str:
     return f"'{text}'"
 
 
+def _is_unbounded(value: Any) -> bool:
+    return isinstance(value, float) and math.isinf(value)
+
+
 def predicate_to_sql(predicate: Predicate) -> str:
-    """Render a single SDL predicate as a SQL boolean expression."""
+    """Render a single SDL predicate as a SQL boolean expression.
+
+    Infinite range bounds (produced by ``parse_where`` for one-sided
+    comparisons such as ``x < 5``) render only the bounded side, so the
+    emitted SQL is executable by a real database.
+    """
     if isinstance(predicate, NoConstraint):
         return "TRUE"
     attribute = f'"{predicate.attribute}"'
     if isinstance(predicate, RangePredicate):
-        low_op = ">=" if predicate.include_low else ">"
-        high_op = "<=" if predicate.include_high else "<"
-        return (
-            f"{attribute} {low_op} {sql_literal(predicate.low)} "
-            f"AND {attribute} {high_op} {sql_literal(predicate.high)}"
-        )
+        conditions = []
+        if not _is_unbounded(predicate.low):
+            low_op = ">=" if predicate.include_low else ">"
+            conditions.append(f"{attribute} {low_op} {sql_literal(predicate.low)}")
+        if not _is_unbounded(predicate.high):
+            high_op = "<=" if predicate.include_high else "<"
+            conditions.append(f"{attribute} {high_op} {sql_literal(predicate.high)}")
+        if not conditions:
+            # Both bounds infinite: any non-NULL value qualifies.
+            return f"{attribute} IS NOT NULL"
+        return " AND ".join(conditions)
     if isinstance(predicate, SetPredicate):
         rendered = ", ".join(sql_literal(v) for v in predicate.sorted_values)
         return f"{attribute} IN ({rendered})"
+    if isinstance(predicate, ExclusionPredicate):
+        rendered = ", ".join(sql_literal(v) for v in predicate.sorted_values)
+        return f"{attribute} NOT IN ({rendered})"
     raise SQLGenerationError(
         f"unsupported predicate type: {type(predicate).__name__}"
     )  # pragma: no cover - exhaustive over the SDL grammar
@@ -210,6 +235,12 @@ class _WhereParser:
                 self._next()
                 predicates.extend(self._parse_term())
                 continue
+            if token.kind == "word" and token.value.lower() == "or":
+                raise SQLParseError(
+                    "OR is not supported: SDL queries are conjunctions of "
+                    "per-attribute predicates and cannot express disjunction "
+                    "(rewrite the clause with AND / IN / NOT IN)"
+                )
             raise SQLParseError(f"expected AND or end of input, got {token.value!r}")
         return predicates
 
@@ -227,8 +258,11 @@ class _WhereParser:
         token = self._next()
         if token.kind != "word":
             raise SQLParseError(f"expected a column name, got {token.value!r}")
+        quoted = token.value.startswith('"')
         attribute = token.value.strip('"')
-        if attribute.lower() in _KEYWORDS:
+        if not quoted and attribute.lower() in _KEYWORDS:
+            # Quoted identifiers may shadow keywords ("between" is a valid
+            # column name); bare keywords in column position are errors.
             raise SQLParseError(f"unexpected keyword {attribute!r}")
         operator_token = self._next()
         if operator_token.kind == "word":
@@ -236,7 +270,10 @@ class _WhereParser:
             if keyword == "between":
                 return self._parse_between(attribute)
             if keyword == "in":
-                return self._parse_in(attribute)
+                return SetPredicate(attribute, self._parse_value_list())
+            if keyword == "not":
+                self._expect_word("in")
+                return ExclusionPredicate(attribute, self._parse_value_list())
             raise SQLParseError(f"unsupported operator {operator_token.value!r}")
         if operator_token.kind != "op":
             raise SQLParseError(f"expected an operator, got {operator_token.value!r}")
@@ -249,7 +286,8 @@ class _WhereParser:
         high = _where_literal(self._next())
         return RangePredicate(attribute, low=low, high=high)
 
-    def _parse_in(self, attribute: str) -> Predicate:
+    def _parse_value_list(self) -> frozenset:
+        """The parenthesised value list of an ``IN`` / ``NOT IN`` clause."""
         self._expect_punct("(")
         values = [_where_literal(self._next())]
         while True:
@@ -260,7 +298,7 @@ class _WhereParser:
                 values.append(_where_literal(self._next()))
                 continue
             raise SQLParseError(f"expected ',' or ')', got {token.value!r}")
-        return SetPredicate(attribute, frozenset(values))
+        return frozenset(values)
 
     @staticmethod
     def _comparison_predicate(attribute: str, operator: str, literal: Any) -> Predicate:
@@ -297,7 +335,12 @@ def parse_where(text: str) -> SDLQuery:
     """Parse a conjunctive SQL WHERE clause into an SDL query.
 
     Supported forms: ``col = value``, ``col < / <= / > / >= value``,
-    ``col BETWEEN a AND b``, ``col IN (v1, v2, ...)``, joined with ``AND``.
+    ``col BETWEEN a AND b``, ``col IN (v1, v2, ...)``,
+    ``col NOT IN (v1, v2, ...)``, joined with ``AND``.  Identifiers may be
+    double-quoted (``"departure harbour"``), which also allows column
+    names that collide with keywords.  ``OR`` raises a clear
+    :class:`~repro.errors.SQLParseError`: disjunction is not expressible
+    in the conjunctive SDL.
 
     Examples
     --------

@@ -21,7 +21,14 @@ from repro.storage.engine import QueryEngine
 from repro.storage.table import Table
 from repro.storage.types import DataType
 
-__all__ = ["ColumnProfile", "TableProfile", "profile_column", "profile_table", "column_entropy"]
+__all__ = [
+    "ColumnProfile",
+    "TableProfile",
+    "profile_column",
+    "profile_table",
+    "profile_backend",
+    "column_entropy",
+]
 
 
 def column_entropy(frequencies: Dict[Any, int]) -> float:
@@ -199,3 +206,63 @@ def profile_table(
     }
     row_count = table.num_rows if mask is None else int(np.count_nonzero(mask))
     return TableProfile(table_name=table.name, row_count=row_count, columns=profiles)
+
+
+def profile_backend(
+    backend: Any,
+    context: Optional[SDLQuery] = None,
+    columns: Optional[Sequence[str]] = None,
+    top_k: int = 10,
+    quantiles: Sequence[float] = _DEFAULT_QUANTILES,
+) -> TableProfile:
+    """Profile a relation through an execution backend's aggregates only.
+
+    The mask-based :func:`profile_table` needs the raw columns in memory;
+    this variant issues nothing but the
+    :class:`~repro.backends.base.ExecutionBackend` protocol operations
+    (counts, min/max, medians, value frequencies), so pure SQL backends
+    such as :class:`~repro.backends.sqlite.SQLiteBackend` can be profiled
+    too.  Quantiles are reconstructed exactly from the cumulative value
+    histogram, so the numbers match the fast path.
+    """
+    names = list(columns) if columns is not None else list(backend.column_names)
+    row_count = backend.num_rows if context is None else backend.count(context)
+    profiles: Dict[str, ColumnProfile] = {}
+    for name in names:
+        frequencies = backend.value_frequencies(name, context)
+        valid_count = sum(frequencies.values())
+        entropy = column_entropy(frequencies)
+        top_values = sorted(
+            frequencies.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )[:top_k]
+        numeric = backend.is_numeric(name)
+        minimum = maximum = median = None
+        quantile_values: Dict[float, Any] = {}
+        if valid_count > 0:
+            minimum, maximum = backend.minmax(name, context)
+            if numeric:
+                median = backend.median(name, context)
+                ordered = sorted(frequencies)
+                cumulative = np.cumsum([frequencies[value] for value in ordered])
+                for q in quantiles:
+                    position = int(round(q * (valid_count - 1)))
+                    index = int(np.searchsorted(cumulative, position + 1))
+                    quantile_values[q] = ordered[index]
+        profiles[name] = ColumnProfile(
+            name=name,
+            dtype=backend.dtype_of(name) if hasattr(backend, "dtype_of") else (
+                DataType.FLOAT if numeric else DataType.STRING
+            ),
+            row_count=row_count,
+            valid_count=valid_count,
+            distinct_count=len(frequencies),
+            minimum=minimum,
+            maximum=maximum,
+            median=median,
+            entropy=entropy,
+            top_values=top_values,
+            quantiles=quantile_values,
+        )
+    return TableProfile(
+        table_name=backend.name, row_count=row_count, columns=profiles
+    )

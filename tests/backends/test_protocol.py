@@ -1,0 +1,108 @@
+"""Tests for the ExecutionBackend protocol and the wrapper base.
+
+Includes the PR's architectural acceptance criterion: no module under
+``repro.core`` or ``repro.service`` may import the concrete
+``QueryEngine`` class — construction goes through the backend registry.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.backends import BackendWrapper, ExecutionBackend
+from repro.sdl import SDLQuery
+from repro.backends.sqlite import SQLiteBackend
+from repro.service.batching import BatchedEngine
+from repro.storage import QueryEngine, SampledEngine
+from repro.workloads import generate_voc
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_voc(rows=600, seed=9)
+
+
+class TestConformance:
+    def test_query_engine_conforms(self, table):
+        assert isinstance(QueryEngine(table), ExecutionBackend)
+
+    def test_sampled_engine_conforms(self, table):
+        assert isinstance(SampledEngine(table, fraction=0.5, seed=1), ExecutionBackend)
+
+    def test_batched_engine_conforms(self, table):
+        assert isinstance(BatchedEngine(QueryEngine(table)), ExecutionBackend)
+
+    def test_sqlite_backend_conforms(self, table):
+        assert isinstance(SQLiteBackend.from_table(table), ExecutionBackend)
+
+    def test_schema_introspection(self, table):
+        engine = QueryEngine(table)
+        assert engine.name == table.name
+        assert engine.num_rows == table.num_rows
+        assert engine.column_names == table.column_names
+        assert engine.is_numeric("tonnage")
+        assert not engine.is_numeric("type_of_boat")
+
+    def test_stats_and_reset(self, table):
+        engine = QueryEngine(table)
+        engine.count(SDLQuery.over(["tonnage"]))
+        stats = engine.stats()
+        assert stats["backend"] == "memory"
+        assert stats["operations"]["count_calls"] == 1
+        engine.reset()
+        assert engine.counter.count_calls == 0
+
+
+class TestBackendWrapper:
+    def test_delegates_protocol_and_optional_capabilities(self, table):
+        inner = QueryEngine(table)
+        wrapper = BackendWrapper(inner)
+        assert wrapper.num_rows == table.num_rows
+        assert wrapper.column_names == table.column_names
+        assert wrapper.counter is inner.counter
+        # Optional capability passes through __getattr__.
+        assert wrapper.table is table
+
+    def test_unwrap_pierces_layers(self, table):
+        inner = QueryEngine(table)
+        double = BackendWrapper(BackendWrapper(inner))
+        assert double.unwrap() is inner
+
+    def test_cover_delegates_through_sampling_wrappers(self, table):
+        # Regression: a wrapper recomputing cover from scaled counts over
+        # the sample's num_rows used to return covers > 1.
+        sampled = SampledEngine(table, fraction=0.25, seed=2)
+        wrapped = BatchedEngine(sampled)
+        whole = SDLQuery.over(["tonnage"])
+        assert wrapped.cover(whole) == pytest.approx(1.0)
+        assert 0.0 <= wrapped.cover(whole, whole) <= 1.0
+
+    def test_sibling_of_batched_engine_shares_cache(self, table):
+        primary = BatchedEngine(QueryEngine(table, cache_aggregates=True))
+        session = primary.sibling()
+        assert session.cache is primary.cache
+        assert session.counter is not primary.counter
+
+
+class TestLayerBoundary:
+    """The acceptance criterion: core/service never import QueryEngine."""
+
+    @pytest.mark.parametrize("package", ["core", "service"])
+    def test_no_concrete_engine_imports(self, package):
+        offenders = []
+        for path in sorted((SRC_ROOT / package).glob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            for line in source.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("#"):
+                    continue
+                if "import" in stripped and "QueryEngine" in stripped:
+                    offenders.append(f"{path.name}: {stripped}")
+        assert not offenders, (
+            "core/service modules must depend on the ExecutionBackend "
+            f"protocol, not the concrete engine: {offenders}"
+        )

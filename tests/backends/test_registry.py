@@ -1,0 +1,115 @@
+"""Backend spec parsing and registry resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import BackendRegistry, BackendSpec, open_backend
+from repro.backends.sqlite import SQLiteBackend
+from repro.errors import BackendError
+from repro.sdl import RangePredicate, SDLQuery
+from repro.storage import QueryEngine, SampledEngine
+from repro.workloads import generate_voc
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_voc(rows=500, seed=21)
+
+
+class TestSpecParsing:
+    def test_bare_scheme(self):
+        spec = BackendSpec.parse("memory")
+        assert spec == BackendSpec("memory")
+
+    def test_params(self):
+        spec = BackendSpec.parse("memory?sample=0.1&seed=7&index=1")
+        assert spec.scheme == "memory"
+        assert spec.params == {"sample": "0.1", "seed": "7", "index": "1"}
+
+    def test_path_and_fragment(self):
+        spec = BackendSpec.parse("sqlite:///data/voc.db#voyages")
+        assert spec.scheme == "sqlite"
+        assert spec.path == "/data/voc.db"
+        assert spec.fragment == "voyages"
+
+    def test_scheme_is_case_insensitive(self):
+        assert BackendSpec.parse("SQLite").scheme == "sqlite"
+
+    @pytest.mark.parametrize("bad", ["", "   ", "://x"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(BackendError):
+            BackendSpec.parse(bad)
+
+
+class TestOpenBackend:
+    def test_memory(self, table):
+        backend = open_backend("memory", table)
+        assert isinstance(backend, QueryEngine)
+        assert backend.num_rows == table.num_rows
+
+    def test_memory_options(self, table):
+        backend = open_backend("memory?cache=32&index=1", table)
+        assert isinstance(backend, QueryEngine)
+        assert backend.cache.capacity == 32
+
+    def test_cache_zero_disables_caching(self, table):
+        backend = open_backend("memory?cache=0", table)
+        assert backend.cache.capacity == 0
+
+    def test_memory_sampled(self, table):
+        backend = open_backend("memory?sample=0.2&seed=3", table)
+        assert isinstance(backend, SampledEngine)
+        assert backend.fraction == pytest.approx(0.2)
+        assert backend.inner.num_rows == pytest.approx(table.num_rows * 0.2, rel=0.05)
+
+    def test_sqlite_in_memory(self, table):
+        backend = open_backend("sqlite", table)
+        assert isinstance(backend, SQLiteBackend)
+        query = SDLQuery([RangePredicate("tonnage", 100, 900)])
+        assert backend.count(query) == QueryEngine(table).count(query)
+
+    def test_sqlite_file_with_fragment(self, table, tmp_path):
+        path = tmp_path / "db.sqlite"
+        spec = f"sqlite://{path}#voyages"
+        created = open_backend(spec, table)
+        assert created.table_name == "voyages"
+        # Re-opening the same file needs no source table at all.
+        reopened = open_backend(spec)
+        assert reopened.num_rows == table.num_rows
+
+    def test_backend_instances_pass_through(self, table):
+        engine = QueryEngine(table)
+        assert open_backend(engine) is engine
+
+    def test_memory_requires_table(self):
+        with pytest.raises(BackendError):
+            open_backend("memory")
+
+    def test_sqlite_without_table_or_path_rejected(self):
+        with pytest.raises(BackendError):
+            open_backend("sqlite")
+
+    def test_unknown_scheme(self, table):
+        with pytest.raises(BackendError) as excinfo:
+            open_backend("duckdb", table)
+        assert "memory" in str(excinfo.value)  # lists registered schemes
+
+    def test_rejects_non_backend_objects(self):
+        with pytest.raises(BackendError):
+            open_backend(42)
+
+
+class TestCustomRegistry:
+    def test_third_party_scheme(self, table):
+        registry = BackendRegistry()
+        registry.register("mem2", lambda spec, table=None, **_: QueryEngine(table))
+        backend = open_backend("mem2", table, registry=registry)
+        assert isinstance(backend, QueryEngine)
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+        registry.register("x", lambda spec, **_: None)
+        with pytest.raises(BackendError):
+            registry.register("x", lambda spec, **_: None)
+        registry.register("x", lambda spec, **_: None, replace=True)

@@ -1,0 +1,227 @@
+"""SQLiteBackend: parity with the columnar engine, persistence, threading.
+
+The randomized parity classes are the satellite acceptance tests: counts
+and medians must agree with ``QueryEngine`` on randomized contexts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends.sqlite import SQLiteBackend
+from repro.errors import BackendError, EmptyColumnError, UnknownColumnError
+from repro.sdl import ExclusionPredicate, RangePredicate, SDLQuery, SetPredicate
+from repro.storage import QueryEngine, Table
+from repro.workloads import generate_voc
+
+
+@pytest.fixture(scope="module")
+def voc():
+    return generate_voc(rows=1200, seed=17)
+
+
+@pytest.fixture(scope="module")
+def engine(voc):
+    return QueryEngine(voc)
+
+
+@pytest.fixture(scope="module")
+def backend(voc):
+    return SQLiteBackend.from_table(voc)
+
+
+def _random_context(table, rng) -> SDLQuery:
+    """A random conjunctive context mixing ranges, sets and exclusions."""
+    predicates = []
+    nominal = [n for n in table.column_names if not table.column(n).dtype.is_numeric]
+    numeric = [n for n in table.column_names if table.column(n).dtype.is_numeric]
+    attribute = numeric[int(rng.integers(0, len(numeric)))]
+    column = table.column(attribute)
+    low, high = sorted(
+        float(column.median()) * factor for factor in rng.uniform(0.2, 1.8, size=2)
+    )
+    predicates.append(RangePredicate(attribute, low, high))
+    attribute = nominal[int(rng.integers(0, len(nominal)))]
+    values = list(table.column(attribute).value_counts())
+    chosen = frozenset(
+        values[int(i)] for i in rng.integers(0, len(values), size=min(3, len(values)))
+    )
+    if rng.random() < 0.5:
+        predicates.append(SetPredicate(attribute, chosen))
+    else:
+        predicates.append(ExclusionPredicate(attribute, chosen))
+    return SDLQuery(predicates)
+
+
+class TestRandomizedParity:
+    def test_counts_match_engine(self, voc, engine, backend):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            query = _random_context(voc, rng)
+            assert backend.count(query) == engine.count(query), query.to_sdl()
+
+    def test_medians_match_engine(self, voc, engine, backend):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            query = _random_context(voc, rng)
+            if engine.count(query) == 0:
+                continue
+            for attribute in ("tonnage", "built"):
+                assert backend.median(attribute, query) == engine.median(
+                    attribute, query
+                ), query.to_sdl()
+
+    def test_minmax_and_frequencies_match_engine(self, voc, engine, backend):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            query = _random_context(voc, rng)
+            if engine.count(query) == 0:
+                continue
+            assert backend.minmax("tonnage", query) == engine.minmax("tonnage", query)
+            assert backend.value_frequencies(
+                "departure_harbour", query
+            ) == engine.value_frequencies("departure_harbour", query)
+
+    def test_count_batch_matches_engine(self, voc, engine, backend):
+        queries = [
+            SDLQuery([RangePredicate("tonnage", 100 * i, 100 * i + 400)])
+            for i in range(8)
+        ]
+        queries.append(queries[0])  # duplicate exercises the dedup path
+        assert backend.count_batch(queries) == engine.count_batch(queries)
+
+
+class TestTypes:
+    @pytest.fixture(scope="class")
+    def typed_table(self):
+        return Table.from_dict(
+            {
+                "day": [datetime.date(2020, 1, d) for d in range(1, 11)],
+                "flag": [True, False, True, True, None, False, True, False, True, True],
+                "score": [1.5, 2.5, None, 4.0, 5.5, 6.0, 7.25, 8.0, 9.0, 10.0],
+                "label": ["a", "b", "a", None, "c", "a", "b", "c", "a", "b"],
+            },
+            name="typed",
+        )
+
+    def test_dates_round_trip(self, typed_table):
+        backend = SQLiteBackend.from_table(typed_table)
+        engine = QueryEngine(typed_table)
+        query = SDLQuery(
+            [RangePredicate("day", datetime.date(2020, 1, 3), datetime.date(2020, 1, 8))]
+        )
+        assert backend.count(query) == engine.count(query) == 6
+        assert backend.median("day", query) == engine.median("day", query)
+        assert backend.minmax("day") == engine.minmax("day")
+
+    def test_booleans_and_missing_values(self, typed_table):
+        backend = SQLiteBackend.from_table(typed_table)
+        engine = QueryEngine(typed_table)
+        query = SDLQuery([SetPredicate("flag", frozenset({True}))])
+        assert backend.count(query) == engine.count(query)
+        assert backend.value_frequencies("flag") == engine.value_frequencies("flag")
+        # NOT IN never matches missing values (SQL three-valued logic).
+        exclusion = SDLQuery([ExclusionPredicate("label", frozenset({"a"}))])
+        assert backend.count(exclusion) == engine.count(exclusion)
+
+    def test_float_median_even_count(self, typed_table):
+        backend = SQLiteBackend.from_table(typed_table)
+        engine = QueryEngine(typed_table)
+        assert backend.median("score") == engine.median("score")
+
+    def test_empty_selection_raises(self, typed_table):
+        backend = SQLiteBackend.from_table(typed_table)
+        empty = SDLQuery([RangePredicate("score", 900, 901)])
+        with pytest.raises(EmptyColumnError):
+            backend.median("score", empty)
+        with pytest.raises(EmptyColumnError):
+            backend.minmax("score", empty)
+
+    def test_unknown_column_rejected(self, typed_table):
+        backend = SQLiteBackend.from_table(typed_table)
+        with pytest.raises(UnknownColumnError):
+            backend.count(SDLQuery.over(["nonexistent"]))
+
+
+class TestLifecycle:
+    def test_file_database_persists_schema(self, tmp_path, voc, engine):
+        path = str(tmp_path / "voc.db")
+        first = SQLiteBackend.from_table(voc, database=path)
+        first.close()
+        reopened = SQLiteBackend(path)
+        query = SDLQuery([RangePredicate("tonnage", 500, 1500)])
+        assert reopened.count(query) == engine.count(query)
+        assert reopened.is_numeric("built")
+        assert not reopened.is_numeric("type_of_boat")
+        reopened.close()
+
+    def test_from_table_refuses_overwrite(self, tmp_path, voc):
+        path = str(tmp_path / "voc.db")
+        SQLiteBackend.from_table(voc, database=path).close()
+        with pytest.raises(BackendError):
+            SQLiteBackend.from_table(voc, database=path, if_exists="fail")
+        # skip reuses the already-loaded rows.
+        backend = SQLiteBackend.from_table(voc, database=path, if_exists="skip")
+        assert backend.num_rows == voc.num_rows
+
+    def test_sibling_shares_cache_not_counters(self, voc):
+        primary = SQLiteBackend.from_table(voc, cache_aggregates=True)
+        session = primary.sibling()
+        query = SDLQuery([RangePredicate("tonnage", 400, 900)])
+        first = primary.count(query)
+        assert session.count(query) == first
+        assert session.counter.aggregate_hits == 1  # served from shared cache
+        assert primary.counter.count_calls == 1
+        assert session.counter.count_calls == 1
+
+    def test_skip_rejects_mismatched_stored_table(self, tmp_path, voc):
+        path = str(tmp_path / "voc.db")
+        SQLiteBackend.from_table(voc, database=path).close()
+        smaller = generate_voc(rows=100, seed=1)
+        with pytest.raises(BackendError):
+            SQLiteBackend.from_table(
+                smaller, database=path, table_name="voc", if_exists="skip"
+            )
+
+    def test_unseeded_samples_do_not_clobber_each_other(self, voc):
+        backend = SQLiteBackend.from_table(voc)
+        first = backend.sample(0.5)
+        second = backend.sample(0.5)
+        assert first.table_name != second.table_name
+        query = SDLQuery([RangePredicate("tonnage", 300, 1500)])
+        count_before = first.count(query)
+        assert first.count(query) == count_before  # still reads its own table
+
+    def test_sample_runs_inside_sqlite(self, voc):
+        backend = SQLiteBackend.from_table(voc)
+        sampled = backend.sample(0.25, seed=3)
+        assert sampled.num_rows == pytest.approx(voc.num_rows * 0.25, rel=0.05)
+        # Sampling inside SQLite matches the in-memory sampler bit-for-bit:
+        # both draw positions from uniform_sample_indices.
+        mem = QueryEngine(voc).sample(0.25, seed=3)
+        query = SDLQuery([SetPredicate("type_of_boat", frozenset({"fluit"}))])
+        assert sampled.count(query) == mem.count(query)
+
+    def test_thread_safe_counts(self, voc, engine, backend):
+        query = SDLQuery([RangePredicate("tonnage", 200, 2200)])
+        expected = engine.count(query)
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(backend.count(query))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == [expected] * 8

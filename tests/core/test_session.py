@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Charles, ExplorationSession
+from repro.core import Charles, ExplorationSession, ExplorationStep
 from repro.errors import SessionError
 
 
@@ -118,3 +118,53 @@ class TestReporting:
         session.max_answers = 5
         session._stack = []
         assert "not started" in session.describe()
+
+
+class TestDescribeCountRouting:
+    """Satellite regression: describe() must not bypass the service path."""
+
+    def test_counts_served_from_advice_without_engine_calls(self, voc_table):
+        from repro.core import Charles
+
+        advisor = Charles(voc_table)
+        session = ExplorationSession(advisor, max_answers=5)
+        session.start(["type_of_boat", "tonnage"])
+        session.drill(0, 0)
+        before = advisor.engine.counter.count_calls
+        first = session.describe()
+        second = session.describe()
+        # Every step carries advice, whose context_count answers describe();
+        # repeated calls are cached per step, so no count is ever issued.
+        assert advisor.engine.counter.count_calls == before
+        assert first == second
+
+    def test_count_fn_routes_counts_when_no_advice_exists(self, voc_table):
+        from repro.core import Charles
+        from repro.sdl import SDLQuery
+
+        advisor = Charles(voc_table)
+        routed = []
+
+        def count_fn(context: SDLQuery) -> int:
+            routed.append(context)
+            return advisor.engine.count(context)
+
+        session = ExplorationSession(advisor, max_answers=5, count_fn=count_fn)
+        session._stack = [ExplorationStep(context=advisor.resolve_context(["tonnage"]))]
+        text = session.describe()
+        assert "level 0" in text
+        assert len(routed) == 1
+        session.describe()
+        assert len(routed) == 1  # cached on the step
+
+    def test_service_sessions_route_describe_through_shared_engine(self, voc_table):
+        from repro.service import AdvisorService
+
+        service = AdvisorService(voc_table)
+        session = service.open_session("cli", context=["type_of_boat", "tonnage"])
+        exploration = session.exploration
+        assert exploration.count_fn is not None
+        private_before = session.advisor.engine.counter.count_calls
+        session.describe()
+        # The session's private engine is never consulted for describe().
+        assert session.advisor.engine.counter.count_calls == private_before

@@ -1,0 +1,132 @@
+"""Cross-backend acceptance: memory and sqlite produce identical advice.
+
+The PR's headline criterion: ``charles advise --backend sqlite`` and
+``--backend memory`` return the same ranked segmentations on the VOC
+dataset, and the service layer serves identical workloads on both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import Charles
+from repro.service import AdvisorService
+from repro.workloads import generate_voc
+
+_BACKENDS = ("memory", "sqlite")
+
+
+@pytest.fixture(scope="module")
+def voc():
+    return generate_voc(rows=900, seed=42)
+
+
+def _fingerprint(advice):
+    return [
+        (
+            answer.rank,
+            answer.segmentation.cut_attributes,
+            tuple(
+                (segment.query.to_sdl(), segment.count)
+                for segment in answer.segmentation.segments
+            ),
+            round(answer.score, 12),
+        )
+        for answer in advice.answers
+    ]
+
+
+class TestAdviseParity:
+    def test_identical_ranked_segmentations(self, voc):
+        context = ["type_of_boat", "departure_harbour", "tonnage", "built"]
+        fingerprints = {}
+        for backend in _BACKENDS:
+            advisor = Charles(voc, backend=backend)
+            fingerprints[backend] = _fingerprint(advisor.advise(context, max_answers=8))
+        assert fingerprints["memory"] == fingerprints["sqlite"]
+
+    def test_identical_with_sql_context(self, voc):
+        context = "tonnage BETWEEN 400 AND 4000 AND type_of_boat NOT IN ('pinas')"
+        results = [
+            _fingerprint(Charles(voc, backend=backend).advise(context, max_answers=5))
+            for backend in _BACKENDS
+        ]
+        assert results[0] == results[1]
+
+    def test_identical_drilldown(self, voc):
+        from repro.core import ExplorationSession
+
+        paths = {}
+        for backend in _BACKENDS:
+            session = ExplorationSession(Charles(voc, backend=backend), max_answers=5)
+            session.start(["type_of_boat", "tonnage"])
+            advice = session.drill(0, 0)
+            paths[backend] = (_fingerprint(advice), session.breadcrumbs())
+        assert paths["memory"] == paths["sqlite"]
+
+
+class TestNumericExclusionContexts:
+    def test_advise_survives_numeric_not_in(self, voc):
+        # Regression: an exclusion value inside a cut's median range used
+        # to escape as a PredicateError and abort the whole advise; the
+        # attribute must instead be skipped as uncuttable.
+        median = Charles(voc).engine.median("tonnage")
+        context = f"tonnage NOT IN ({median})"
+        for backend in _BACKENDS:
+            advice = Charles(voc, backend=backend).advise(context, max_answers=5)
+            assert "tonnage" in advice.trace.uncuttable_attributes
+        # With further attributes the advise still produces answers.
+        rich = Charles(voc).advise(
+            f"tonnage NOT IN ({median}) AND type_of_boat NOT IN ('pinas')",
+            max_answers=5,
+        )
+        assert len(rich.answers) >= 1
+
+
+class TestCliParity:
+    def test_advise_backend_flag_outputs_match(self, voc, capsys):
+        outputs = {}
+        for backend in _BACKENDS:
+            code = main(
+                [
+                    "advise",
+                    "--dataset", "voc",
+                    "--rows", "400",
+                    "--columns", "type_of_boat", "tonnage", "departure_harbour",
+                    "--backend", backend,
+                    "--max-answers", "4",
+                ]
+            )
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["memory"] == outputs["sqlite"]
+
+    def test_serve_accepts_backend_flag(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset", "voc",
+                "--rows", "300",
+                "--users", "2",
+                "--steps", "1",
+                "--backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        assert "req/s" in capsys.readouterr().out
+
+
+class TestServiceParity:
+    def test_sessions_agree_across_backends(self, voc):
+        answers = {}
+        for backend in _BACKENDS:
+            service = AdvisorService(voc, backend=backend)
+            session = service.open_session(
+                "probe", context=["type_of_boat", "tonnage", "departure_harbour"]
+            )
+            answers[backend] = _fingerprint(session.current_advice())
+            stats = service.stats()
+            expected = "memory" if backend == "memory" else "sqlite"
+            assert stats["tables"]["voc"]["backend"]["backend"] == expected
+        assert answers["memory"] == answers["sqlite"]

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SQLGenerationError, SQLParseError
-from repro.sdl import NoConstraint, RangePredicate, SDLQuery, SetPredicate
+from repro.sdl import (
+    ExclusionPredicate,
+    NoConstraint,
+    RangePredicate,
+    SDLQuery,
+    SetPredicate,
+)
 from repro.storage.sql import (
     count_query_sql,
     parse_where,
@@ -144,3 +150,69 @@ class TestRoundTrip:
         reparsed = parse_where(where)
         assert reparsed.predicate_for("tonnage") == original.predicate_for("tonnage")
         assert reparsed.predicate_for("type") == original.predicate_for("type")
+
+
+class TestParseWhereExtensions:
+    """The PR 2 satellite: NOT IN, quoted identifiers, clear OR errors."""
+
+    def test_not_in(self):
+        query = parse_where("type_of_boat NOT IN ('fluit', 'pinas')")
+        assert query.predicate_for("type_of_boat") == ExclusionPredicate(
+            "type_of_boat", frozenset({"fluit", "pinas"})
+        )
+
+    def test_not_in_case_insensitive(self):
+        query = parse_where("type not in ('x') AND tonnage >= 10")
+        assert isinstance(query.predicate_for("type"), ExclusionPredicate)
+
+    def test_quoted_identifier_shadowing_keyword(self):
+        query = parse_where('"between" = 5 AND "in" IN (1, 2)')
+        assert query.predicate_for("between") == RangePredicate("between", 5, 5)
+        assert query.predicate_for("in") == SetPredicate("in", frozenset({1, 2}))
+
+    def test_bare_keyword_in_column_position_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_where("between = 5")
+
+    def test_or_raises_a_clear_error(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            parse_where("tonnage > 5 OR tonnage < 2")
+        message = str(excinfo.value)
+        assert "OR is not supported" in message
+        assert "conjunction" in message
+
+    def test_not_without_in_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_where("tonnage NOT BETWEEN 1 AND 5")
+
+    def test_not_in_merges_with_set(self):
+        query = parse_where("t IN ('a', 'b', 'c') AND t NOT IN ('b')")
+        assert query.predicate_for("t") == SetPredicate("t", frozenset({"a", "c"}))
+
+
+class TestExclusionSQL:
+    def test_not_in_renders(self):
+        predicate = ExclusionPredicate("type", frozenset({"fluit", "jacht"}))
+        assert predicate_to_sql(predicate) == "\"type\" NOT IN ('fluit', 'jacht')"
+
+    def test_round_trip(self):
+        original = SDLQuery([ExclusionPredicate("type", frozenset({"fluit"}))])
+        assert parse_where(query_to_where(original)) == original
+
+
+class TestUnboundedRanges:
+    def test_one_sided_low(self):
+        predicate = RangePredicate("x", float("-inf"), 5, include_high=False)
+        assert predicate_to_sql(predicate) == "\"x\" < 5"
+
+    def test_one_sided_high(self):
+        predicate = RangePredicate("x", 3, float("inf"))
+        assert predicate_to_sql(predicate) == "\"x\" >= 3"
+
+    def test_fully_unbounded(self):
+        predicate = RangePredicate("x", float("-inf"), float("inf"))
+        assert predicate_to_sql(predicate) == "\"x\" IS NOT NULL"
+
+    def test_round_trip_of_comparisons(self):
+        for text in ("x < 5", "x <= 5", "x > 5", "x >= 5"):
+            assert parse_where(query_to_where(parse_where(text))) == parse_where(text)
