@@ -48,6 +48,8 @@ from repro.backends import (
     BackendRegistry,
     BackendWrapper,
     ExecutionBackend,
+    ExecutorPool,
+    ParallelEngine,
     SQLiteBackend,
     open_backend,
     register_backend,
@@ -55,6 +57,7 @@ from repro.backends import (
 from repro.storage import (
     Catalog,
     DataType,
+    PartitionedTable,
     QueryEngine,
     ResultCache,
     SampledEngine,
@@ -116,12 +119,15 @@ __all__ = [
     "ExecutionBackend",
     "BackendWrapper",
     "BackendRegistry",
+    "ExecutorPool",
+    "ParallelEngine",
     "SQLiteBackend",
     "open_backend",
     "register_backend",
     # storage
     "DataType",
     "Table",
+    "PartitionedTable",
     "QueryEngine",
     "SampledEngine",
     "ResultCache",

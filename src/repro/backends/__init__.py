@@ -6,23 +6,31 @@ package owns that contract:
 
 * :mod:`repro.backends.base` — the :class:`ExecutionBackend` protocol and
   the :class:`BackendWrapper` delegation base for decorating backends;
+* :mod:`repro.backends.pool` — :class:`ExecutorPool`, the bounded,
+  shared worker pool behind partitioned parallel evaluation;
+* :mod:`repro.backends.parallel` — :class:`ParallelEngine`, fanning
+  counts/medians across row-range partitions through the pool;
 * :mod:`repro.backends.sqlite` — :class:`SQLiteBackend`, executing SDL
   through the :mod:`repro.storage.sql` glue against ``sqlite3``;
 * :mod:`repro.backends.registry` — :class:`BackendRegistry` and
   :func:`open_backend`, resolving specs such as ``"memory"``,
-  ``"memory?sample=0.1"`` or ``"sqlite:///path.db#table"``.
+  ``"memory?partitions=4&workers=4"`` or ``"sqlite:///path.db#table"``.
 
-``base`` is imported eagerly (it has no storage dependencies, so the
-storage layer itself may use :class:`BackendWrapper`); the registry and
-the SQLite backend load lazily on first attribute access to keep the
-import graph acyclic (``registry`` → ``storage.sampling`` → ``base``).
+``base`` and ``pool`` are imported eagerly (they have no storage
+dependencies, so the storage layer itself may use
+:class:`BackendWrapper`); the registry, the SQLite backend and the
+parallel engine load lazily on first attribute access to keep the import
+graph acyclic (``registry`` → ``storage.sampling`` → ``base``).
 """
 
 from repro.backends.base import BackendWrapper, ExecutionBackend
+from repro.backends.pool import ExecutorPool
 
 __all__ = [
     "ExecutionBackend",
     "BackendWrapper",
+    "ExecutorPool",
+    "ParallelEngine",
     "SQLiteBackend",
     "BackendSpec",
     "BackendRegistry",
@@ -32,6 +40,7 @@ __all__ = [
 ]
 
 _LAZY = {
+    "ParallelEngine": "repro.backends.parallel",
     "SQLiteBackend": "repro.backends.sqlite",
     "BackendSpec": "repro.backends.registry",
     "BackendRegistry": "repro.backends.registry",

@@ -1,0 +1,162 @@
+"""ParallelEngine: partitioned, pooled execution behind the backend seam.
+
+:class:`ParallelEngine` packages the partitioned execution substrate as a
+:class:`~repro.backends.base.BackendWrapper`: it shards the source table
+into row-range partitions (:class:`~repro.storage.partition.PartitionedTable`),
+owns or shares an :class:`~repro.backends.pool.ExecutorPool`, and fans
+``count`` / ``count_batch`` / ``median_batch`` (and every mask
+evaluation underneath them) across the partitions through the pool —
+masks concatenate, counts sum, medians merge per-partition value
+gathers.
+
+The wrapped engine is a partition-aware
+:class:`~repro.storage.engine.QueryEngine`, so the guarantees are
+inherited rather than re-implemented: :class:`OperationCounter` tallies
+and :class:`~repro.storage.cache.ResultCache` contents are identical to
+the sequential (``workers=1`` / ``partitions=1``) path, and every result
+is bit-for-bit the sequential result.
+
+Specs: ``memory?partitions=4&workers=4`` resolves here through
+:func:`repro.backends.open_backend`; ``workers`` defaults to the
+partition count and vice versa, so either parameter alone turns the
+feature on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.backends.base import BackendWrapper
+from repro.backends.pool import ExecutorPool
+from repro.errors import BackendError
+from repro.storage.cache import ResultCache
+from repro.storage.engine import QueryEngine
+from repro.storage.table import Table
+
+__all__ = ["ParallelEngine"]
+
+
+class ParallelEngine(BackendWrapper):
+    """A backend that evaluates over sharded row ranges through a pool.
+
+    Parameters
+    ----------
+    source:
+        The relation to query — a :class:`~repro.storage.table.Table`, or
+        any backend exposing an in-memory ``table`` (its cache options are
+        *not* inherited; pass them explicitly).
+    partitions:
+        Number of contiguous row-range shards (defaults to the pool's
+        worker count).
+    workers:
+        Pool size when no shared ``pool`` is given (defaults to
+        ``partitions``; ``None``/``0`` means one per core).
+    pool:
+        An externally owned :class:`~repro.backends.pool.ExecutorPool` to
+        share (the service layer passes one pool for every session and
+        table).  When omitted the engine creates—and owns—its own.
+    cache, cache_aggregates, cache_size, use_index:
+        Forwarded to the underlying :class:`~repro.storage.engine.QueryEngine`.
+    """
+
+    def __init__(
+        self,
+        source: Union[Table, Any],
+        partitions: Optional[int] = None,
+        workers: Optional[int] = None,
+        pool: Optional[ExecutorPool] = None,
+        cache: Optional[ResultCache] = None,
+        cache_aggregates: bool = False,
+        cache_size: int = 256,
+        use_index: bool = False,
+        _engine: Optional[QueryEngine] = None,
+    ):
+        if _engine is not None:
+            engine = _engine
+            pool = pool if pool is not None else engine.pool
+            if pool is None:
+                pool = ExecutorPool(1, name=f"parallel:{engine.table.name}")
+        else:
+            if isinstance(source, Table):
+                table = source
+            else:
+                table = getattr(source, "table", None)
+                if table is None:
+                    raise BackendError(
+                        f"cannot partition backend {type(source).__name__}: it "
+                        "exposes no in-memory table"
+                    )
+            if pool is None:
+                pool = ExecutorPool(
+                    workers if workers is not None else partitions,
+                    name=f"parallel:{table.name}",
+                )
+            if partitions is None:
+                partitions = pool.workers
+            partitions = int(partitions)
+            if partitions < 1:
+                raise BackendError(
+                    f"partitions must be at least 1, got {partitions}"
+                )
+            engine = QueryEngine(
+                table,
+                cache_size=cache_size,
+                use_index=use_index,
+                cache=cache,
+                cache_aggregates=cache_aggregates,
+                partitions=partitions,
+                pool=pool,
+            )
+        super().__init__(engine)
+        self._pool = pool
+
+    # -- parallel introspection -----------------------------------------------
+
+    @property
+    def pool(self) -> ExecutorPool:
+        """The executor pool running per-partition work."""
+        return self._pool
+
+    @property
+    def partitions(self) -> int:
+        """Number of row-range shards the table is split into."""
+        return self.inner.partitions
+
+    def stats(self) -> Dict[str, Any]:
+        """Inner-engine statistics plus the parallel substrate's."""
+        inner_stats = self.inner.stats()
+        return {
+            **inner_stats,
+            "backend": f"parallel({inner_stats.get('backend', 'memory')})",
+            "pool": self._pool.stats(),
+        }
+
+    # -- construction helpers ---------------------------------------------------
+
+    def sample(self, fraction: float, seed: Optional[int] = None) -> "ParallelEngine":
+        """A parallel engine over a uniform sample (same shard count,
+        same pool), so ``memory?partitions=N&workers=K&sample=f`` keeps
+        the sampled statistics partitioned too."""
+        from repro.storage.sampling import sample_table
+
+        sampled = sample_table(self.inner.table, fraction=fraction, seed=seed)
+        return ParallelEngine(
+            sampled,
+            partitions=self.partitions,
+            pool=self._pool,
+            cache_size=self.inner._cache_size,
+            use_index=self.inner._use_index,
+        )
+
+    def sibling(self) -> "ParallelEngine":
+        """A parallel engine over the same shards, pool and shared cache,
+        with private operation counters (one per service session)."""
+        return ParallelEngine(
+            self.inner.table, pool=self._pool, _engine=self.inner.sibling()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelEngine(table={self.name!r}, rows={self.num_rows}, "
+            f"partitions={self.partitions}, workers={self._pool.workers})"
+        )

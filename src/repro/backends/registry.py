@@ -5,6 +5,7 @@ A backend *spec* is a compact URI-like string::
     memory                      the in-memory columnar QueryEngine
     memory?sample=0.1&seed=7    SampledEngine over a 10% uniform sample
     memory?index=1&cache=512    engine options as query parameters
+    memory?partitions=4&workers=4   ParallelEngine: sharded, pooled evaluation
     sqlite                      load the table into an in-memory SQLite db
     sqlite?sample=0.25          … sampled, materialised inside SQLite
     sqlite:///path/to/db.db#t   open table ``t`` of an existing database
@@ -30,6 +31,8 @@ from typing import Any, Callable, Dict, List, Optional
 from urllib.parse import parse_qsl, unquote
 
 from repro.backends.base import ExecutionBackend
+from repro.backends.parallel import ParallelEngine
+from repro.backends.pool import ExecutorPool, parallel_requested, resolve_workers
 from repro.backends.sqlite import SQLiteBackend
 from repro.errors import BackendError
 from repro.storage.cache import ResultCache
@@ -85,10 +88,12 @@ class BackendRegistry:
     """Maps spec schemes to backend factories.
 
     Factories are called as ``factory(spec, table=..., cache=...,
-    cache_aggregates=..., cache_size=..., use_index=...)`` where ``spec``
-    is the parsed :class:`BackendSpec` and ``table`` is the optional
-    source :class:`~repro.storage.table.Table` (required by schemes that
-    have no external storage of their own).
+    cache_aggregates=..., cache_size=..., use_index=...)`` — plus, when a
+    caller requests parallel execution, ``partitions=...``, ``workers=...``
+    and ``pool=...`` — where ``spec`` is the parsed :class:`BackendSpec`
+    and ``table`` is the optional source
+    :class:`~repro.storage.table.Table` (required by schemes that have no
+    external storage of their own).
     """
 
     def __init__(self) -> None:
@@ -164,6 +169,29 @@ def _maybe_sampled(
     return SampledEngine(backend, fraction=fraction, seed=_spec_int(spec, "seed"))
 
 
+def _resolve_parallel_params(
+    spec: BackendSpec,
+    partitions: Optional[int],
+    workers: Optional[int],
+) -> tuple:
+    """Merge spec-level and context-level partitions/workers (spec wins).
+
+    Either parameter alone enables partitioned execution: ``workers``
+    defaults to the partition count and vice versa.
+    """
+    spec_partitions = _spec_int(spec, "partitions")
+    spec_workers = _spec_int(spec, "workers")
+    resolved_partitions = spec_partitions if spec_partitions is not None else partitions
+    resolved_workers = spec_workers if spec_workers is not None else workers
+    if resolved_partitions is None and resolved_workers is not None:
+        # workers=0 means "one per core" — shard to the resolved pool
+        # size, not to the raw sentinel (0 partitions is an error).
+        resolved_partitions = resolve_workers(resolved_workers)
+    if resolved_workers is None and resolved_partitions is not None:
+        resolved_workers = resolved_partitions
+    return resolved_partitions, resolved_workers
+
+
 def _memory_factory(
     spec: BackendSpec,
     table: Optional[Table] = None,
@@ -171,17 +199,26 @@ def _memory_factory(
     cache_aggregates: bool = False,
     cache_size: int = 256,
     use_index: bool = False,
+    partitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    pool: Optional[ExecutorPool] = None,
 ) -> ExecutionBackend:
     if table is None:
         raise BackendError("the 'memory' backend requires a source table")
     spec_cache = _spec_int(spec, "cache")
-    engine = QueryEngine(
-        table,
-        cache_size=spec_cache if spec_cache is not None else cache_size,
-        use_index=_spec_bool(spec, "index", use_index),
-        cache=cache,
-        cache_aggregates=cache_aggregates,
-    )
+    options = {
+        "cache_size": spec_cache if spec_cache is not None else cache_size,
+        "use_index": _spec_bool(spec, "index", use_index),
+        "cache": cache,
+        "cache_aggregates": cache_aggregates,
+    }
+    partitions, workers = _resolve_parallel_params(spec, partitions, workers)
+    if parallel_requested(partitions, workers, pool):
+        engine: ExecutionBackend = ParallelEngine(
+            table, partitions=partitions, workers=workers, pool=pool, **options
+        )
+    else:
+        engine = QueryEngine(table, **options)
     return _maybe_sampled(engine, spec)
 
 
@@ -192,8 +229,12 @@ def _sqlite_factory(
     cache_aggregates: bool = True,
     cache_size: int = 256,
     use_index: bool = False,
+    partitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    pool: Optional[ExecutorPool] = None,
 ) -> ExecutionBackend:
     del use_index  # SQLite plans its own access paths
+    del partitions, workers, pool  # SQLite parallelises (or not) internally
     database = spec.path or ":memory:"
     spec_cache = _spec_int(spec, "cache")
     options = {
@@ -255,7 +296,8 @@ def open_backend(
         Registry to resolve against (default: the process-wide one).
     context:
         Construction context forwarded to the factory (``cache``,
-        ``cache_aggregates``, ``cache_size``, ``use_index``).
+        ``cache_aggregates``, ``cache_size``, ``use_index`` — and
+        ``partitions``/``workers``/``pool`` for parallel execution).
     """
     if not isinstance(spec, str):
         if isinstance(spec, ExecutionBackend):

@@ -57,7 +57,11 @@ from repro.sdl.predicates import (
 )
 from repro.sdl.query import SDLQuery
 from repro.storage.cache import ResultCache
-from repro.storage.engine import OperationCounter, deduplicated_count_batch
+from repro.storage.engine import (
+    OperationCounter,
+    deduplicated_count_batch,
+    deduplicated_median_batch,
+)
 from repro.storage.sql import count_query_sql, query_to_where
 from repro.storage.table import Table
 from repro.storage.types import DataType, date_to_ordinal, ordinal_to_date
@@ -468,7 +472,7 @@ class SQLiteBackend:
             return None
         value = self._cache.get(key)
         if value is not None:
-            self.counter.aggregate_hits += 1
+            self.counter.add(aggregate_hits=1)
         return value
 
     def _aggregate_put(self, key: str, value: Any) -> None:
@@ -479,7 +483,7 @@ class SQLiteBackend:
 
     def count(self, query: SDLQuery) -> int:
         """``|R(Q)|`` via ``SELECT COUNT(*)`` (the paper's first operation)."""
-        self.counter.count_calls += 1
+        self.counter.add(count_calls=1)
         key = "count::" + query_signature(query)
         cached = self._aggregate_get(key)
         if cached is not None:
@@ -489,7 +493,7 @@ class SQLiteBackend:
         return value
 
     def _count_uncached(self, query: SDLQuery) -> int:
-        self.counter.evaluations += 1
+        self.counter.add(evaluations=1)
         sql = count_query_sql(self._encoded_query(query), self._table_name)
         return int(self._execute(sql)[0][0])
 
@@ -508,12 +512,7 @@ class SQLiteBackend:
         middle values for even cardinalities, decoded per dtype (integral
         INT medians stay ``int``; DATE medians round down to a date).
         """
-        self.counter.median_calls += 1
-        dtype = self.dtype_of(attribute)
-        if not dtype.is_numeric:
-            raise TypeMismatchError(
-                f"arithmetic median undefined for nominal column {attribute!r}"
-            )
+        self.counter.add(median_calls=1)
         unconstrained = query is None or not query.constrained_attributes
         key = "median:{}:{}".format(
             attribute, "" if unconstrained else query_signature(query)
@@ -521,6 +520,16 @@ class SQLiteBackend:
         cached = self._aggregate_get(key)
         if cached is not None:
             return cached
+        value = self._median_uncached(attribute, query)
+        self._aggregate_put(key, value)
+        return value
+
+    def _median_uncached(self, attribute: str, query: Optional[SDLQuery]) -> Any:
+        dtype = self.dtype_of(attribute)
+        if not dtype.is_numeric:
+            raise TypeMismatchError(
+                f"arithmetic median undefined for nominal column {attribute!r}"
+            )
         where = self._rendered_where(query)
         quoted = _quote(attribute)
         table = _quote(self._table_name)
@@ -534,9 +543,7 @@ class SQLiteBackend:
             f"WHERE {where} AND {quoted} IS NOT NULL "
             f"ORDER BY {quoted} LIMIT {2 - valid % 2} OFFSET {(valid - 1) // 2})"
         )
-        value = self._decode_median(dtype, float(rows[0][0]))
-        self._aggregate_put(key, value)
-        return value
+        return self._decode_median(dtype, float(rows[0][0]))
 
     def _decode_median(self, dtype: DataType, value: float) -> Any:
         if dtype is DataType.DATE:
@@ -549,7 +556,7 @@ class SQLiteBackend:
         self, attribute: str, query: Optional[SDLQuery] = None
     ) -> Tuple[Any, Any]:
         """Minimum and maximum via ``SELECT MIN(a), MAX(a)``."""
-        self.counter.minmax_calls += 1
+        self.counter.add(minmax_calls=1)
         dtype = self.dtype_of(attribute)
         unconstrained = query is None or not query.constrained_attributes
         key = "minmax:{}:{}".format(
@@ -574,7 +581,7 @@ class SQLiteBackend:
         self, attribute: str, query: Optional[SDLQuery] = None
     ) -> Dict[Any, int]:
         """Value → count histogram via ``GROUP BY``."""
-        self.counter.frequency_calls += 1
+        self.counter.add(frequency_calls=1)
         dtype = self.dtype_of(attribute)
         where = self._rendered_where(query)
         quoted = _quote(attribute)
@@ -609,11 +616,21 @@ class SQLiteBackend:
     def median_batch(
         self, attribute: str, queries: Sequence[Optional[SDLQuery]]
     ) -> Tuple[Any, ...]:
-        """Medians of one attribute under many queries as one logical batch."""
-        if not queries:
-            return ()
-        self.counter.batch_calls += 1
-        return tuple(self.median(attribute, query) for query in queries)
+        """Medians of one attribute under many queries as one logical batch.
+
+        Deduplication and accounting run through the shared
+        :func:`~repro.storage.engine.deduplicated_median_batch` skeleton —
+        the same one the columnar engine uses — so median traces stay
+        bit-for-bit comparable across backends.
+        """
+        return deduplicated_median_batch(
+            attribute,
+            queries,
+            self.counter,
+            self._aggregate_get,
+            self._aggregate_put,
+            lambda query: self._median_uncached(attribute, query),
+        )
 
     def counts_for(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
         """Cardinalities for a batch of queries (one count call per query)."""

@@ -81,8 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sampling fraction for statistics (0 < f < 1)")
         sub.add_argument("--backend", default="memory",
                          help="execution backend spec: memory (default), "
-                              "memory?sample=0.1, sqlite, "
+                              "memory?sample=0.1, "
+                              "memory?partitions=4&workers=4, sqlite, "
                               "sqlite:///path.db#table")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="executor-pool threads: partitioned scans and "
+                              "HB-cuts INDEP evaluations run concurrently "
+                              "(identical answers; 1 = sequential)")
+        sub.add_argument("--partitions", type=int, default=None,
+                         help="row-range shards per table for partitioned "
+                              "evaluation (default: the worker count)")
         sub.add_argument("--style", choices=("pie", "treemap", "table"), default="pie",
                          help="detail renderer for the selected answer")
 
@@ -137,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drill/back actions per user after the first advise")
     serve.add_argument("--workers", type=int, default=1,
                        help="threads serving the users (1 = sequential)")
+    serve.add_argument("--engine-workers", type=int, default=None,
+                       help="executor-pool threads for partitioned backend "
+                            "evaluation (default: the --workers value)")
+    serve.add_argument("--partitions", type=int, default=None,
+                       help="row-range shards per registered table "
+                            "(evaluated across the engine pool; "
+                            "default: the engine worker count)")
     serve.add_argument("--distinct-paths", type=int, default=None,
                        help="unique exploration paths shared round-robin "
                             "(default: one per user)")
@@ -185,6 +200,8 @@ def _make_advisor(table: Table, args: argparse.Namespace) -> Charles:
         sample_fraction=getattr(args, "sample", None),
         seed=getattr(args, "seed", None),
         backend=getattr(args, "backend", None) or "memory",
+        workers=getattr(args, "workers", 1),
+        partitions=getattr(args, "partitions", None),
     )
 
 
@@ -283,11 +300,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         hot_contexts=args.hot_contexts,
         distinct_paths=args.distinct_paths,
     )
+    engine_workers = getattr(args, "engine_workers", None)
+    if engine_workers is None:
+        engine_workers = args.workers
     service = AdvisorService(
         table,
         cache_capacity=args.cache_capacity,
         batch_indep=not args.no_batching,
         backend=getattr(args, "backend", None) or "memory",
+        workers=engine_workers,
+        partitions=getattr(args, "partitions", None),
     )
     report = service.serve(scripts, workers=args.workers)
     print(report.describe())

@@ -12,9 +12,10 @@ several segmentations, ranks them, and returns them as an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.backends.base import ExecutionBackend
+from repro.backends.pool import parallel_requested
 from repro.backends.registry import open_backend
 from repro.errors import AdvisorError, SDLSyntaxError
 from repro.sdl.formatter import format_segment_label, format_segmentation
@@ -147,7 +148,23 @@ class Charles:
         Backend spec resolved through
         :func:`repro.backends.open_backend` when ``table`` is a
         :class:`Table` — e.g. ``"memory"`` (default),
-        ``"memory?sample=0.1"`` or ``"sqlite"``.
+        ``"memory?sample=0.1"``, ``"memory?partitions=4&workers=4"`` or
+        ``"sqlite"``.
+    partitions:
+        Shard the table into this many row-range partitions and evaluate
+        them through the worker pool (only meaningful for backends built
+        from a ``Table``; spec parameters take precedence).  Results are
+        identical for every partition count.
+    workers:
+        Size of the executor pool.  ``workers > 1`` additionally runs the
+        HB-cuts INDEP evaluations of each iteration concurrently —
+        bit-for-bit the same answers, on more cores.
+    pool:
+        Share an existing :class:`~repro.backends.pool.ExecutorPool`
+        instead of creating one (the service layer passes its own).  When
+        omitted and the opened backend carries a pool (e.g. a
+        ``memory?workers=4`` spec), that pool also drives the INDEP
+        evaluations.
 
     Examples
     --------
@@ -168,14 +185,24 @@ class Charles:
         cache_size: int = 256,
         use_index: bool = False,
         backend: Optional[str] = None,
+        partitions: Optional[int] = None,
+        workers: Optional[int] = None,
+        pool: Optional[Any] = None,
     ):
-        if isinstance(table, Table):
-            self.engine = open_backend(
-                backend or "memory",
-                table,
-                cache_size=cache_size,
-                use_index=use_index,
+        wants_parallel = parallel_requested(partitions, workers, pool)
+        if wants_parallel and pool is None:
+            from repro.backends.pool import ExecutorPool
+
+            pool = ExecutorPool(
+                workers if workers is not None else partitions, name="charles"
             )
+        if isinstance(table, Table):
+            context: Dict[str, Any] = dict(
+                cache_size=cache_size, use_index=use_index
+            )
+            if wants_parallel:
+                context.update(partitions=partitions, workers=workers, pool=pool)
+            self.engine = open_backend(backend or "memory", table, **context)
         else:
             if backend is not None:
                 raise AdvisorError(
@@ -203,7 +230,10 @@ class Charles:
         self.table = getattr(self.engine, "table", None)
         self.config = config or HBCutsConfig()
         self.ranker = ranker or EntropyRanker()
-        self._generator = HBCuts(self.config)
+        # The pool driving parallel INDEP evaluation: an explicit one wins,
+        # else whatever the backend itself runs on (e.g. a ParallelEngine's).
+        self.pool = pool if pool is not None else getattr(self.engine, "pool", None)
+        self._generator = HBCuts(self.config, pool=self.pool)
 
     # -- context handling -------------------------------------------------------
 

@@ -16,6 +16,21 @@ robustness a real dataset needs (attributes that cannot be cut are skipped
 and recorded in the trace) and the computation-reuse optimisation the
 paper hints at in Section 5.1 (INDEP values of unchanged candidate pairs
 are cached across iterations).
+
+Step 2 — finding the most dependent pair — admits three equivalent
+execution strategies, selected per run and **bit-for-bit identical** in
+their output (same counts, same tie-breaking, same trace values in the
+same order):
+
+* *sequential* — one product at a time (the Figure 4 reading);
+* *batched* (``batch_indep=True``) — the product cells of every uncached
+  pair issued as one multi-query engine pass, which the service layer
+  coalesces across sessions;
+* *parallel* (an :class:`~repro.backends.pool.ExecutorPool` passed to
+  :class:`HBCuts`) — the uncached pairs of an iteration evaluated
+  concurrently through the pool; the pairs are independent by
+  construction, and the results are merged — and the argmin taken — in
+  the sequential pair order.
 """
 
 from __future__ import annotations
@@ -121,6 +136,10 @@ class HBCutsTrace:
     batched_passes:
         Number of multi-query engine passes issued by the batched INDEP
         path (0 unless ``batch_indep`` is enabled).
+    parallel_rounds:
+        Number of pool-mapped INDEP rounds issued by the parallel path
+        (0 unless the run holds an executor pool).  Depends only on the
+        iteration structure, never on the worker count.
     compositions:
         Attribute sets composed, in order.
     indep_values:
@@ -138,6 +157,7 @@ class HBCutsTrace:
     pair_evaluations: int = 0
     pair_cache_hits: int = 0
     batched_passes: int = 0
+    parallel_rounds: int = 0
     compositions: List[Tuple[str, ...]] = field(default_factory=list)
     indep_values: List[float] = field(default_factory=list)
     stop_reason: str = ""
@@ -175,10 +195,23 @@ class HBCuts:
     ----------
     config:
         Heuristic parameters; defaults follow the paper.
+    pool:
+        An :class:`~repro.backends.pool.ExecutorPool` evaluating the
+        candidate INDEP pairs of each iteration concurrently (they are
+        independent by construction).  ``None`` keeps the classic
+        sequential evaluation; a one-worker pool takes the parallel code
+        path but maps inline, so ``workers=1`` is the deterministic
+        special case the parallel runs are compared against.  The batched
+        path (``batch_indep=True``) takes precedence — its single engine
+        pass is what the service layer coalesces across sessions, and a
+        partitioned engine already fans each count across the pool.
     """
 
-    def __init__(self, config: Optional[HBCutsConfig] = None):
+    def __init__(
+        self, config: Optional[HBCutsConfig] = None, pool: Optional[object] = None
+    ):
         self.config = config or HBCutsConfig()
+        self.pool = pool
 
     # -- public API -----------------------------------------------------------
 
@@ -275,6 +308,58 @@ class HBCuts:
     def _pair_key(self, first: Segmentation, second: Segmentation) -> frozenset:
         return frozenset((id(first), id(second)))
 
+    def _classify_pairs(
+        self,
+        candidates: Sequence[Segmentation],
+        cache: Dict[frozenset, Tuple[float, Segmentation]],
+        trace: HBCutsTrace,
+    ) -> Tuple[
+        List[Tuple[Segmentation, Segmentation]],
+        Dict[frozenset, Tuple[float, Segmentation]],
+        List[Tuple[Segmentation, Segmentation]],
+    ]:
+        """Enumerate candidate pairs and split them into cached/uncached.
+
+        The pair order fixed here is the canonical order every execution
+        strategy shares — it decides the argmin tie-breaking and the order
+        uncached pairs are evaluated (and their trace values recorded) in.
+        Returns ``(pairs, evaluated, uncached)`` where ``evaluated`` is
+        pre-seeded with the cache hits (tallied in the trace).
+        """
+        pairs = [
+            (candidates[i], candidates[j])
+            for i in range(len(candidates))
+            for j in range(i + 1, len(candidates))
+        ]
+        evaluated: Dict[frozenset, Tuple[float, Segmentation]] = {}
+        uncached: List[Tuple[Segmentation, Segmentation]] = []
+        for first, second in pairs:
+            key = self._pair_key(first, second)
+            cached = cache.get(key) if self.config.reuse_indep else None
+            if cached is not None:
+                trace.pair_cache_hits += 1
+                evaluated[key] = cached
+            else:
+                uncached.append((first, second))
+        return pairs, evaluated, uncached
+
+    def _record_pair(
+        self,
+        first: Segmentation,
+        second: Segmentation,
+        value: float,
+        product_segmentation: Segmentation,
+        evaluated: Dict[frozenset, Tuple[float, Segmentation]],
+        cache: Dict[frozenset, Tuple[float, Segmentation]],
+        trace: HBCutsTrace,
+    ) -> None:
+        """Fold one evaluated pair into the trace, the argmin input and the cache."""
+        trace.pair_evaluations += 1
+        key = self._pair_key(first, second)
+        evaluated[key] = (value, product_segmentation)
+        if self.config.reuse_indep:
+            cache[key] = (value, product_segmentation)
+
     def _most_dependent_pair(
         self,
         engine: ExecutionBackend,
@@ -285,29 +370,20 @@ class HBCuts:
         """Line 11 of Figure 4: argmin over candidate pairs of INDEP."""
         if self.config.batch_indep and hasattr(engine, "count_batch"):
             return self._most_dependent_pair_batched(engine, candidates, cache, trace)
-        best: Optional[Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]] = None
-        for i in range(len(candidates)):
-            for j in range(i + 1, len(candidates)):
-                first, second = candidates[i], candidates[j]
-                key = self._pair_key(first, second)
-                cached = cache.get(key) if self.config.reuse_indep else None
-                if cached is not None:
-                    trace.pair_cache_hits += 1
-                    value, product_segmentation = cached
-                else:
-                    trace.pair_evaluations += 1
-                    product_segmentation = product(
-                        engine, first, second, drop_empty=self.config.drop_empty
-                    )
-                    value = indep_from_entropies(
-                        entropy(product_segmentation), entropy(first), entropy(second)
-                    )
-                    if self.config.reuse_indep:
-                        cache[key] = (value, product_segmentation)
-                if best is None or value < best[1]:
-                    best = ((first, second), value, product_segmentation)
-        assert best is not None  # the caller guarantees >= 2 candidates
-        return best
+        if self.pool is not None:
+            return self._most_dependent_pair_parallel(engine, candidates, cache, trace)
+        pairs, evaluated, uncached = self._classify_pairs(candidates, cache, trace)
+        for first, second in uncached:
+            product_segmentation = product(
+                engine, first, second, drop_empty=self.config.drop_empty
+            )
+            value = indep_from_entropies(
+                entropy(product_segmentation), entropy(first), entropy(second)
+            )
+            self._record_pair(
+                first, second, value, product_segmentation, evaluated, cache, trace
+            )
+        return self._argmin_pair(pairs, evaluated)
 
     def _most_dependent_pair_batched(
         self,
@@ -326,21 +402,7 @@ class HBCuts:
         pair — and therefore the whole HB-cuts run — is identical to the
         sequential path.
         """
-        pairs = [
-            (candidates[i], candidates[j])
-            for i in range(len(candidates))
-            for j in range(i + 1, len(candidates))
-        ]
-        evaluated: Dict[frozenset, Tuple[float, Segmentation]] = {}
-        uncached: List[Tuple[Segmentation, Segmentation]] = []
-        for first, second in pairs:
-            key = self._pair_key(first, second)
-            cached = cache.get(key) if self.config.reuse_indep else None
-            if cached is not None:
-                trace.pair_cache_hits += 1
-                evaluated[key] = cached
-            else:
-                uncached.append((first, second))
+        pairs, evaluated, uncached = self._classify_pairs(candidates, cache, trace)
 
         if uncached:
             trace.batched_passes += 1
@@ -379,12 +441,62 @@ class HBCuts:
                 value = indep_from_entropies(
                     entropy(product_segmentation), entropy(first), entropy(second)
                 )
-                trace.pair_evaluations += 1
-                key = self._pair_key(first, second)
-                evaluated[key] = (value, product_segmentation)
-                if self.config.reuse_indep:
-                    cache[key] = (value, product_segmentation)
+                self._record_pair(
+                    first, second, value, product_segmentation, evaluated, cache, trace
+                )
 
+        return self._argmin_pair(pairs, evaluated)
+
+    def _most_dependent_pair_parallel(
+        self,
+        engine: ExecutionBackend,
+        candidates: Sequence[Segmentation],
+        cache: Dict[frozenset, Tuple[float, Segmentation]],
+        trace: HBCutsTrace,
+    ) -> Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]:
+        """The argmin of Figure 4's line 11, pairs evaluated through the pool.
+
+        Every candidate pair whose INDEP is not cached is evaluated
+        concurrently — the pairs are independent by construction, and the
+        engine's counters and caches are thread-safe.  Results come back
+        in submission order and are folded into the cache (and the argmin)
+        in exactly the sequential pair order, so the selected pair, its
+        INDEP value and the whole trace are bit-for-bit identical whatever
+        the worker count.
+        """
+        pairs, evaluated, uncached = self._classify_pairs(candidates, cache, trace)
+
+        if uncached:
+            trace.parallel_rounds += 1
+
+            def evaluate_pair(
+                pair: Tuple[Segmentation, Segmentation]
+            ) -> Tuple[float, Segmentation]:
+                first, second = pair
+                product_segmentation = product(
+                    engine, first, second, drop_empty=self.config.drop_empty
+                )
+                value = indep_from_entropies(
+                    entropy(product_segmentation), entropy(first), entropy(second)
+                )
+                return value, product_segmentation
+
+            results = self.pool.map(evaluate_pair, uncached)
+            for (first, second), (value, product_segmentation) in zip(
+                uncached, results
+            ):
+                self._record_pair(
+                    first, second, value, product_segmentation, evaluated, cache, trace
+                )
+
+        return self._argmin_pair(pairs, evaluated)
+
+    def _argmin_pair(
+        self,
+        pairs: Sequence[Tuple[Segmentation, Segmentation]],
+        evaluated: Dict[frozenset, Tuple[float, Segmentation]],
+    ) -> Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]:
+        """Strict argmin in pair order — the tie-breaking every strategy shares."""
         best: Optional[Tuple[Tuple[Segmentation, Segmentation], float, Segmentation]] = None
         for first, second in pairs:
             value, product_segmentation = evaluated[self._pair_key(first, second)]
@@ -420,12 +532,15 @@ def hb_cuts(
     context: SDLQuery,
     max_indep: float = DEFAULT_MAX_INDEP,
     max_depth: int = DEFAULT_MAX_DEPTH,
+    pool=None,
     **config_options,
 ) -> HBCutsResult:
     """Functional wrapper around :class:`HBCuts` matching the paper's signature.
 
     ``HB_CUTS(query, maxIndep, maxDepth)`` from Figure 4, plus any extra
-    :class:`HBCutsConfig` option as a keyword argument.
+    :class:`HBCutsConfig` option as a keyword argument.  ``pool`` is an
+    optional :class:`~repro.backends.pool.ExecutorPool` evaluating each
+    iteration's INDEP pairs concurrently (identical results).
     """
     config = HBCutsConfig(max_indep=max_indep, max_depth=max_depth, **config_options)
-    return HBCuts(config).run(engine, context)
+    return HBCuts(config, pool=pool).run(engine, context)

@@ -211,8 +211,7 @@ class BatchedEngine(BackendWrapper):
             return self.inner.count_batch(queries)
         # Logical accounting stays with the session; the physical pass runs
         # on the coordinator's engine (sharing the same cache).
-        self.counter.batch_calls += 1
-        self.counter.count_calls += len(queries)
+        self.counter.add(batch_calls=1, count_calls=len(queries))
         return self._coordinator.counts(queries)
 
     def sibling(self) -> "BatchedEngine":

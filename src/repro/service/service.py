@@ -16,6 +16,12 @@ execute pipeline idiom of service layers.  Per registered table it keeps a
   batched INDEP passes of concurrently running HB-cuts into single
   multi-query engine evaluations.
 
+With ``workers``/``partitions`` set, the service additionally owns **one**
+bounded :class:`~repro.backends.pool.ExecutorPool` shared by every session
+and table: tables are sharded into row-range partitions and every session
+engine fans its scans across the pool (identical answers, more cores);
+:meth:`AdvisorService.stats` reports the pool's traffic.
+
 Sessions are named and concurrent: each owns a
 :class:`~repro.service.batching.BatchedEngine` (private operation
 counters, shared cache) and a thin
@@ -37,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.backends.base import ExecutionBackend
+from repro.backends.pool import ExecutorPool, parallel_requested, resolve_workers
 from repro.backends.registry import open_backend
 from repro.core.advisor import Advice, Charles, ContextLike
 from repro.core.hbcuts import HBCutsConfig
@@ -143,7 +150,10 @@ class _TableRuntime:
     per-session backends are *siblings* of it (same data, same shared
     cache, private operation counters) wrapped in a
     :class:`~repro.service.batching.BatchedEngine` that routes batched
-    passes through the table's coordinator.
+    passes through the table's coordinator.  With the service running a
+    shared :class:`~repro.backends.pool.ExecutorPool`, the backend is a
+    partitioned :class:`~repro.backends.parallel.ParallelEngine` and every
+    sibling fans its evaluation across the same pool.
     """
 
     def __init__(
@@ -155,6 +165,9 @@ class _TableRuntime:
         batch_window: float,
         use_index: bool,
         backend_spec: str = "memory",
+        partitions: int = 1,
+        workers: int = 1,
+        pool: Optional[Any] = None,
     ):
         self.name = name
         self.table = table
@@ -162,13 +175,12 @@ class _TableRuntime:
         self.backend_spec = backend_spec
         self.cache = ResultCache(capacity=cache_capacity, name=f"results:{name}")
         self.advice_cache = ResultCache(capacity=advice_capacity, name=f"advice:{name}")
-        self._backend = open_backend(
-            backend_spec,
-            table,
-            cache=self.cache,
-            cache_aggregates=True,
-            use_index=use_index,
+        context: Dict[str, Any] = dict(
+            cache=self.cache, cache_aggregates=True, use_index=use_index
         )
+        if partitions > 1 or workers > 1 or pool is not None:
+            context.update(partitions=partitions, workers=workers, pool=pool)
+        self._backend = open_backend(backend_spec, table, **context)
         self.engine = BatchedEngine(self._backend)
         self.coordinator = BatchCoordinator(self.engine, window_seconds=batch_window)
 
@@ -222,6 +234,16 @@ class AdvisorService:
         Default backend spec for registered tables (resolved through
         :func:`repro.backends.open_backend`); ``register_table`` can
         override it per table.
+    workers:
+        Size of the **one** :class:`~repro.backends.pool.ExecutorPool` the
+        service shares across every session and table (bounded;
+        introspectable through :meth:`stats`).  ``1`` keeps execution
+        sequential.
+    partitions:
+        Row-range shards per registered table; per-partition evaluation
+        fans out across the shared pool.  ``None`` (the default) shards to
+        the worker count, matching ``Charles``.  Answers are identical for
+        every ``partitions × workers`` combination.
     """
 
     def __init__(
@@ -235,6 +257,8 @@ class AdvisorService:
         max_answers: int = 10,
         use_index: bool = False,
         backend: str = "memory",
+        workers: int = 1,
+        partitions: Optional[int] = None,
     ):
         self._tables: Dict[str, _TableRuntime] = {}
         self._sessions: Dict[str, ServiceSession] = {}
@@ -249,6 +273,23 @@ class AdvisorService:
         self._max_answers = int(max_answers)
         self._use_index = bool(use_index)
         self._backend_spec = str(backend)
+        # One bounded pool for the whole service: every session of every
+        # table runtime fans its partitioned work through it.  The opt-in
+        # predicate and worker normalisation are the ones Charles and
+        # open_backend use, so workers=0 means "one per core" here too,
+        # and partitions default to the worker count.
+        if parallel_requested(partitions=partitions, workers=workers):
+            self._workers = resolve_workers(workers)
+            self._partitions = (
+                max(1, int(partitions)) if partitions is not None else self._workers
+            )
+            self._pool: Optional[ExecutorPool] = ExecutorPool(
+                self._workers, name="service"
+            )
+        else:
+            self._workers = 1
+            self._partitions = max(1, int(partitions or 1))
+            self._pool = None
         self._requests = 0
         if tables is None:
             return
@@ -289,6 +330,9 @@ class AdvisorService:
                 batch_window=self._batch_window,
                 use_index=self._use_index,
                 backend_spec=backend or self._backend_spec,
+                partitions=self._partitions,
+                workers=self._workers,
+                pool=self._pool,
             )
         return resolved
 
@@ -296,6 +340,11 @@ class AdvisorService:
     def table_names(self) -> List[str]:
         with self._lock:
             return sorted(self._tables)
+
+    @property
+    def pool(self) -> Optional[ExecutorPool]:
+        """The shared executor pool (``None`` when running sequentially)."""
+        return self._pool
 
     def _runtime(self, table: Optional[str]) -> _TableRuntime:
         with self._lock:
@@ -551,13 +600,18 @@ class AdvisorService:
     # -- reporting ----------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Service-wide statistics: caches, batching, sessions, requests."""
+        """Service-wide statistics: caches, batching, pool, sessions, requests."""
         with self._lock:
             sessions = dict(self._sessions)
             tables = dict(self._tables)
             requests = self._requests
         return {
             "requests": requests,
+            "parallel": {
+                "workers": self._workers,
+                "partitions": self._partitions,
+                "pool": self._pool.stats() if self._pool is not None else None,
+            },
             "tables": {name: runtime.stats() for name, runtime in tables.items()},
             "sessions": {name: session.stats() for name, session in sessions.items()},
         }

@@ -9,6 +9,8 @@ NumPy-backed, dictionary-encoded column store with exactly that surface:
   :mod:`repro.storage.table` — the physical layer;
 * :mod:`repro.storage.expression`, :mod:`repro.storage.engine` — SDL
   evaluation, aggregates, batched passes and operation accounting;
+* :mod:`repro.storage.partition` — row-range sharding and the
+  per-partition map/merge evaluation behind parallel execution;
 * :mod:`repro.storage.cache` — the shared, thread-safe result cache
   (masks and aggregates) engines and the service layer plug into;
 * :mod:`repro.storage.statistics` — column/table profiling;
@@ -30,8 +32,14 @@ from repro.storage.column import (
 )
 from repro.storage.table import Table
 from repro.storage.expression import predicate_mask, query_mask
+from repro.storage.partition import PartitionedTable, partition_bounds
 from repro.storage.cache import CacheStats, ResultCache
-from repro.storage.engine import OperationCounter, QueryEngine
+from repro.storage.engine import (
+    OperationCounter,
+    QueryEngine,
+    deduplicated_count_batch,
+    deduplicated_median_batch,
+)
 from repro.storage.index import SortedIndex
 from repro.storage.statistics import (
     ColumnProfile,
@@ -74,8 +82,12 @@ __all__ = [
     "Table",
     "predicate_mask",
     "query_mask",
+    "PartitionedTable",
+    "partition_bounds",
     "QueryEngine",
     "OperationCounter",
+    "deduplicated_count_batch",
+    "deduplicated_median_batch",
     "ResultCache",
     "CacheStats",
     "SortedIndex",

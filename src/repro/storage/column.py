@@ -139,6 +139,15 @@ class Column:
         """New column containing the rows at the given positions."""
         raise NotImplementedError
 
+    def slice_rows(self, start: int, stop: int) -> "Column":
+        """New column over the contiguous row range ``[start, stop)``.
+
+        Backed by basic NumPy slices of the source arrays — zero-copy,
+        which is safe because columns are immutable.  Row-range
+        partitioning shards tables this way without duplicating them.
+        """
+        raise NotImplementedError
+
     def filter(self, mask: np.ndarray) -> "Column":
         """New column keeping the rows where ``mask`` is true."""
         return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
@@ -186,6 +195,27 @@ class NumericColumn(Column):
 
     def _masked_data(self, mask: Optional[np.ndarray]) -> np.ndarray:
         return self._data[self._effective_mask(mask)]
+
+    def gather(self, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw physical values of the non-missing rows under ``mask``.
+
+        The building block of partitioned medians: each shard gathers its
+        selected values and :meth:`median_from_gathered` reduces the
+        merged parts (see :class:`repro.storage.partition.PartitionedTable`).
+        """
+        return self._masked_data(mask)
+
+    def median_from_gathered(self, parts: Sequence[np.ndarray]) -> Any:
+        """Median of the concatenation of per-partition :meth:`gather` results.
+
+        Equivalent to :meth:`median` over the union of the gathered
+        selections — the same multiset reaches the same reduction and the
+        same per-dtype decoding.
+        """
+        data = parts[0] if len(parts) == 1 else np.concatenate(list(parts))
+        if data.size == 0:
+            raise EmptyColumnError(f"median of empty selection on {self.name!r}")
+        return self._decode_median(float(np.median(data)))
 
     def minimum(self, mask: Optional[np.ndarray] = None) -> Any:
         data = self._masked_data(mask)
@@ -268,6 +298,11 @@ class NumericColumn(Column):
             self.name, self._data[indices], self._valid[indices], self.dtype
         )
 
+    def slice_rows(self, start: int, stop: int) -> "NumericColumn":
+        return NumericColumn._from_arrays(
+            self.name, self._data[start:stop], self._valid[start:stop], self.dtype
+        )
+
     def to_numpy(self) -> np.ndarray:
         """The raw physical array (missing rows hold the fill value)."""
         return self._data
@@ -321,6 +356,11 @@ class DateColumn(NumericColumn):
     def take(self, indices: np.ndarray) -> "DateColumn":
         indices = np.asarray(indices, dtype=np.int64)
         return DateColumn._from_arrays(self.name, self._data[indices], self._valid[indices])
+
+    def slice_rows(self, start: int, stop: int) -> "DateColumn":
+        return DateColumn._from_arrays(
+            self.name, self._data[start:stop], self._valid[start:stop]
+        )
 
 
 class StringColumn(Column):
@@ -449,6 +489,11 @@ class StringColumn(Column):
             self.name, self._codes[indices], self._categories
         )
 
+    def slice_rows(self, start: int, stop: int) -> "StringColumn":
+        return StringColumn._from_encoding(
+            self.name, self._codes[start:stop], self._categories
+        )
+
 
 class BoolColumn(Column):
     """A boolean column with a validity bitmap."""
@@ -540,6 +585,11 @@ class BoolColumn(Column):
     def take(self, indices: np.ndarray) -> "BoolColumn":
         indices = np.asarray(indices, dtype=np.int64)
         return BoolColumn._from_arrays(self.name, self._data[indices], self._valid[indices])
+
+    def slice_rows(self, start: int, stop: int) -> "BoolColumn":
+        return BoolColumn._from_arrays(
+            self.name, self._data[start:stop], self._valid[start:stop]
+        )
 
 
 def build_column(name: str, values: Sequence[Any], dtype: DataType) -> Column:

@@ -24,23 +24,38 @@ independent of wall-clock noise; cache-level statistics (hit rate,
 evictions, approximate bytes) are reported by the cache itself through
 :meth:`QueryEngine.cache_info` and surfaced per table by
 :meth:`repro.service.AdvisorService.stats`.
+
+Evaluation is *partitioned*: the engine always routes masks, counts and
+medians through a :class:`~repro.storage.partition.PartitionedTable` —
+the classic sequential engine is simply the ``partitions=1`` special case
+with the inline mapper.  With ``partitions=N`` and a
+:class:`~repro.backends.pool.ExecutorPool`, per-partition work fans out
+across worker threads while counters, cache contents and results stay
+bit-for-bit identical to the sequential path (masks concatenate, counts
+sum, medians merge through per-partition value gathers).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sdl.formatter import query_signature
 from repro.sdl.query import SDLQuery
 from repro.storage.cache import ResultCache
-from repro.storage.expression import query_mask
 from repro.storage.index import SortedIndex
+from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
 
-__all__ = ["OperationCounter", "QueryEngine", "deduplicated_count_batch"]
+__all__ = [
+    "OperationCounter",
+    "QueryEngine",
+    "deduplicated_count_batch",
+    "deduplicated_median_batch",
+]
 
 
 def deduplicated_count_batch(
@@ -70,7 +85,7 @@ def deduplicated_count_batch(
     """
     if not queries:
         return ()
-    counter.batch_calls += 1
+    counter.add(batch_calls=1)
     results: List[Optional[int]] = [None] * len(queries)
     positions: Dict[str, List[int]] = {}
     order: List[str] = []
@@ -83,7 +98,7 @@ def deduplicated_count_batch(
     for signature in order:
         indices = positions[signature]
         query = queries[indices[0]]
-        counter.count_calls += len(indices)
+        counter.add(count_calls=len(indices))
         key = "count::" + signature
         value = aggregate_get(key)
         if value is None:
@@ -91,10 +106,67 @@ def deduplicated_count_batch(
             aggregate_put(key, value)
         # Duplicates coalesced within the pass would have been cache hits
         # sequentially; account for them the same way.
-        counter.cache_hits += len(indices) - 1
+        counter.add(cache_hits=len(indices) - 1)
         for position in indices:
             results[position] = value
     return tuple(results)  # type: ignore[return-value]
+
+
+def deduplicated_median_batch(
+    attribute: str,
+    queries: Sequence[Optional[SDLQuery]],
+    counter: "OperationCounter",
+    aggregate_get,
+    aggregate_put,
+    compute,
+) -> Tuple[Any, ...]:
+    """Shared engine-pass skeleton for :meth:`median_batch` implementations.
+
+    The median twin of :func:`deduplicated_count_batch`: queries with
+    identical signatures (``None`` and unconstrained queries coalesce under
+    the unconstrained key) are computed once and their result fanned out,
+    with operation accounting matching the sequential equivalent — one
+    median call per request, duplicates recorded as cache hits.  Both the
+    columnar engine and the SQLite backend route their batches through this
+    single implementation so median traces stay bit-for-bit comparable
+    across backends.
+
+    Parameters
+    ----------
+    counter:
+        The backend's :class:`OperationCounter` (tallied in place).
+    aggregate_get / aggregate_put:
+        The backend's aggregate-cache accessors (keyed
+        ``median:<attribute>:<signature>``).
+    compute:
+        ``query -> value`` computing one uncached median.
+    """
+    if not queries:
+        return ()
+    counter.add(batch_calls=1)
+    results: List[Any] = [None] * len(queries)
+    positions: Dict[str, List[int]] = {}
+    order: List[str] = []
+    for index, query in enumerate(queries):
+        unconstrained = query is None or not query.constrained_attributes
+        signature = "" if unconstrained else query_signature(query)
+        if signature not in positions:
+            positions[signature] = []
+            order.append(signature)
+        positions[signature].append(index)
+    for signature in order:
+        indices = positions[signature]
+        query = queries[indices[0]]
+        counter.add(median_calls=len(indices))
+        key = f"median:{attribute}:{signature}"
+        value = aggregate_get(key)
+        if value is None:
+            value = compute(query)
+            aggregate_put(key, value)
+        counter.add(cache_hits=len(indices) - 1)
+        for position in indices:
+            results[position] = value
+    return tuple(results)
 
 
 @dataclass
@@ -106,6 +178,13 @@ class OperationCounter:
     engine's :class:`~repro.storage.cache.ResultCache` and — when the cache
     is shared between engines — aggregate the traffic of every session
     using it (see :meth:`QueryEngine.cache_info`).
+
+    Tallies are **thread-safe**: every mutation goes through :meth:`add`
+    (or :meth:`merge`, for folding per-worker counters together), which
+    applies the whole delta under an internal lock, so parallel engine
+    passes and concurrent HB-cuts INDEP evaluations never drop counts.
+    Reading individual attributes stays lock-free; :meth:`snapshot` takes
+    the lock for a consistent multi-field view.
 
     Attributes
     ----------
@@ -139,17 +218,47 @@ class OperationCounter:
     frequency_calls: int = 0
     minmax_calls: int = 0
     batch_calls: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _FIELDS = (
+        "evaluations",
+        "cache_hits",
+        "aggregate_hits",
+        "count_calls",
+        "median_calls",
+        "frequency_calls",
+        "minmax_calls",
+        "batch_calls",
+    )
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add deltas to the named tallies.
+
+        ``counter.add(count_calls=1, cache_hits=2)`` is the thread-safe
+        replacement for bare ``+=`` mutations; the whole delta is applied
+        under the counter's lock.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self._FIELDS:
+                    raise AttributeError(f"OperationCounter has no tally {name!r}")
+                setattr(self, name, getattr(self, name) + int(delta))
+
+    def merge(self, other: "OperationCounter") -> None:
+        """Atomically fold another counter's tallies into this one.
+
+        The per-worker-counter alternative to sharing one locked counter:
+        workers tally privately and merge once at the end of a pass.
+        """
+        self.add(**{name: getattr(other, name) for name in self._FIELDS})
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.evaluations = 0
-        self.cache_hits = 0
-        self.aggregate_hits = 0
-        self.count_calls = 0
-        self.median_calls = 0
-        self.frequency_calls = 0
-        self.minmax_calls = 0
-        self.batch_calls = 0
+        with self._lock:
+            for name in self._FIELDS:
+                setattr(self, name, 0)
 
     @property
     def total_database_operations(self) -> int:
@@ -163,17 +272,15 @@ class OperationCounter:
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy, convenient for benchmark reporting."""
-        return {
-            "evaluations": self.evaluations,
-            "cache_hits": self.cache_hits,
-            "aggregate_hits": self.aggregate_hits,
-            "count_calls": self.count_calls,
-            "median_calls": self.median_calls,
-            "frequency_calls": self.frequency_calls,
-            "minmax_calls": self.minmax_calls,
-            "batch_calls": self.batch_calls,
-            "total_database_operations": self.total_database_operations,
-        }
+        with self._lock:
+            snapshot = {name: getattr(self, name) for name in self._FIELDS}
+        snapshot["total_database_operations"] = (
+            snapshot["count_calls"]
+            + snapshot["median_calls"]
+            + snapshot["frequency_calls"]
+            + snapshot["minmax_calls"]
+        )
+        return snapshot
 
 
 class QueryEngine:
@@ -200,6 +307,15 @@ class QueryEngine:
         cache, keyed by ``<op>:<attribute>:<signature>``.  Off by default
         so single-engine operation accounting matches the paper's
         experiments; the service layer turns it on.
+    partitions:
+        Number of contiguous row-range shards evaluation maps over (see
+        :class:`~repro.storage.partition.PartitionedTable`).  ``1`` (the
+        default) is the classic sequential engine; results, counters and
+        cache contents are identical for every partition count.
+    pool:
+        An :class:`~repro.backends.pool.ExecutorPool` running the
+        per-partition work; ``None`` maps inline on the calling thread.
+        Pools are shared, not owned — the engine never shuts one down.
     """
 
     def __init__(
@@ -209,6 +325,9 @@ class QueryEngine:
         use_index: bool = False,
         cache: Optional[ResultCache] = None,
         cache_aggregates: bool = False,
+        partitions: int = 1,
+        pool: Optional[Any] = None,
+        _partitioned: Optional[PartitionedTable] = None,
     ):
         self.table = table
         self.counter = OperationCounter()
@@ -219,6 +338,13 @@ class QueryEngine:
         self._cache_aggregates = bool(cache_aggregates)
         self._use_index = bool(use_index)
         self._indexes: Dict[str, SortedIndex] = {}
+        # Shards are shared between siblings (same data, one materialisation).
+        self._partitioned = (
+            _partitioned
+            if _partitioned is not None
+            else PartitionedTable(table, partitions)
+        )
+        self._pool = pool
 
     # -- schema introspection (ExecutionBackend protocol) ---------------------
 
@@ -247,6 +373,7 @@ class QueryEngine:
             "backend": "memory",
             "table": self.table.name,
             "rows": self.table.num_rows,
+            "partitions": self._partitioned.num_partitions,
             "operations": self.counter.snapshot(),
             "cache": self.cache_info,
         }
@@ -261,13 +388,16 @@ class QueryEngine:
         """A fresh engine over the same table sharing this engine's cache.
 
         Used by the service layer to give each session private operation
-        counters while reusing the table runtime's shared cache.
+        counters while reusing the table runtime's shared cache — and,
+        when partitioned, the same shards and executor pool.
         """
         return QueryEngine(
             self.table,
             cache=self._cache,
             use_index=self._use_index,
             cache_aggregates=self._cache_aggregates,
+            pool=self._pool,
+            _partitioned=self._partitioned,
         )
 
     def sample(self, fraction: float, seed: Optional[int] = None) -> "QueryEngine":
@@ -276,7 +406,11 @@ class QueryEngine:
 
         sampled = sample_table(self.table, fraction=fraction, seed=seed)
         return QueryEngine(
-            sampled, cache_size=self._cache_size, use_index=self._use_index
+            sampled,
+            cache_size=self._cache_size,
+            use_index=self._use_index,
+            partitions=self._partitioned.num_partitions,
+            pool=self._pool,
         )
 
     # -- cache --------------------------------------------------------------
@@ -305,17 +439,45 @@ class QueryEngine:
             self._indexes[attribute] = index
         return index
 
+    # -- partitioned execution ------------------------------------------------
+
+    @property
+    def partitions(self) -> int:
+        """Number of row-range shards evaluation maps over (1 = sequential)."""
+        return self._partitioned.num_partitions
+
+    @property
+    def partitioned_table(self) -> PartitionedTable:
+        """The shard set backing partitioned evaluation."""
+        return self._partitioned
+
+    @property
+    def pool(self) -> Optional[Any]:
+        """The (shared) executor pool, or ``None`` for inline mapping."""
+        return self._pool
+
+    def _map(self, fn, items):
+        """Run per-partition work through the pool (inline without one)."""
+        if self._pool is None:
+            return [fn(item) for item in items]
+        return self._pool.map(fn, items)
+
     # -- evaluation ------------------------------------------------------------
 
     def evaluate(self, query: SDLQuery) -> np.ndarray:
-        """Boolean selection mask of the query over the table (cached)."""
+        """Boolean selection mask of the query over the table (cached).
+
+        The mask is assembled from per-partition masks (mapped through the
+        pool when one is attached) and cached whole, so sequential and
+        partitioned engines sharing a cache interoperate key-for-key.
+        """
         key = "mask:" + query_signature(query)
         cached = self._cache.get(key)
         if cached is not None:
-            self.counter.cache_hits += 1
+            self.counter.add(cache_hits=1)
             return cached
-        self.counter.evaluations += 1
-        mask = query_mask(self.table, query)
+        self.counter.add(evaluations=1)
+        mask = self._partitioned.query_mask(query, self._map)
         self._cache.put(key, mask)
         return mask
 
@@ -324,21 +486,34 @@ class QueryEngine:
             return None
         value = self._cache.get(key)
         if value is not None:
-            self.counter.aggregate_hits += 1
+            self.counter.add(aggregate_hits=1)
         return value
 
     def _aggregate_put(self, key: str, value: Any) -> None:
         if self._cache_aggregates:
             self._cache.put(key, value)
 
+    def _count_uncached(self, query: SDLQuery) -> int:
+        """One cardinality, bypassing the aggregate cache.
+
+        With mask caching disabled (``cache_size=0``) and several
+        partitions, per-partition counts are summed without assembling the
+        full mask — the uncached-scan fast path the scalability ablations
+        measure.  Tallies match the mask path: one evaluation per scan.
+        """
+        if self._partitioned.num_partitions > 1 and not self._cache.enabled:
+            self.counter.add(evaluations=1)
+            return self._partitioned.count(query, self._map)
+        return int(np.count_nonzero(self.evaluate(query)))
+
     def count(self, query: SDLQuery) -> int:
         """``|R(Q)|``: number of rows selected by the query."""
-        self.counter.count_calls += 1
+        self.counter.add(count_calls=1)
         key = "count::" + query_signature(query)
         cached = self._aggregate_get(key)
         if cached is not None:
             return cached
-        value = int(np.count_nonzero(self.evaluate(query)))
+        value = self._count_uncached(query)
         self._aggregate_put(key, value)
         return value
 
@@ -360,9 +535,30 @@ class QueryEngine:
 
     # -- aggregates --------------------------------------------------------------
 
+    def _median_uncached(self, attribute: str, query: Optional[SDLQuery]) -> Any:
+        """One median, bypassing the aggregate cache.
+
+        Constrained medians over several partitions merge per-partition
+        value gathers (the mask still comes from — and lands in — the
+        shared cache); nominal columns raise exactly like the sequential
+        ``column.median`` path.
+        """
+        unconstrained = query is None or not query.constrained_attributes
+        column = self.table.column(attribute)
+        if unconstrained:
+            if self._use_index:
+                return self.index_for(attribute).median()
+            return column.median()
+        mask = self.evaluate(query)
+        if self._partitioned.num_partitions > 1 and hasattr(
+            column, "median_from_gathered"
+        ):
+            return self._partitioned.median(attribute, mask, self._map)
+        return column.median(mask)
+
     def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
         """Arithmetic median of ``attribute`` over the query's result set."""
-        self.counter.median_calls += 1
+        self.counter.add(median_calls=1)
         unconstrained = query is None or not query.constrained_attributes
         key = "median:{}:{}".format(
             attribute, "" if unconstrained else query_signature(query)
@@ -370,21 +566,13 @@ class QueryEngine:
         cached = self._aggregate_get(key)
         if cached is not None:
             return cached
-        column = self.table.column(attribute)
-        if unconstrained:
-            if self._use_index:
-                value = self.index_for(attribute).median()
-            else:
-                value = column.median()
-        else:
-            mask = self.evaluate(query)
-            value = column.median(mask)
+        value = self._median_uncached(attribute, query)
         self._aggregate_put(key, value)
         return value
 
     def minmax(self, attribute: str, query: Optional[SDLQuery] = None) -> Tuple[Any, Any]:
         """Minimum and maximum of ``attribute`` over the query's result set."""
-        self.counter.minmax_calls += 1
+        self.counter.add(minmax_calls=1)
         unconstrained = query is None or not query.constrained_attributes
         key = "minmax:{}:{}".format(
             attribute, "" if unconstrained else query_signature(query)
@@ -409,7 +597,7 @@ class QueryEngine:
         self, attribute: str, query: Optional[SDLQuery] = None
     ) -> Dict[Any, int]:
         """Value -> count of ``attribute`` over the query's result set."""
-        self.counter.frequency_calls += 1
+        self.counter.add(frequency_calls=1)
         column = self.table.column(attribute)
         mask = None if query is None else self.evaluate(query)
         return column.value_counts(mask)
@@ -434,7 +622,7 @@ class QueryEngine:
             self.counter,
             self._aggregate_get,
             self._aggregate_put,
-            lambda query: int(np.count_nonzero(self.evaluate(query))),
+            self._count_uncached,
         )
 
     def median_batch(
@@ -442,14 +630,20 @@ class QueryEngine:
     ) -> Tuple[Any, ...]:
         """Medians of ``attribute`` under many queries as one logical batch.
 
-        Tallied as a single batch call; each median is computed in turn,
-        reusing cached masks and (with ``cache_aggregates``) cached
-        results, so repeated queries within the batch cost one evaluation.
+        Deduplication and accounting run through the shared
+        :func:`deduplicated_median_batch` skeleton (one median call per
+        request, duplicates recorded as cache hits), the same skeleton the
+        SQLite backend uses, so median traces stay bit-for-bit comparable
+        across backends.
         """
-        if not queries:
-            return ()
-        self.counter.batch_calls += 1
-        return tuple(self.median(attribute, query) for query in queries)
+        return deduplicated_median_batch(
+            attribute,
+            queries,
+            self.counter,
+            self._aggregate_get,
+            self._aggregate_put,
+            lambda query: self._median_uncached(attribute, query),
+        )
 
     # -- materialisation ----------------------------------------------------------
 
@@ -465,5 +659,6 @@ class QueryEngine:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"QueryEngine(table={self.table.name!r}, rows={self.table.num_rows}, "
-            f"cache_size={self._cache_size}, use_index={self._use_index})"
+            f"cache_size={self._cache_size}, use_index={self._use_index}, "
+            f"partitions={self.partitions})"
         )

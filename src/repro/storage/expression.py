@@ -5,9 +5,18 @@ query is turned into a boolean NumPy array over one column, and the
 conjunction is the element-wise AND of those arrays.  The query engine
 (:mod:`repro.storage.engine`) adds caching and operation accounting on
 top.
+
+Evaluation is *partitionable*: a mask over a table is the concatenation
+of the masks over any contiguous row-range shards of it, which is what
+:func:`query_masks` exposes — one query over many shard tables, with a
+pluggable mapper deciding where each shard is evaluated (inline, or on
+an :class:`~repro.backends.pool.ExecutorPool`).  See
+:mod:`repro.storage.partition` for the sharding itself.
 """
 
 from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -22,7 +31,7 @@ from repro.sdl.predicates import (
 from repro.sdl.query import SDLQuery
 from repro.storage.table import Table
 
-__all__ = ["predicate_mask", "query_mask"]
+__all__ = ["predicate_mask", "query_mask", "query_masks"]
 
 
 def predicate_mask(table: Table, predicate: Predicate) -> np.ndarray:
@@ -66,3 +75,21 @@ def query_mask(table: Table, query: SDLQuery) -> np.ndarray:
         if not mask.any():
             break
     return mask
+
+
+def query_masks(
+    tables: Sequence[Table],
+    query: SDLQuery,
+    map_fn: Optional[Callable] = None,
+) -> List[np.ndarray]:
+    """One query evaluated over several shard tables, in order.
+
+    Conjunctions evaluate row-at-a-time independently, so the mask over a
+    table equals the concatenation of the masks over its row-range shards.
+    ``map_fn(fn, items)`` decides where each shard is evaluated; the
+    default maps inline, an executor pool's ``map`` fans the shards out
+    across workers.  Results always come back in shard order.
+    """
+    if map_fn is None:
+        return [query_mask(table, query) for table in tables]
+    return map_fn(lambda table: query_mask(table, query), tables)

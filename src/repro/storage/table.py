@@ -178,6 +178,23 @@ class Table:
         columns = [self._columns[n].take(indices) for n in self._order]
         return Table(name or self.name, columns)
 
+    def slice_rows(
+        self, start: int, stop: int, name: Optional[str] = None
+    ) -> "Table":
+        """New table over the contiguous row range ``[start, stop)``.
+
+        Columns are zero-copy basic slices of the source arrays (safe
+        because tables are immutable); row-range partitioning shards
+        tables this way without duplicating the relation.
+        """
+        if not 0 <= start <= stop <= self._num_rows:
+            raise SchemaError(
+                f"row range [{start}, {stop}) out of bounds for "
+                f"{self._num_rows} rows"
+            )
+        columns = [self._columns[n].slice_rows(start, stop) for n in self._order]
+        return Table(name or self.name, columns)
+
     def select_columns(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
         """Projection: new table with only the given columns, in that order."""
         columns = [self.column(n) for n in names]

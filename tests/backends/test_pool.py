@@ -1,0 +1,126 @@
+"""Tests for the shared executor pool."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.backends.pool import (
+    MAX_WORKERS,
+    ExecutorPool,
+    parallel_requested,
+    resolve_workers,
+)
+from repro.errors import BackendError
+
+
+class TestResolveWorkers:
+    def test_explicit_value_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_none_and_zero_mean_one_per_core(self):
+        expected = min(os.cpu_count() or 1, MAX_WORKERS)
+        assert resolve_workers(None) == expected
+        assert resolve_workers(0) == expected
+
+    def test_values_are_bounded(self):
+        assert resolve_workers(10_000) == MAX_WORKERS
+
+    def test_negative_is_an_error(self):
+        with pytest.raises(BackendError):
+            resolve_workers(-2)
+
+
+class TestParallelRequested:
+    def test_sequential_defaults_do_not_opt_in(self):
+        assert not parallel_requested()
+        assert not parallel_requested(partitions=1, workers=1)
+        assert not parallel_requested(partitions=None, workers=None)
+
+    def test_any_knob_opts_in(self):
+        assert parallel_requested(partitions=2)
+        assert parallel_requested(workers=4)
+        assert parallel_requested(workers=0)  # one worker per core
+        assert parallel_requested(pool=ExecutorPool(1))
+
+
+class TestExecutorPool:
+    def test_map_preserves_input_order(self):
+        with ExecutorPool(4) as pool:
+            assert pool.map(lambda x: x * x, range(10)) == [x * x for x in range(10)]
+
+    def test_single_worker_maps_inline(self):
+        pool = ExecutorPool(1)
+        thread_ids = pool.map(lambda _: threading.get_ident(), range(5))
+        assert set(thread_ids) == {threading.get_ident()}
+        stats = pool.stats()
+        assert stats["inline_batches"] == 1
+        assert stats["parallel_batches"] == 0
+        assert stats["started"] is False
+
+    def test_single_item_maps_inline_even_with_many_workers(self):
+        pool = ExecutorPool(4)
+        assert pool.map(lambda x: x + 1, [41]) == [42]
+        assert pool.stats()["started"] is False
+
+    def test_parallel_batches_use_worker_threads(self):
+        with ExecutorPool(2) as pool:
+            thread_ids = pool.map(lambda _: threading.get_ident(), range(8))
+            assert threading.get_ident() not in thread_ids
+            stats = pool.stats()
+            assert stats["parallel_batches"] == 1
+            assert stats["tasks"] == 8
+            assert stats["started"] is True
+
+    def test_worker_detection_requires_the_name_separator(self):
+        # A worker of a *different* pool whose id shares this pool's id as
+        # a string prefix (pool 1 vs pool 10) must not be mistaken for one
+        # of ours — that would silently degrade its maps to inline.
+        pool = ExecutorPool(2)
+        current = threading.current_thread()
+        original = current.name
+        try:
+            current.name = f"{pool._thread_prefix}0_0"
+            assert not pool._in_worker()
+            current.name = f"{pool._thread_prefix}_0"
+            assert pool._in_worker()
+        finally:
+            current.name = original
+
+    def test_exceptions_propagate(self):
+        def explode(x):
+            raise ValueError(f"boom {x}")
+
+        with ExecutorPool(2) as pool:
+            with pytest.raises(ValueError):
+                pool.map(explode, range(4))
+        pool_inline = ExecutorPool(1)
+        with pytest.raises(ValueError):
+            pool_inline.map(explode, range(4))
+
+    def test_shared_across_threads(self):
+        pool = ExecutorPool(2)
+        results = []
+
+        def worker(offset):
+            results.append(pool.map(lambda x: x + offset, range(4)))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pool.shutdown()
+        assert sorted(r[0] for r in results) == list(range(6))
+
+    def test_usable_after_shutdown(self):
+        pool = ExecutorPool(2)
+        assert pool.map(lambda x: x, range(4)) == list(range(4))
+        pool.shutdown()
+        assert pool.map(lambda x: x, range(4)) == list(range(4))
+        pool.shutdown()
+
+    def test_repr_is_deterministic(self):
+        assert repr(ExecutorPool(3, name="svc")) == repr(ExecutorPool(3, name="svc"))

@@ -207,3 +207,73 @@ class TestWorkloadGenerator:
             generate_concurrent_workload(table.column_names, users=0)
         with pytest.raises(WorkloadError):
             generate_concurrent_workload([], users=1)
+
+
+class TestParallelService:
+    def test_sequential_service_has_no_pool(self, service):
+        assert service.pool is None
+        assert service.stats()["parallel"]["pool"] is None
+
+    def test_partitions_default_to_the_worker_count(self, table):
+        # Like Charles: asking for workers alone must actually shard the
+        # tables, otherwise the pool is created but never used.
+        service = AdvisorService(table, batch_window=0.0, workers=2)
+        assert service.stats()["parallel"]["partitions"] == 2
+
+    def test_workers_zero_means_one_per_core(self, table):
+        # The same opt-in rule as Charles and open_backend: workers=0 asks
+        # for one worker per core, it does not silently mean sequential.
+        from repro.backends.pool import resolve_workers
+
+        service = AdvisorService(table, batch_window=0.0, workers=0)
+        assert service.pool is not None
+        assert service.pool.workers == resolve_workers(0)
+        assert service.stats()["parallel"]["workers"] == resolve_workers(0)
+
+    def test_one_pool_is_shared_by_every_session_and_table(self, table):
+        parallel = AdvisorService(
+            table, batch_window=0.0, workers=2, partitions=2
+        )
+        assert parallel.pool is not None
+        assert parallel.pool.workers == 2
+        session = parallel.open_session("alice", context=_CONTEXT)
+        assert session.advisor.pool is parallel.pool
+        parallel.register_table(generate_voc(rows=300, seed=3), name="voc2")
+        other = parallel.open_session("bob", table="voc2", context=_CONTEXT)
+        assert other.advisor.pool is parallel.pool
+        stats = parallel.stats()
+        assert stats["parallel"]["workers"] == 2
+        assert stats["parallel"]["partitions"] == 2
+        assert stats["parallel"]["pool"]["tasks"] > 0
+
+    def test_parallel_service_answers_match_sequential(self, table):
+        def fingerprint(advice):
+            return [
+                (
+                    answer.segmentation.cut_attributes,
+                    tuple(answer.segmentation.counts),
+                    answer.score,
+                )
+                for answer in advice.answers
+            ]
+
+        sequential = AdvisorService(table, batch_window=0.0)
+        parallel = AdvisorService(table, batch_window=0.0, workers=2, partitions=4)
+        expected = fingerprint(
+            sequential.open_session("a", context=_CONTEXT).current_advice()
+        )
+        observed = fingerprint(
+            parallel.open_session("a", context=_CONTEXT).current_advice()
+        )
+        assert observed == expected
+
+    def test_parallel_serve_workload_matches_sequential(self, table):
+        scripts = generate_concurrent_workload(
+            table.column_names, users=4, steps=2, seed=5
+        )
+        sequential = AdvisorService(table, batch_window=0.0)
+        parallel = AdvisorService(table, batch_window=0.0, workers=2, partitions=2)
+        report_a = sequential.serve(scripts, workers=2)
+        report_b = parallel.serve(scripts, workers=2)
+        assert not report_a.errors and not report_b.errors
+        assert report_a.requests == report_b.requests

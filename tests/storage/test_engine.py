@@ -184,6 +184,74 @@ class TestSharedCache:
             engine.median("tonnage", _fluit_query()),
         )
 
+    def test_median_batch_deduplicates_like_count_batch(self, table):
+        engine = QueryEngine(table)
+        queries = [_fluit_query(), _fluit_query(), None, None]
+        results = engine.median_batch("tonnage", queries)
+        assert results == (1100, 1100, 1250, 1250)
+        # One median call per request; the coalesced duplicates are
+        # recorded as cache hits, mirroring deduplicated_count_batch.
+        assert engine.counter.batch_calls == 1
+        assert engine.counter.median_calls == 4
+        assert engine.counter.cache_hits == 2
+        # Each unique selection was evaluated exactly once.
+        assert engine.counter.evaluations == 1
+
+    def test_median_batch_accounting_matches_sqlite(self, table):
+        from repro.backends.sqlite import SQLiteBackend
+
+        queries = [_fluit_query(), _fluit_query(), None]
+        engine = QueryEngine(table)
+        backend = SQLiteBackend.from_table(table)
+        assert engine.median_batch("tonnage", queries) == backend.median_batch(
+            "tonnage", queries
+        )
+        assert (
+            engine.counter.batch_calls,
+            engine.counter.median_calls,
+        ) == (backend.counter.batch_calls, backend.counter.median_calls)
+
+
+class TestOperationCounterThreadSafety:
+    def test_concurrent_adds_never_drop_counts(self):
+        import threading
+
+        from repro.storage import OperationCounter
+
+        counter = OperationCounter()
+        rounds = 2000
+
+        def tally():
+            for _ in range(rounds):
+                counter.add(count_calls=1, cache_hits=2)
+
+        threads = [threading.Thread(target=tally) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.count_calls == 8 * rounds
+        assert counter.cache_hits == 16 * rounds
+
+    def test_merge_folds_per_worker_counters(self):
+        from repro.storage import OperationCounter
+
+        total = OperationCounter()
+        worker_a = OperationCounter(count_calls=3, evaluations=1)
+        worker_b = OperationCounter(count_calls=2, median_calls=5)
+        total.merge(worker_a)
+        total.merge(worker_b)
+        assert total.count_calls == 5
+        assert total.evaluations == 1
+        assert total.median_calls == 5
+        assert total.total_database_operations == 10
+
+    def test_add_rejects_unknown_tallies(self):
+        from repro.storage import OperationCounter
+
+        with pytest.raises(AttributeError):
+            OperationCounter().add(bogus=1)
+
 
 class TestIndexedEngine:
     def test_indexed_median_matches_plain(self, table):

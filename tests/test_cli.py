@@ -196,3 +196,33 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "weighted" in capsys.readouterr().out
+
+    def test_advise_with_parallel_flags_matches_sequential(self, capsys):
+        arguments = [
+            "advise",
+            "--dataset", "voc",
+            "--rows", "400",
+            "--columns", "type_of_boat", "tonnage",
+            "--max-answers", "3",
+        ]
+        assert main(arguments) == 0
+        sequential = capsys.readouterr().out
+        assert main([*arguments, "--workers", "2", "--partitions", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_serve_with_engine_workers_and_partitions(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--dataset", "voc",
+                "--rows", "400",
+                "--users", "3",
+                "--steps", "2",
+                "--workers", "2",
+                "--engine-workers", "2",
+                "--partitions", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "req/s" in capsys.readouterr().out
