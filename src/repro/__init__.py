@@ -19,6 +19,9 @@ Package layout
   interactive sessions, quantile/lazy extensions and baselines;
 * :mod:`repro.service` — the multi-user service layer: named sessions,
   shared per-table result caches, batched engine passes;
+* :mod:`repro.api` — the wire-level advisor API: versioned JSON codec,
+  request/response envelopes, the stdlib HTTP server and the
+  :class:`RemoteAdvisor` client mirroring the in-process sessions;
 * :mod:`repro.workloads` — synthetic datasets (VOC shipping, astronomy,
   weblog, parametric ground-truth tables, concurrent user scenarios);
 * :mod:`repro.viz` — terminal pie charts, tree maps and advice reports;
@@ -92,6 +95,11 @@ from repro.service import (
     ServiceResponse,
     ServiceSession,
 )
+from repro.api import (
+    AdvisorHTTPServer,
+    RemoteAdvisor,
+    RemoteSession,
+)
 from repro.workloads import (
     generate_astronomy,
     generate_concurrent_workload,
@@ -159,6 +167,10 @@ __all__ = [
     "ServiceResponse",
     "ServiceReport",
     "ServiceSession",
+    # api
+    "AdvisorHTTPServer",
+    "RemoteAdvisor",
+    "RemoteSession",
     # workloads
     "generate_voc",
     "generate_astronomy",

@@ -1,0 +1,217 @@
+"""RemoteAdvisor: the advisor service as seen from across the network.
+
+The client half of the front-end/back-end split: a
+:class:`RemoteAdvisor` speaks the versioned JSON protocol of
+:mod:`repro.api.protocol` over HTTP (stdlib ``urllib`` only) and hands
+out :class:`RemoteSession` objects exposing the **same surface** as the
+in-process :class:`~repro.service.ServiceSession` —
+``advise`` / ``drill`` / ``back`` / ``breadcrumbs`` / ``describe`` /
+``stats`` — so an exploration script written against a local
+``AdvisorService`` runs unmodified against a remote server.  Results
+decode back into the real domain objects (:class:`~repro.core.advisor.Advice`,
+:class:`~repro.sdl.segmentation.Segmentation`, ...), and server-side
+failures re-raise as the matching :class:`~repro.errors.CharlesError`
+subclass, resolved through the stable wire error codes.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.api.protocol import Request, Response, error_from_wire
+from repro.core.advisor import Advice, ContextLike
+from repro.errors import RemoteError
+
+__all__ = ["RemoteAdvisor", "RemoteSession"]
+
+
+class RemoteAdvisor:
+    """A client for one advisor server.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the server, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Per-request socket timeout in seconds.
+
+    Examples
+    --------
+    >>> advisor = RemoteAdvisor("http://127.0.0.1:8765")   # doctest: +SKIP
+    >>> session = advisor.open_session("alice", context=["tonnage"])
+    >>> advice = session.advise()
+    >>> session.drill(0, 0)
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport -----------------------------------------------------------
+
+    def _http(self, method: str, path: str, body: Optional[bytes] = None) -> Any:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json; charset=utf-8"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                text = reply.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            # Transport-level rejections (bad path, bad JSON) still carry
+            # an error envelope; surface its message and code.
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                error = payload.get("error") or {}
+                raise RemoteError(
+                    str(error.get("message") or exc), code=error.get("code")
+                ) from exc
+            except (ValueError, AttributeError):
+                raise RemoteError(f"HTTP {exc.code} from {self.url}{path}") from exc
+        except urllib.error.URLError as exc:
+            raise RemoteError(f"cannot reach {self.url}{path}: {exc.reason}") from exc
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise RemoteError(f"server returned invalid JSON: {exc}") from exc
+
+    def rpc(self, request: Request) -> Response:
+        """Send one request envelope; returns the decoded response envelope."""
+        body = json.dumps(request.to_wire(), ensure_ascii=False).encode("utf-8")
+        return Response.from_wire(self._http("POST", "/v1/rpc", body))
+
+    def call(self, op: str, session: str = "", **params: Any) -> Any:
+        """Execute one operation and return its decoded result.
+
+        Raises the typed :class:`~repro.errors.CharlesError` subclass
+        matching the server's error code when the operation fails.
+        """
+        response = self.rpc(Request(op=op, session=session, params=params))
+        if not response.ok:
+            raise error_from_wire(response.error_code, response.error)
+        return response.result
+
+    # -- service surface -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """The server's liveness document (``GET /v1/health``)."""
+        return self._http("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-wide statistics (``GET /v1/stats``)."""
+        return self._http("GET", "/v1/stats")["stats"]
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self.health()["tables"])
+
+    def count(self, context: ContextLike = None, table: Optional[str] = None) -> int:
+        """Cardinality of a context on a table (the ``count`` op)."""
+        return self.call("count", context=context, table=table)
+
+    def open_session(
+        self,
+        name: str,
+        table: Optional[str] = None,
+        context: ContextLike = None,
+        max_answers: Optional[int] = None,
+        replace: bool = True,
+    ) -> "RemoteSession":
+        """Open (or replace) a named session on the server."""
+        self.call(
+            "open_session",
+            session=name,
+            table=table,
+            context=context,
+            max_answers=max_answers,
+            replace=replace,
+        )
+        return RemoteSession(self, name)
+
+    def session(self, name: str) -> "RemoteSession":
+        """Attach to a session that is already open on the server."""
+        remote = RemoteSession(self, name)
+        remote.describe()  # raises SessionError when it does not exist
+        return remote
+
+    def close_session(self, name: str) -> Dict[str, Any]:
+        """Close a session; returns its final statistics."""
+        return self.call("close_session", session=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteAdvisor(url={self.url!r})"
+
+
+class RemoteSession:
+    """One named session living on a remote advisor server.
+
+    Mirrors :class:`~repro.service.ServiceSession`: the same methods
+    return the same objects, so exploration code cannot tell whether its
+    session is local or remote.  All state lives server-side; this object
+    holds only the session name.
+    """
+
+    def __init__(self, advisor: RemoteAdvisor, name: str):
+        self.advisor = advisor
+        self.name = name
+
+    # -- the Figure 1 loop ----------------------------------------------------
+
+    def advise(self, context: ContextLike = None) -> Advice:
+        """Start (or restart) the session at a context and return advice."""
+        return self.advisor.call("advise", session=self.name, context=context)
+
+    def drill(self, answer_index: int, segment_index: int) -> Advice:
+        """Drill into one segment of one ranked answer."""
+        return self.advisor.call(
+            "drill",
+            session=self.name,
+            answer_index=answer_index,
+            segment_index=segment_index,
+        )
+
+    def back(self) -> Advice:
+        """Pop one drill-down level and return the advice at the restored context."""
+        return self.advisor.call("back", session=self.name)
+
+    def current_advice(self) -> Optional[Advice]:
+        """The advice at the current context, or ``None`` before the first advise.
+
+        Unlike :meth:`advise`, this never restarts the exploration.
+        """
+        return self.advisor.call("advise", session=self.name, current=True)
+
+    # -- reporting ------------------------------------------------------------
+
+    def _describe(self) -> Dict[str, Any]:
+        return self.advisor.call("describe", session=self.name)
+
+    @property
+    def table_name(self) -> str:
+        return self._describe()["table"]
+
+    @property
+    def depth(self) -> int:
+        return self._describe()["depth"]
+
+    def breadcrumbs(self) -> List[str]:
+        return list(self._describe()["breadcrumbs"])
+
+    def describe(self) -> str:
+        return self._describe()["text"]
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-session counters, as the server tracks them."""
+        return self._describe()["stats"]
+
+    def close(self) -> Dict[str, Any]:
+        """Close the remote session; returns its final statistics."""
+        return self.advisor.close_session(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteSession(name={self.name!r}, url={self.advisor.url!r})"

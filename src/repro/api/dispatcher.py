@@ -1,0 +1,86 @@
+"""The wire-facing dispatcher: envelope bytes in, envelope bytes out.
+
+A :class:`Dispatcher` owns the transport-independent half of a server:
+it decodes request envelopes, routes them into an
+:class:`~repro.service.AdvisorService` (whose ``submit`` executes the
+operation and converts :class:`~repro.errors.CharlesError` failures into
+stable wire error codes), and encodes the response envelope.  The HTTP
+server is a thin shell around :meth:`handle_json`; tests drive
+:meth:`handle_wire` directly to exercise the protocol without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Mapping
+
+from repro.api.protocol import Request, Response
+from repro.errors import CharlesError, WireFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.service.service import AdvisorService
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher:
+    """Maps wire envelopes onto one advisor service."""
+
+    def __init__(self, service: "AdvisorService"):
+        self.service = service
+
+    def dispatch(self, request: Request) -> Response:
+        """Execute an already-decoded request (in-process fast path)."""
+        return self.service.submit(request)
+
+    def handle_wire(self, payload: Any) -> Dict[str, Any]:
+        """Execute one JSON-safe request envelope; never raises.
+
+        Envelope decoding failures, operation failures and result
+        encoding failures all come back as error envelopes with the
+        raising class's stable ``code``.
+        """
+        op = payload.get("op", "") if isinstance(payload, Mapping) else ""
+        request_id = (
+            str(payload.get("request_id", "")) if isinstance(payload, Mapping) else ""
+        )
+        try:
+            request = Request.from_wire(payload)
+        except CharlesError as error:
+            return Response(
+                ok=False,
+                op=str(op),
+                error=error.message,
+                error_code=error.code,
+                request_id=request_id,
+            ).to_wire()
+        response = self.service.submit(request)
+        try:
+            return response.to_wire()
+        except CharlesError as error:
+            # The operation succeeded but its result has no wire encoding
+            # (e.g. a custom object smuggled into stats).
+            return Response(
+                ok=False,
+                op=request.op,
+                session=request.session,
+                error=error.message,
+                error_code=error.code,
+                request_id=request.request_id,
+                elapsed_seconds=response.elapsed_seconds,
+            ).to_wire()
+
+    def handle_json(self, body: bytes | str) -> str:
+        """Execute one JSON request body and return the JSON response body."""
+        try:
+            payload = json.loads(body)
+        except (TypeError, ValueError) as exc:
+            error = WireFormatError(f"request body is not valid JSON: {exc}")
+            return json.dumps(
+                Response(
+                    ok=False, op="", error=error.message, error_code=error.code
+                ).to_wire(),
+                ensure_ascii=False,
+                sort_keys=True,
+            )
+        return json.dumps(self.handle_wire(payload), ensure_ascii=False, sort_keys=True)

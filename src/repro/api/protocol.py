@@ -1,0 +1,377 @@
+"""Request/response envelopes of the advisor wire protocol.
+
+One protocol, any transport: a client builds a :class:`Request` — an
+*operation* plus its parameters — and receives a :class:`Response`
+carrying the result, the server-side timing and, on failure, a stable
+error code from the :class:`~repro.errors.CharlesError` hierarchy.  The
+HTTP server posts these envelopes as JSON over ``POST /v1/rpc``; the
+in-process :meth:`~repro.service.AdvisorService.submit` speaks exactly
+the same objects, which is what lets :class:`~repro.api.client.RemoteAdvisor`
+mirror the local session surface verbatim.
+
+``ServiceRequest`` and ``ServiceResponse`` in :mod:`repro.service` are
+aliases of these classes: the dataclasses of the original in-process
+service layer were refactored *into* the wire envelopes, not duplicated
+next to them.
+
+Versioning policy
+-----------------
+
+* ``API_VERSION`` covers the envelope shape and the operation table;
+  ``repro.api.codec.SCHEMA_VERSION`` covers value encodings.  Both are
+  integers, both only move on breaking changes.
+* A server answers requests whose ``api_version`` is at most its own;
+  newer requests are rejected with ``protocol`` error code.
+* Operations and error codes are append-only: they are never renamed or
+  re-used within a version.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.codec import SCHEMA_VERSION, from_wire, to_wire
+from repro.errors import ProtocolError, WireFormatError, error_code_registry
+
+__all__ = [
+    "API_VERSION",
+    "OPERATIONS",
+    "Request",
+    "Response",
+    "error_from_wire",
+    "next_request_id",
+]
+
+#: Version of the envelope shape and operation table.
+API_VERSION = 1
+
+#: The canonical operation names a version-1 server must answer, with the
+#: parameters each accepts (documentation + validation; see docs/api.md).
+OPERATIONS: Dict[str, Tuple[str, ...]] = {
+    "open_session": ("table", "context", "max_answers", "replace"),
+    "advise": ("context", "current"),
+    "drill": ("answer_index", "segment_index"),
+    "back": (),
+    "count": ("context", "table"),
+    "describe": (),
+    "stats": (),
+    "close_session": (),
+}
+
+#: Accepted spellings of each operation (legacy in-process names).
+OPERATION_ALIASES: Dict[str, str] = {
+    "open": "open_session",
+    "close": "close_session",
+}
+
+_COUNTER = itertools.count(1)
+
+
+def next_request_id() -> str:
+    """A process-unique request identifier (``pid-N``)."""
+    return f"{os.getpid():x}-{next(_COUNTER)}"
+
+
+def canonical_op(op: str) -> str:
+    """Resolve an operation name (or legacy alias) to its canonical form.
+
+    Raises
+    ------
+    ProtocolError
+        When ``op`` is not a string.
+    """
+    if not isinstance(op, str):
+        raise ProtocolError(f"operation must be a string, got {type(op).__name__}")
+    return OPERATION_ALIASES.get(op, op)
+
+
+class Request:
+    """One operation submitted to the advisor service.
+
+    Parameters
+    ----------
+    op:
+        The operation name (see :data:`OPERATIONS`; legacy aliases
+        ``open``/``close`` are accepted and canonicalised).
+    session:
+        The session the operation addresses (empty for session-less ops
+        such as ``count`` and ``stats``).
+    params:
+        Operation parameters as a mapping.  The legacy keyword form —
+        ``Request(op="drill", answer_index=1, segment_index=0)`` — is
+        still accepted and routed into ``params``.
+    request_id:
+        Client-chosen identifier echoed back in the response (one is
+        generated when omitted).
+    api_version:
+        Protocol version the client speaks; defaults to this library's.
+    """
+
+    __slots__ = ("op", "session", "params", "request_id", "api_version")
+
+    def __init__(
+        self,
+        op: str,
+        session: str = "",
+        params: Optional[Mapping[str, Any]] = None,
+        request_id: Optional[str] = None,
+        api_version: int = API_VERSION,
+        **legacy: Any,
+    ):
+        self.op = canonical_op(op)
+        self.session = session
+        merged: Dict[str, Any] = dict(params or {})
+        for key, value in legacy.items():
+            if key in merged:
+                raise ProtocolError(
+                    f"parameter {key!r} passed both in params and as a keyword"
+                )
+            merged[key] = value
+        self.params = merged
+        self.request_id = request_id if request_id is not None else next_request_id()
+        self.api_version = int(api_version)
+
+    # -- legacy field accessors (the pre-wire ServiceRequest surface) -------
+
+    @property
+    def table(self) -> Optional[str]:
+        return self.params.get("table")
+
+    @property
+    def context(self) -> Any:
+        return self.params.get("context")
+
+    @property
+    def answer_index(self) -> Any:
+        return self.params.get("answer_index", 0)
+
+    @property
+    def segment_index(self) -> Any:
+        return self.params.get("segment_index", 0)
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON-safe request envelope."""
+        return {
+            "api_version": self.api_version,
+            "schema": SCHEMA_VERSION,
+            "op": self.op,
+            "session": self.session,
+            "request_id": self.request_id,
+            "params": {key: to_wire(value) for key, value in self.params.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Request":
+        """Decode a request envelope (validating shape and versions)."""
+        if not isinstance(payload, Mapping):
+            raise WireFormatError(
+                f"request envelope must be an object, got {type(payload).__name__}"
+            )
+        if "op" not in payload:
+            raise WireFormatError("request envelope lacks the 'op' field")
+        api_version = payload.get("api_version", API_VERSION)
+        if not isinstance(api_version, int):
+            raise ProtocolError(f"malformed api_version: {api_version!r}")
+        if api_version > API_VERSION:
+            raise ProtocolError(
+                f"request speaks api_version {api_version}, "
+                f"but this server only understands up to {API_VERSION}"
+            )
+        schema = payload.get("schema", SCHEMA_VERSION)
+        if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+            raise ProtocolError(
+                f"request uses schema version {schema!r}, "
+                f"but this server only understands up to {SCHEMA_VERSION}"
+            )
+        params = payload.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise WireFormatError(
+                f"request params must be an object, got {type(params).__name__}"
+            )
+        session = payload.get("session", "")
+        if not isinstance(session, str):
+            raise WireFormatError(
+                f"request session must be a string, got {type(session).__name__}"
+            )
+        return cls(
+            op=payload["op"],
+            session=session,
+            params={key: from_wire(value) for key, value in params.items()},
+            request_id=str(payload.get("request_id", "")),
+            api_version=api_version,
+        )
+
+    # -- value semantics ------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            self.op,
+            self.session,
+            sorted(self.params.items(), key=lambda item: item[0]),
+            self.request_id,
+            self.api_version,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(op={self.op!r}, session={self.session!r}, "
+            f"params={self.params!r}, request_id={self.request_id!r})"
+        )
+
+
+class Response:
+    """Outcome of one :class:`Request`.
+
+    Attributes
+    ----------
+    ok:
+        Whether the operation succeeded.
+    op, session, request_id:
+        Echoed from the request.
+    result:
+        The operation's result (``None`` on failure).  In-process this is
+        a live object (e.g. an :class:`~repro.core.advisor.Advice`); on
+        the wire it is codec-encoded.
+    error:
+        Human-readable error prose (without the ``[code]`` marker — the
+        code travels separately in ``error_code``, and a client
+        rebuilding the exception re-appends it in ``str()``); ``None``
+        on success.
+    error_code:
+        Stable machine-readable code from the
+        :class:`~repro.errors.CharlesError` hierarchy; ``None`` on success.
+    elapsed_seconds:
+        Server-side wall-clock time spent executing the operation.
+    """
+
+    __slots__ = (
+        "ok",
+        "op",
+        "session",
+        "result",
+        "error",
+        "error_code",
+        "request_id",
+        "elapsed_seconds",
+    )
+
+    def __init__(
+        self,
+        ok: bool,
+        op: str,
+        session: str = "",
+        result: Any = None,
+        error: Optional[str] = None,
+        error_code: Optional[str] = None,
+        request_id: str = "",
+        elapsed_seconds: float = 0.0,
+    ):
+        self.ok = bool(ok)
+        self.op = op
+        self.session = session
+        self.result = result
+        self.error = error
+        self.error_code = error_code
+        self.request_id = request_id
+        self.elapsed_seconds = float(elapsed_seconds)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON-safe response envelope (result codec-encoded)."""
+        return {
+            "api_version": API_VERSION,
+            "schema": SCHEMA_VERSION,
+            "ok": self.ok,
+            "op": self.op,
+            "session": self.session,
+            "request_id": self.request_id,
+            "elapsed_seconds": self.elapsed_seconds,
+            "result": to_wire(self.result),
+            "error": (
+                None
+                if self.error is None and self.error_code is None
+                else {"code": self.error_code, "message": self.error}
+            ),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Response":
+        """Decode a response envelope (result decoded back to live objects)."""
+        if not isinstance(payload, Mapping):
+            raise WireFormatError(
+                f"response envelope must be an object, got {type(payload).__name__}"
+            )
+        schema = payload.get("schema", SCHEMA_VERSION)
+        if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+            raise WireFormatError(
+                f"response uses schema version {schema!r}, "
+                f"but this client only understands up to {SCHEMA_VERSION}"
+            )
+        error = payload.get("error")
+        message: Optional[str] = None
+        code: Optional[str] = None
+        if error is not None:
+            if not isinstance(error, Mapping):
+                raise WireFormatError(f"malformed error envelope: {error!r}")
+            message = error.get("message")
+            code = error.get("code")
+        return cls(
+            ok=bool(payload.get("ok")),
+            op=str(payload.get("op", "")),
+            session=str(payload.get("session", "")),
+            result=from_wire(payload.get("result")),
+            error=message,
+            error_code=code,
+            request_id=str(payload.get("request_id", "")),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+
+    def _key(self) -> tuple:
+        return (
+            self.ok,
+            self.op,
+            self.session,
+            self.result,
+            self.error,
+            self.error_code,
+            self.request_id,
+            self.elapsed_seconds,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Response):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"error={self.error_code!r}"
+        return f"Response(op={self.op!r}, session={self.session!r}, {status})"
+
+
+def error_from_wire(code: Optional[str], message: Optional[str]) -> Exception:
+    """Rebuild a typed exception from a wire error envelope.
+
+    Codes whose class takes a plain message constructor are raised as that
+    class; classes with structured constructors (e.g.
+    :class:`~repro.errors.UnknownColumnError`) fall back to
+    :class:`~repro.errors.RemoteError` carrying the original code.
+    """
+    from repro.errors import RemoteError
+
+    text = message or "remote error"
+    cls = error_code_registry().get(code or "")
+    if cls is not None:
+        # Only classes whose effective constructor is Exception's plain
+        # (message,) signature can be rebuilt faithfully from the wire.
+        defining = next(base for base in cls.__mro__ if "__init__" in base.__dict__)
+        if defining in (Exception, BaseException, object):
+            return cls(text)
+    return RemoteError(text, code=code)

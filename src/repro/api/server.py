@@ -1,0 +1,230 @@
+"""The advisor HTTP server: the wire protocol over stdlib HTTP.
+
+:class:`AdvisorHTTPServer` wraps one
+:class:`~repro.service.AdvisorService` behind a
+:class:`http.server.ThreadingHTTPServer` — standard library only, one
+thread per connection, which matches the service layer's design: sessions
+are lock-protected and every session engine shares the table runtime's
+caches, so concurrent requests batch and reuse work exactly as the
+in-process multi-user path does.
+
+Endpoints:
+
+* ``POST /v1/rpc`` — one request envelope in, one response envelope out
+  (see :mod:`repro.api.protocol`).  Operation failures are *successful*
+  HTTP exchanges (status 200) carrying an error envelope; HTTP error
+  statuses are reserved for transport problems (bad JSON → 400, wrong
+  path → 404, wrong method → 405).
+* ``GET /v1/health`` — liveness probe with version and table info.
+* ``GET /v1/stats`` — the service-wide statistics document.
+
+Usage::
+
+    with AdvisorHTTPServer(service, port=0) as server:   # 0 = ephemeral
+        advisor = RemoteAdvisor(server.url)
+        ...
+
+or blocking, as the CLI's ``serve --http`` does::
+
+    AdvisorHTTPServer(service, port=8765).serve_forever()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.api.codec import SCHEMA_VERSION, to_wire
+from repro.api.dispatcher import Dispatcher
+from repro.api.protocol import API_VERSION, OPERATIONS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.service.service import AdvisorService
+
+__all__ = ["AdvisorHTTPServer"]
+
+#: Maximum accepted request body, a guard against runaway clients.
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange; the dispatcher does all protocol work."""
+
+    # Set by the server factory below.
+    dispatcher: Dispatcher = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, ensure_ascii=False, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, code: str, message: str) -> None:
+        self._send_json(
+            status,
+            {
+                "api_version": API_VERSION,
+                "schema": SCHEMA_VERSION,
+                "ok": False,
+                "error": {"code": code, "message": message},
+            },
+        )
+
+    # -- endpoints -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/health":
+            service = self.dispatcher.service
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "api_version": API_VERSION,
+                    "schema": SCHEMA_VERSION,
+                    "operations": sorted(OPERATIONS),
+                    "tables": service.table_names,
+                    "sessions": len(service.session_names),
+                },
+            )
+            return
+        if path == "/v1/stats":
+            self._send_json(
+                200,
+                {
+                    "api_version": API_VERSION,
+                    "schema": SCHEMA_VERSION,
+                    "stats": to_wire(self.dispatcher.service.stats()),
+                },
+            )
+            return
+        self._error(404, "protocol", f"unknown path {path!r}; try /v1/rpc, /v1/health, /v1/stats")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path != "/v1/rpc":
+            self._error(404, "protocol", f"unknown path {path!r}; POST to /v1/rpc")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "protocol", "malformed Content-Length header")
+            return
+        if length <= 0:
+            self._error(400, "protocol", "empty request body; POST a request envelope")
+            return
+        if length > _MAX_BODY_BYTES:
+            self._error(400, "protocol", f"request body exceeds {_MAX_BODY_BYTES} bytes")
+            return
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            self._error(400, "protocol_wire_format", f"request body is not valid JSON: {exc}")
+            return
+        self._send_json(200, self.dispatcher.handle_wire(payload))
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._error(405, "protocol", "method not allowed; POST /v1/rpc or GET /v1/health")
+
+    do_DELETE = do_PUT
+
+
+class AdvisorHTTPServer:
+    """One advisor service listening on a TCP port.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.AdvisorService` to expose.
+    host:
+        Bind address; loopback by default (this is a prototype server —
+        there is no authentication).
+    port:
+        TCP port; ``0`` picks an ephemeral free port (see :attr:`port`).
+    quiet:
+        Suppress per-request logging to stderr (default).
+    """
+
+    def __init__(
+        self,
+        service: "AdvisorService",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ):
+        self.dispatcher = Dispatcher(service)
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"dispatcher": self.dispatcher, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def service(self) -> "AdvisorService":
+        return self.dispatcher.service
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (the actual one when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should connect to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AdvisorHTTPServer":
+        """Serve on a background daemon thread and return immediately."""
+        if self._thread is not None:
+            raise RuntimeError("the server is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"advisor-http:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the port."""
+        if self._thread is not None:
+            # socketserver's shutdown() blocks forever unless a
+            # serve_forever loop is actually running.
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "AdvisorHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdvisorHTTPServer(url={self.url!r})"

@@ -6,18 +6,27 @@ Sub-commands:
 * ``advise``   — answer a context query over a CSV file or built-in dataset;
 * ``profile``  — print the statistical profile of a table (or of a context);
 * ``segment``  — build one segmentation by cutting on explicit attributes;
-* ``serve``    — run a multi-user workload through the advisor service and
-  report throughput, cache hit rates and batching statistics;
+* ``serve``    — expose a table through the advisor service: with
+  ``--http PORT`` as a real HTTP server speaking the versioned wire
+  protocol, with ``--simulate`` as an in-process multi-user workload
+  replay reporting throughput, cache hit rates and batching statistics;
+* ``call``     — speak the wire protocol from the shell: one operation
+  against a running ``serve --http`` server;
 * ``datasets`` — list the built-in synthetic workloads.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.advisor import Charles
+from repro.api.client import RemoteAdvisor
+from repro.api.codec import to_wire
+from repro.api.protocol import OPERATIONS
+from repro.api.server import AdvisorHTTPServer
+from repro.core.advisor import Advice, Charles
 from repro.core.hbcuts import HBCutsConfig
 from repro.core.interestingness import SurpriseRanker
 from repro.core.ranking import EntropyRanker, LexicographicRanker, WeightedRanker
@@ -136,9 +145,19 @@ def build_parser() -> argparse.ArgumentParser:
     segment.add_argument("--style", choices=("pie", "treemap", "table"), default="pie")
 
     serve = subparsers.add_parser(
-        "serve", help="run a multi-user workload through the advisor service"
+        "serve",
+        help="serve a table through the advisor service "
+             "(--http PORT for a real server, --simulate for a workload replay)",
     )
     add_source_arguments(serve)
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="run a real HTTP server speaking the wire protocol "
+                            "on this port (0 = pick a free port)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --http (default: loopback)")
+    serve.add_argument("--simulate", action="store_true",
+                       help="replay a synthetic multi-user workload in-process "
+                            "and report throughput")
     serve.add_argument("--users", type=int, default=4,
                        help="number of simulated concurrent users")
     serve.add_argument("--steps", type=int, default=3,
@@ -164,6 +183,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", default="memory",
                        help="execution backend spec for the table runtime "
                             "(memory, sqlite, ...)")
+
+    call = subparsers.add_parser(
+        "call", help="execute one wire-protocol operation against a running server"
+    )
+    call.add_argument("--url", required=True,
+                      help="base URL of a serve --http server, "
+                           "e.g. http://127.0.0.1:8765")
+    call.add_argument("--op", required=True, choices=sorted(OPERATIONS),
+                      help="operation to execute")
+    call.add_argument("--session", default="", help="session name the op addresses")
+    call.add_argument("--table", default=None, help="table name (open_session, count)")
+    call.add_argument("--context", default=None,
+                      help="SDL query or SQL WHERE clause (open_session, advise, count)")
+    call.add_argument("--answer-index", type=int, default=None,
+                      help="ranked-answer index (drill)")
+    call.add_argument("--segment-index", type=int, default=None,
+                      help="segment index within the answer (drill)")
+    call.add_argument("--max-answers", type=int, default=None,
+                      help="ranked answers per advise (open_session)")
+    call.add_argument("--timeout", type=float, default=30.0,
+                      help="HTTP timeout in seconds")
+    call.add_argument("--json", action="store_true", dest="raw_json",
+                      help="print the raw wire result as JSON instead of "
+                           "a human-readable rendering")
 
     subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     return parser
@@ -290,8 +333,43 @@ def _command_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_service(args: argparse.Namespace, table: Table) -> AdvisorService:
+    engine_workers = getattr(args, "engine_workers", None)
+    if engine_workers is None:
+        engine_workers = args.workers
+    return AdvisorService(
+        table,
+        cache_capacity=args.cache_capacity,
+        batch_indep=not args.no_batching,
+        backend=getattr(args, "backend", None) or "memory",
+        workers=engine_workers,
+        partitions=getattr(args, "partitions", None),
+    )
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.http is not None and args.simulate:
+        raise CharlesError("pass either --http PORT or --simulate, not both")
+    if args.http is None and not args.simulate:
+        raise CharlesError(
+            "pass --http PORT to run the HTTP server, "
+            "or --simulate to replay a synthetic workload"
+        )
     table = _load_table(args)
+    service = _serve_service(args, table)
+    if args.http is not None:
+        server = AdvisorHTTPServer(service, host=args.host, port=args.http)
+        print(f"advisor service listening on {server.url}")
+        print(f"  table {table.name!r} ({table.num_rows} rows); "
+              f"POST {server.url}/v1/rpc, GET {server.url}/v1/health")
+        sys.stdout.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            print("shutting down")
+        finally:
+            server.shutdown()
+        return 0
     scripts = generate_concurrent_workload(
         table.column_names,
         users=args.users,
@@ -300,21 +378,39 @@ def _command_serve(args: argparse.Namespace) -> int:
         hot_contexts=args.hot_contexts,
         distinct_paths=args.distinct_paths,
     )
-    engine_workers = getattr(args, "engine_workers", None)
-    if engine_workers is None:
-        engine_workers = args.workers
-    service = AdvisorService(
-        table,
-        cache_capacity=args.cache_capacity,
-        batch_indep=not args.no_batching,
-        backend=getattr(args, "backend", None) or "memory",
-        workers=engine_workers,
-        partitions=getattr(args, "partitions", None),
-    )
     report = service.serve(scripts, workers=args.workers)
     print(report.describe())
     print()
     print(service.describe())
+    return 0
+
+
+def _render_call_result(result) -> str:
+    if isinstance(result, Advice):
+        return result.describe()
+    if isinstance(result, (dict, list)):
+        return json.dumps(to_wire(result), indent=2, ensure_ascii=False, sort_keys=True)
+    return str(result)
+
+
+def _command_call(args: argparse.Namespace) -> int:
+    advisor = RemoteAdvisor(args.url, timeout=args.timeout)
+    params = {
+        key: value
+        for key, value in (
+            ("table", args.table),
+            ("context", args.context),
+            ("answer_index", args.answer_index),
+            ("segment_index", args.segment_index),
+            ("max_answers", args.max_answers),
+        )
+        if value is not None
+    }
+    result = advisor.call(args.op, session=args.session, **params)
+    if args.raw_json:
+        print(json.dumps(to_wire(result), indent=2, ensure_ascii=False, sort_keys=True))
+    else:
+        print(_render_call_result(result))
     return 0
 
 
@@ -333,6 +429,7 @@ _COMMANDS = {
     "profile": _command_profile,
     "segment": _command_segment,
     "serve": _command_serve,
+    "call": _command_call,
     "datasets": _command_datasets,
 }
 

@@ -2,18 +2,50 @@
 
 All library-specific errors derive from :class:`CharlesError` so that
 callers can catch a single base class.  Sub-classes are grouped by the
-layer that raises them (SDL language, storage substrate, core advisor).
+layer that raises them (SDL language, storage substrate, core advisor,
+wire protocol).
+
+Every class carries a stable machine-readable ``code`` — the identifier
+the wire protocol (:mod:`repro.api`) ships in its error envelopes, so
+remote clients can react to error *kinds* without parsing prose.  The
+code is part of ``str()`` output (appended in brackets); the bare prose
+is available as :attr:`CharlesError.message`.  Codes are API surface:
+never re-used, renamed only with a protocol version bump.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Iterator, Type
+
 
 class CharlesError(Exception):
-    """Base class for every error raised by the ``repro`` package."""
+    """Base class for every error raised by the ``repro`` package.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier of the error kind, shipped in
+        wire error envelopes and appended to ``str()`` output.
+    """
+
+    code = "charles"
+
+    @property
+    def message(self) -> str:
+        """The prose message without the trailing ``[code]`` marker."""
+        return Exception.__str__(self)
+
+    def __str__(self) -> str:
+        base = Exception.__str__(self)
+        if base:
+            return f"{base} [{self.code}]"
+        return f"[{self.code}]"
 
 
 class SDLError(CharlesError):
     """Base class for errors in the SDL language layer."""
+
+    code = "sdl"
 
 
 class SDLSyntaxError(SDLError):
@@ -27,6 +59,8 @@ class SDLSyntaxError(SDLError):
         Character offset at which parsing failed, when known.
     """
 
+    code = "sdl_syntax"
+
     def __init__(self, message: str, text: str = "", position: int | None = None):
         super().__init__(message)
         self.text = text
@@ -36,13 +70,19 @@ class SDLSyntaxError(SDLError):
 class PredicateError(SDLError):
     """Raised when a predicate is constructed with invalid arguments."""
 
+    code = "sdl_predicate"
+
 
 class QueryError(SDLError):
     """Raised when an SDL query is malformed (e.g. duplicate attributes)."""
 
+    code = "sdl_query"
+
 
 class SegmentationError(SDLError):
     """Raised when a segmentation violates its structural constraints."""
+
+    code = "sdl_segmentation"
 
 
 class InvalidPartitionError(SegmentationError):
@@ -52,17 +92,25 @@ class InvalidPartitionError(SegmentationError):
     union covers the context exactly (paper, Definition 3).
     """
 
+    code = "sdl_invalid_partition"
+
 
 class StorageError(CharlesError):
     """Base class for errors in the storage substrate."""
+
+    code = "storage"
 
 
 class SchemaError(StorageError):
     """Raised for schema violations: unknown columns, mismatched lengths."""
 
+    code = "storage_schema"
+
 
 class UnknownColumnError(SchemaError):
     """Raised when a query references a column the table does not have."""
+
+    code = "storage_unknown_column"
 
     def __init__(self, column: str, available: tuple[str, ...] = ()):
         message = f"unknown column {column!r}"
@@ -76,21 +124,31 @@ class UnknownColumnError(SchemaError):
 class TypeMismatchError(StorageError):
     """Raised when a predicate is applied to a column of incompatible type."""
 
+    code = "storage_type_mismatch"
+
 
 class EmptyColumnError(StorageError):
     """Raised when an aggregate (median, min, max) is requested on no rows."""
+
+    code = "storage_empty_column"
 
 
 class CSVFormatError(StorageError):
     """Raised when a CSV file cannot be loaded into a table."""
 
+    code = "storage_csv_format"
+
 
 class SQLGenerationError(StorageError):
     """Raised when an SDL query cannot be rendered as SQL."""
 
+    code = "storage_sql_generation"
+
 
 class SQLParseError(StorageError):
     """Raised when a WHERE-clause cannot be parsed back into SDL."""
+
+    code = "storage_sql_parse"
 
 
 class BackendError(StorageError):
@@ -100,9 +158,13 @@ class BackendError(StorageError):
     of external engines (e.g. a missing SQLite database file).
     """
 
+    code = "storage_backend"
+
 
 class CoreError(CharlesError):
     """Base class for errors in the core advisor algorithms."""
+
+    code = "core"
 
 
 class CannotCutError(CoreError):
@@ -111,6 +173,8 @@ class CannotCutError(CoreError):
     Typical causes: the attribute has fewer than two distinct values in the
     query's result set, or the query selects no rows at all.
     """
+
+    code = "core_cannot_cut"
 
     def __init__(self, attribute: str, reason: str = ""):
         message = f"cannot cut on attribute {attribute!r}"
@@ -124,18 +188,85 @@ class CannotCutError(CoreError):
 class CompositionError(CoreError):
     """Raised when COMPOSE is applied to incompatible segmentations."""
 
+    code = "core_composition"
+
 
 class AdvisorError(CoreError):
     """Raised when the advisor cannot produce an answer for a context."""
+
+    code = "core_advisor"
 
 
 class SessionError(CoreError):
     """Raised on invalid interactive-session operations (e.g. back() at root)."""
 
+    code = "core_session"
+
 
 class WorkloadError(CharlesError):
     """Raised when a synthetic workload generator receives invalid parameters."""
 
+    code = "workload"
+
 
 class VisualizationError(CharlesError):
     """Raised when a renderer cannot lay out its input."""
+
+    code = "visualization"
+
+
+class ProtocolError(CharlesError):
+    """Base class for wire-protocol errors (:mod:`repro.api`).
+
+    Raised for malformed request envelopes, missing or ill-typed
+    parameters, and version mismatches.
+    """
+
+    code = "protocol"
+
+
+class UnknownOperationError(ProtocolError):
+    """Raised when a request names an operation the service does not expose."""
+
+    code = "protocol_unknown_op"
+
+
+class WireFormatError(ProtocolError):
+    """Raised when a wire payload cannot be encoded or decoded losslessly."""
+
+    code = "protocol_wire_format"
+
+
+class RemoteError(CharlesError):
+    """A server-side error reconstructed by a remote client.
+
+    Used when the wire error code does not map onto a local class that can
+    be rebuilt from its message alone; :attr:`code` then carries the
+    server's original code rather than the generic ``"remote"``.
+    """
+
+    code = "remote"
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+def iter_error_classes() -> Iterator[Type[CharlesError]]:
+    """Every class of the hierarchy, parents before children."""
+    pending = [CharlesError]
+    while pending:
+        cls = pending.pop(0)
+        yield cls
+        pending.extend(sorted(cls.__subclasses__(), key=lambda c: c.__name__))
+
+
+def error_code_registry() -> Dict[str, Type[CharlesError]]:
+    """Map every stable error code to the class that owns it.
+
+    Used by the wire protocol to turn error envelopes back into typed
+    exceptions.  Codes are unique across the hierarchy (asserted by the
+    test suite).
+    """
+    return {cls.code: cls for cls in iter_error_classes()}

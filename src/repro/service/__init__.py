@@ -13,8 +13,15 @@ is the subsystem built on that observation:
   :class:`BatchedEngine`, which merge concurrent HB-cuts INDEP passes
   into single multi-query engine evaluations.
 
+``ServiceRequest``/``ServiceResponse`` are the wire envelopes of
+:mod:`repro.api.protocol` (the historical dataclasses were refactored
+into them), so :meth:`AdvisorService.submit` speaks the same versioned
+protocol the HTTP server (:mod:`repro.api.server`) puts on the network.
+
 The CLI's ``serve`` sub-command and benchmark E12 drive this layer with
-the multi-user scenarios of :mod:`repro.workloads.concurrent`.
+the multi-user scenarios of :mod:`repro.workloads.concurrent`;
+``serve --http`` exposes it to remote
+:class:`~repro.api.client.RemoteAdvisor` clients.
 """
 
 from repro.service.batching import BatchCoordinator, BatchedEngine, BatchStats

@@ -42,13 +42,20 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.api.protocol import OPERATIONS, Request, Response, canonical_op
 from repro.backends.base import ExecutionBackend
 from repro.backends.pool import ExecutorPool, parallel_requested, resolve_workers
 from repro.backends.registry import open_backend
 from repro.core.advisor import Advice, Charles, ContextLike
 from repro.core.hbcuts import HBCutsConfig
 from repro.core.ranking import EntropyRanker, Ranker
-from repro.errors import AdvisorError, CharlesError, SessionError
+from repro.errors import (
+    AdvisorError,
+    CharlesError,
+    ProtocolError,
+    SessionError,
+    UnknownOperationError,
+)
 from repro.sdl.formatter import query_signature
 from repro.sdl.query import SDLQuery
 from repro.service.batching import BatchCoordinator, BatchedEngine
@@ -58,32 +65,11 @@ from repro.storage.table import Table
 
 __all__ = ["ServiceRequest", "ServiceResponse", "ServiceReport", "AdvisorService"]
 
-
-@dataclass(frozen=True)
-class ServiceRequest:
-    """One operation submitted to the service.
-
-    ``op`` is one of ``open``, ``advise``, ``drill``, ``back``, ``close``,
-    ``count`` or ``stats``; the remaining fields parameterise it.
-    """
-
-    op: str
-    session: str = ""
-    table: Optional[str] = None
-    context: ContextLike = None
-    answer_index: int = 0
-    segment_index: int = 0
-
-
-@dataclass
-class ServiceResponse:
-    """Outcome of one :class:`ServiceRequest`."""
-
-    ok: bool
-    op: str
-    session: str = ""
-    result: Any = None
-    error: Optional[str] = None
+#: The in-process request/response dataclasses of the original service
+#: layer were refactored into the wire envelopes of :mod:`repro.api` —
+#: these aliases keep the historical names working.
+ServiceRequest = Request
+ServiceResponse = Response
 
 
 @dataclass
@@ -475,39 +461,138 @@ class AdvisorService:
         with self._lock:
             self._requests += 1
 
-    def submit(self, request: ServiceRequest) -> ServiceResponse:
-        """Execute one request; errors are returned, not raised."""
-        try:
-            if request.op == "open":
-                session = self.open_session(
-                    request.session,
-                    table=request.table,
-                    context=request.context,
-                    replace=True,
-                )
-                result: Any = session.name
-            elif request.op == "advise":
-                result = self.advise(request.session, request.context)
-            elif request.op == "drill":
-                result = self.drill(
-                    request.session, request.answer_index, request.segment_index
-                )
-            elif request.op == "back":
-                result = self.back(request.session)
-            elif request.op == "close":
-                result = self.close_session(request.session)
-            elif request.op == "count":
-                result = self.count(request.context, table=request.table)
-            elif request.op == "stats":
-                result = self.stats()
-            else:
-                raise AdvisorError(f"unknown service operation {request.op!r}")
-        except CharlesError as error:
-            return ServiceResponse(
-                ok=False, op=request.op, session=request.session, error=str(error)
+    def describe_session(self, name: str) -> Dict[str, Any]:
+        """Structured description of one session (the ``describe`` op).
+
+        Bundles everything a remote session object mirrors locally:
+        breadcrumbs, depth, the human-readable description and the
+        per-session statistics.
+        """
+        session = self.session(name)
+        return {
+            "name": session.name,
+            "table": session.table_name,
+            "depth": session.depth,
+            "breadcrumbs": session.breadcrumbs(),
+            "text": session.describe(),
+            "stats": session.stats(),
+        }
+
+    # -- the wire operation table --------------------------------------------
+
+    @staticmethod
+    def _validated_index(request: Request, name: str) -> int:
+        value = request.params.get(name, 0)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                f"parameter {name!r} of {request.op!r} must be an integer, "
+                f"got {type(value).__name__}"
             )
-        return ServiceResponse(
-            ok=True, op=request.op, session=request.session, result=result
+        return value
+
+    @staticmethod
+    def _session_name(request: Request) -> str:
+        if not isinstance(request.session, str) or not request.session:
+            raise ProtocolError(
+                f"operation {request.op!r} requires a non-empty session name"
+            )
+        return request.session
+
+    def _op_open_session(self, request: Request) -> Any:
+        max_answers = request.params.get("max_answers")
+        if max_answers is not None and (
+            isinstance(max_answers, bool) or not isinstance(max_answers, int)
+        ):
+            raise ProtocolError(
+                f"parameter 'max_answers' must be an integer, "
+                f"got {type(max_answers).__name__}"
+            )
+        session = self.open_session(
+            self._session_name(request),
+            table=request.table,
+            context=request.context,
+            max_answers=max_answers,
+            replace=bool(request.params.get("replace", True)),
+        )
+        return session.name
+
+    def _op_advise(self, request: Request) -> Any:
+        name = self._session_name(request)
+        if request.params.get("current"):
+            # Peek at the current context's advice without restarting the
+            # exploration (RemoteSession.current_advice's path).
+            return self.session(name).current_advice()
+        return self.advise(name, request.context)
+
+    def _op_drill(self, request: Request) -> Any:
+        return self.drill(
+            self._session_name(request),
+            self._validated_index(request, "answer_index"),
+            self._validated_index(request, "segment_index"),
+        )
+
+    def _op_back(self, request: Request) -> Any:
+        return self.back(self._session_name(request))
+
+    def _op_count(self, request: Request) -> Any:
+        return self.count(request.context, table=request.table)
+
+    def _op_describe(self, request: Request) -> Any:
+        return self.describe_session(self._session_name(request))
+
+    def _op_stats(self, request: Request) -> Any:
+        return self.stats()
+
+    def _op_close_session(self, request: Request) -> Any:
+        return self.close_session(self._session_name(request))
+
+    def _execute(self, request: Request) -> Any:
+        """Validate and run one request, raising typed errors on bad input."""
+        op = canonical_op(request.op)
+        allowed = OPERATIONS.get(op)
+        if allowed is None:
+            raise UnknownOperationError(
+                f"unknown service operation {request.op!r}; "
+                f"known: {sorted(OPERATIONS)}"
+            )
+        unexpected = sorted(set(request.params) - set(allowed))
+        if unexpected:
+            raise ProtocolError(
+                f"operation {op!r} does not accept parameter(s) {unexpected}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        return getattr(self, f"_op_{op}")(request)
+
+    def submit(self, request: Request) -> Response:
+        """Execute one request envelope; errors are returned, not raised.
+
+        Unknown operations, ill-typed parameters and unknown sessions all
+        come back as failed responses carrying the raising class's stable
+        :attr:`~repro.errors.CharlesError.code` — the same envelope the
+        HTTP server puts on the wire.
+        """
+        started = time.perf_counter()
+        try:
+            result = self._execute(request)
+        except CharlesError as error:
+            # Ship the bare prose: the code travels in error_code, and a
+            # client rebuilding the exception re-appends it in str().
+            return Response(
+                ok=False,
+                op=request.op,
+                session=request.session,
+                error=error.message,
+                error_code=error.code,
+                request_id=request.request_id,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        return Response(
+            ok=True,
+            op=request.op,
+            session=request.session,
+            result=result,
+            request_id=request.request_id,
+            elapsed_seconds=time.perf_counter() - started,
         )
 
     # -- workload execution -------------------------------------------------

@@ -106,6 +106,7 @@ class TestCliParity:
         code = main(
             [
                 "serve",
+                "--simulate",
                 "--dataset", "voc",
                 "--rows", "300",
                 "--users", "2",

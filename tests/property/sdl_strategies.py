@@ -1,0 +1,184 @@
+"""Shared Hypothesis strategies for SDL values, predicates and queries.
+
+Extracted from ``test_parser_roundtrip.py`` so the SDL-text round-trip
+tests and the wire-codec round-trip tests generate from the same value
+domain.  The ``wire_*`` strategies extend the text-safe domain with
+everything the JSON codec must carry losslessly but SDL text cannot
+express faithfully (dates, booleans, arbitrary unicode).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import hypothesis.strategies as st
+
+from repro.sdl import (
+    ExclusionPredicate,
+    NoConstraint,
+    RangePredicate,
+    SDLQuery,
+    SetPredicate,
+)
+
+ATTRIBUTE_NAMES = st.sampled_from(
+    ["tonnage", "type_of_boat", "departure_harbour", "year", "magnitude", "col_1", "a"]
+)
+
+SAFE_TEXT = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_- "),
+    min_size=1,
+    max_size=12,
+).map(str.strip).filter(bool)
+
+NUMBERS = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False).map(
+        lambda value: round(value, 4)
+    ),
+)
+
+#: Set members of the full wire value domain: unicode strings, numbers,
+#: booleans and dates (everything the substrate's columns can hold).
+WIRE_SET_VALUES = st.one_of(
+    st.text(min_size=0, max_size=16),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False),
+    st.booleans(),
+    st.dates(),
+)
+
+#: Orderable bounds for wire range predicates (dates included).
+WIRE_RANGE_BOUNDS = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.dates(),
+)
+
+
+@st.composite
+def range_predicates(draw, bounds=NUMBERS):
+    attribute = draw(ATTRIBUTE_NAMES)
+    first = draw(bounds)
+    second = draw(bounds)
+    if isinstance(first, datetime.date) != isinstance(second, datetime.date):
+        second = first  # mixed date/number bounds are not comparable
+    low, high = min(first, second), max(first, second)
+    include_low = draw(st.booleans())
+    include_high = draw(st.booleans())
+    if low == high:
+        include_low = include_high = True
+    return RangePredicate(
+        attribute, low=low, high=high, include_low=include_low, include_high=include_high
+    )
+
+
+@st.composite
+def set_predicates(draw, values=None):
+    attribute = draw(ATTRIBUTE_NAMES)
+    if values is None:
+        drawn = draw(
+            st.one_of(
+                st.sets(SAFE_TEXT, min_size=1, max_size=5),
+                st.sets(st.integers(min_value=-100, max_value=100), min_size=1, max_size=5),
+            )
+        )
+    else:
+        drawn = draw(st.sets(values, min_size=1, max_size=5))
+    return SetPredicate(attribute, frozenset(drawn))
+
+
+@st.composite
+def exclusion_predicates(draw, values=WIRE_SET_VALUES):
+    attribute = draw(ATTRIBUTE_NAMES)
+    drawn = draw(st.sets(values, min_size=1, max_size=5))
+    return ExclusionPredicate(attribute, frozenset(drawn))
+
+
+@st.composite
+def queries(draw):
+    """SDL-text-safe queries (the historical parser round-trip domain)."""
+    attributes = draw(
+        st.lists(ATTRIBUTE_NAMES, min_size=1, max_size=5, unique=True)
+    )
+    predicates = []
+    for attribute in attributes:
+        kind = draw(st.sampled_from(["none", "range", "set"]))
+        if kind == "none":
+            predicates.append(NoConstraint(attribute))
+        elif kind == "range":
+            predicate = draw(range_predicates())
+            predicates.append(
+                RangePredicate(
+                    attribute,
+                    low=predicate.low,
+                    high=predicate.high,
+                    include_low=predicate.include_low,
+                    include_high=predicate.include_high,
+                )
+            )
+        else:
+            predicate = draw(set_predicates())
+            predicates.append(SetPredicate(attribute, predicate.values))
+    return SDLQuery(predicates)
+
+
+@st.composite
+def wire_queries(draw):
+    """Queries over the full wire value domain (unicode, dates, booleans).
+
+    Wider than :func:`queries`: exclusion predicates are included and set
+    members / range bounds range over everything the JSON codec must
+    round-trip, not just what SDL text can express.
+    """
+    attributes = draw(
+        st.lists(ATTRIBUTE_NAMES, min_size=1, max_size=5, unique=True)
+    )
+    predicates = []
+    for attribute in attributes:
+        kind = draw(st.sampled_from(["none", "range", "set", "exclusion"]))
+        if kind == "none":
+            predicates.append(NoConstraint(attribute))
+        elif kind == "range":
+            drawn = draw(range_predicates(bounds=WIRE_RANGE_BOUNDS))
+            predicates.append(
+                RangePredicate(
+                    attribute,
+                    low=drawn.low,
+                    high=drawn.high,
+                    include_low=drawn.include_low,
+                    include_high=drawn.include_high,
+                )
+            )
+        elif kind == "set":
+            drawn = draw(set_predicates(values=WIRE_SET_VALUES))
+            predicates.append(SetPredicate(attribute, drawn.values))
+        else:
+            drawn = draw(exclusion_predicates())
+            predicates.append(ExclusionPredicate(attribute, drawn.values))
+    return SDLQuery(predicates)
+
+
+@st.composite
+def sql_friendly_queries(draw):
+    """Queries whose predicates survive a WHERE-clause round trip.
+
+    The WHERE grammar loses half-open bounds (they become >=/< pairs, which
+    parse back identically) but cannot express string ranges, so those are
+    excluded here.
+    """
+    attributes = draw(st.lists(ATTRIBUTE_NAMES, min_size=1, max_size=4, unique=True))
+    predicates = []
+    for attribute in attributes:
+        kind = draw(st.sampled_from(["range", "set"]))
+        if kind == "range":
+            first = draw(st.integers(min_value=-1000, max_value=1000))
+            second = draw(st.integers(min_value=-1000, max_value=1000))
+            predicates.append(
+                RangePredicate(attribute, min(first, second), max(first, second))
+            )
+        else:
+            values = draw(st.sets(SAFE_TEXT.filter(lambda s: "'" not in s),
+                                  min_size=1, max_size=4))
+            predicates.append(SetPredicate(attribute, frozenset(values)))
+    return SDLQuery(predicates)

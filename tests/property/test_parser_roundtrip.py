@@ -1,14 +1,18 @@
-"""Property-based tests: SDL and SQL text round-trips."""
+"""Property-based tests: SDL and SQL text round-trips.
+
+The query/predicate generators live in ``sdl_strategies.py``, shared
+with the wire-codec round-trip suite (``test_wire_roundtrip.py``).
+"""
 
 from __future__ import annotations
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+from sdl_strategies import queries, sql_friendly_queries
+
 from repro.sdl import (
-    NoConstraint,
     RangePredicate,
-    SDLQuery,
     SetPredicate,
     parse_query,
     query_signature,
@@ -16,77 +20,6 @@ from repro.sdl import (
 from repro.storage import parse_where, query_to_where
 
 _SETTINGS = settings(max_examples=120, deadline=None)
-
-_ATTRIBUTE_NAMES = st.sampled_from(
-    ["tonnage", "type_of_boat", "departure_harbour", "year", "magnitude", "col_1", "a"]
-)
-
-_SAFE_TEXT = st.text(
-    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_- "),
-    min_size=1,
-    max_size=12,
-).map(str.strip).filter(bool)
-
-_NUMBERS = st.one_of(
-    st.integers(min_value=-10_000, max_value=10_000),
-    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False).map(
-        lambda value: round(value, 4)
-    ),
-)
-
-
-@st.composite
-def range_predicates(draw):
-    attribute = draw(_ATTRIBUTE_NAMES)
-    first = draw(_NUMBERS)
-    second = draw(_NUMBERS)
-    low, high = min(first, second), max(first, second)
-    include_low = draw(st.booleans())
-    include_high = draw(st.booleans())
-    if low == high:
-        include_low = include_high = True
-    return RangePredicate(
-        attribute, low=low, high=high, include_low=include_low, include_high=include_high
-    )
-
-
-@st.composite
-def set_predicates(draw):
-    attribute = draw(_ATTRIBUTE_NAMES)
-    values = draw(
-        st.one_of(
-            st.sets(_SAFE_TEXT, min_size=1, max_size=5),
-            st.sets(st.integers(min_value=-100, max_value=100), min_size=1, max_size=5),
-        )
-    )
-    return SetPredicate(attribute, frozenset(values))
-
-
-@st.composite
-def queries(draw):
-    attributes = draw(
-        st.lists(_ATTRIBUTE_NAMES, min_size=1, max_size=5, unique=True)
-    )
-    predicates = []
-    for attribute in attributes:
-        kind = draw(st.sampled_from(["none", "range", "set"]))
-        if kind == "none":
-            predicates.append(NoConstraint(attribute))
-        elif kind == "range":
-            predicate = draw(range_predicates())
-            predicates.append(
-                RangePredicate(
-                    attribute,
-                    low=predicate.low,
-                    high=predicate.high,
-                    include_low=predicate.include_low,
-                    include_high=predicate.include_high,
-                )
-            )
-        else:
-            predicate = draw(set_predicates())
-            predicates.append(SetPredicate(attribute, predicate.values))
-    return SDLQuery(predicates)
 
 
 class TestSDLRoundTrip:
@@ -117,31 +50,6 @@ class TestSDLRoundTrip:
                 candidates = [0, "anything", None]
             row[predicate.attribute] = candidates[which]
         assert query.matches_row(row) == reparsed.matches_row(row)
-
-
-@st.composite
-def sql_friendly_queries(draw):
-    """Queries whose predicates survive a WHERE-clause round trip.
-
-    The WHERE grammar loses half-open bounds (they become >=/< pairs, which
-    parse back identically) but cannot express string ranges, so those are
-    excluded here.
-    """
-    attributes = draw(st.lists(_ATTRIBUTE_NAMES, min_size=1, max_size=4, unique=True))
-    predicates = []
-    for attribute in attributes:
-        kind = draw(st.sampled_from(["range", "set"]))
-        if kind == "range":
-            first = draw(st.integers(min_value=-1000, max_value=1000))
-            second = draw(st.integers(min_value=-1000, max_value=1000))
-            predicates.append(
-                RangePredicate(attribute, min(first, second), max(first, second))
-            )
-        else:
-            values = draw(st.sets(_SAFE_TEXT.filter(lambda s: "'" not in s),
-                                  min_size=1, max_size=4))
-            predicates.append(SetPredicate(attribute, frozenset(values)))
-    return SDLQuery(predicates)
 
 
 class TestSQLRoundTrip:

@@ -164,6 +164,31 @@ class TestSubmitAndServe:
         unknown = service.submit(ServiceRequest(op="frobnicate"))
         assert not unknown.ok
 
+    def test_submit_validates_ops_and_sessions_with_typed_errors(self, service):
+        # Regression: unknown ops and sessions surface stable wire codes,
+        # never a bare KeyError/TypeError escaping submit().
+        unknown_op = service.submit(ServiceRequest(op="frobnicate"))
+        assert unknown_op.error_code == "protocol_unknown_op"
+        unknown_session = service.submit(ServiceRequest(op="back", session="ghost"))
+        assert unknown_session.error_code == "core_session"
+        bad_index = service.submit(
+            ServiceRequest(op="drill", session="ghost", answer_index="first")
+        )
+        assert bad_index.error_code == "protocol"
+
+    def test_submit_canonical_op_names_and_timing(self, service):
+        opened = service.submit(
+            ServiceRequest(op="open_session", session="w1", context=_CONTEXT)
+        )
+        assert opened.ok and opened.result == "w1"
+        assert opened.elapsed_seconds > 0.0
+        assert opened.request_id
+        described = service.submit(ServiceRequest(op="describe", session="w1"))
+        assert described.ok
+        assert described.result["breadcrumbs"] == ["(root)"]
+        closed = service.submit(ServiceRequest(op="close_session", session="w1"))
+        assert closed.ok
+
     def test_serve_workload_sequential_and_threaded(self, table):
         scripts = generate_concurrent_workload(
             table.column_names, users=4, steps=3, seed=2, distinct_paths=2

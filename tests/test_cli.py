@@ -77,10 +77,11 @@ class TestCommands:
         assert exit_code == 0
         assert "ranked answers" in capsys.readouterr().out
 
-    def test_serve_command_reports_throughput(self, capsys):
+    def test_serve_simulate_reports_throughput(self, capsys):
         exit_code = main(
             [
                 "serve",
+                "--simulate",
                 "--dataset", "voc",
                 "--rows", "400",
                 "--users", "3",
@@ -93,6 +94,19 @@ class TestCommands:
         assert "req/s" in output
         assert "result cache hit rate" in output
         assert "session 'user-00'" in output
+
+    def test_serve_requires_http_or_simulate(self, capsys):
+        assert main(["serve", "--dataset", "voc", "--rows", "300"]) == 2
+        err = capsys.readouterr().err
+        assert "--http" in err and "--simulate" in err
+
+    def test_serve_rejects_http_and_simulate_together(self, capsys):
+        exit_code = main(
+            ["serve", "--dataset", "voc", "--rows", "300",
+             "--http", "0", "--simulate"]
+        )
+        assert exit_code == 2
+        assert "not both" in capsys.readouterr().err
 
     def test_profile_command(self, capsys):
         assert main(["profile", "--dataset", "weblog", "--rows", "300"]) == 0
@@ -215,6 +229,7 @@ class TestCommands:
         exit_code = main(
             [
                 "serve",
+                "--simulate",
                 "--dataset", "voc",
                 "--rows", "400",
                 "--users", "3",
@@ -226,3 +241,110 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "req/s" in capsys.readouterr().out
+
+
+class TestCallCommand:
+    """The `call` sub-command against a live HTTP server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.api.server import AdvisorHTTPServer
+        from repro.service import AdvisorService
+        from repro.workloads import generate_voc
+
+        service = AdvisorService(generate_voc(rows=400, seed=3), batch_window=0.0)
+        with AdvisorHTTPServer(service) as running:
+            yield running
+
+    def test_call_count_round_trip(self, server, capsys):
+        exit_code = main(
+            [
+                "call",
+                "--url", server.url,
+                "--op", "count",
+                "--context", "tonnage: [0, 100000]",
+            ]
+        )
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "400"
+
+    def test_call_open_then_advise_renders_advice(self, server, capsys):
+        assert main(
+            ["call", "--url", server.url, "--op", "open_session",
+             "--session", "shell"]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["call", "--url", server.url, "--op", "advise",
+             "--session", "shell",
+             "--context", "(tonnage:, type_of_boat:)"]
+        )
+        assert exit_code == 0
+        assert "Charles' advice" in capsys.readouterr().out
+
+    def test_call_json_output_is_wire_encoded(self, server, capsys):
+        import json as json_module
+
+        assert main(
+            ["call", "--url", server.url, "--op", "stats", "--json"]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert "tables" in payload and "requests" in payload
+
+    def test_call_surfaces_typed_remote_errors(self, server, capsys):
+        exit_code = main(
+            ["call", "--url", server.url, "--op", "drill", "--session", "ghost"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "ghost" in err and "core_session" in err
+
+    def test_call_unreachable_server_reports_remote_error(self, capsys):
+        exit_code = main(
+            ["call", "--url", "http://127.0.0.1:9", "--op", "stats",
+             "--timeout", "0.5"]
+        )
+        assert exit_code == 2
+        assert "[remote]" in capsys.readouterr().err
+
+
+class TestServeHTTPSubprocess:
+    """End-to-end: `serve --http 0` as a real child process."""
+
+    def test_serve_http_answers_a_remote_client(self, tmp_path):
+        import os
+        import subprocess
+        import sys as sys_module
+
+        from repro.api.client import RemoteAdvisor
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ, PYTHONPATH=os.path.join(root, "src"))
+        process = subprocess.Popen(
+            [
+                sys_module.executable, "-u", "-m", "repro.cli",
+                "serve", "--http", "0",
+                "--dataset", "voc", "--rows", "300",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=root,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on http://" in banner, banner
+            url = banner.strip().rsplit(" ", 1)[-1]
+            client = RemoteAdvisor(url, timeout=30.0)
+            assert client.health()["status"] == "ok"
+            session = client.open_session(
+                "sub", context=["tonnage", "type_of_boat"]
+            )
+            advice = session.advise(["tonnage", "type_of_boat"])
+            assert advice.answers
+            session.drill(0, 0)
+            assert session.depth == 1
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
