@@ -17,6 +17,9 @@ Package layout
 * :mod:`repro.core` — the paper's contribution: CUT / COMPOSE / product,
   quality metrics, the HB-cuts heuristic, ranking, the Charles facade,
   interactive sessions, quantile/lazy extensions and baselines;
+* :mod:`repro.live` — the live data subsystem: versioned mutable tables
+  (:class:`VersionedTable`), incremental statistics maintenance and the
+  data-version plumbing behind cache invalidation and advice staleness;
 * :mod:`repro.service` — the multi-user service layer: named sessions,
   shared per-table result caches, batched engine passes;
 * :mod:`repro.api` — the wire-level advisor API: versioned JSON codec,
@@ -100,6 +103,7 @@ from repro.api import (
     RemoteAdvisor,
     RemoteSession,
 )
+from repro.live import IncrementalTableProfile, VersionedTable
 from repro.workloads import (
     generate_astronomy,
     generate_concurrent_workload,
@@ -144,6 +148,9 @@ __all__ = [
     "parse_where",
     "profile_table",
     "query_to_sql",
+    # live data
+    "VersionedTable",
+    "IncrementalTableProfile",
     # core
     "Charles",
     "Advice",

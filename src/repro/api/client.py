@@ -114,6 +114,30 @@ class RemoteAdvisor:
         """Cardinality of a context on a table (the ``count`` op)."""
         return self.call("count", context=context, table=table)
 
+    def ingest(
+        self,
+        rows: Optional[List[Dict[str, Any]]] = None,
+        delete: ContextLike = None,
+        table: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Mutate a served table over the wire (the ``ingest`` op).
+
+        Appends ``rows`` (a list of row mappings — dates and booleans
+        ride the tagged codec losslessly) and/or deletes the rows a
+        *constrained* ``delete`` context selects.  Every open session on
+        the table sees the mutation: its advice is reported stale until
+        re-advised with ``refresh=True``.  Returns the server's mutation
+        summary (new ``data_version``, cache entries invalidated, ...).
+        """
+        params: Dict[str, Any] = {}
+        if rows is not None:
+            params["rows"] = rows
+        if delete is not None:
+            params["delete"] = delete
+        if table is not None:
+            params["table"] = table
+        return self.call("ingest", **params)
+
     def open_session(
         self,
         name: str,
@@ -162,8 +186,17 @@ class RemoteSession:
 
     # -- the Figure 1 loop ----------------------------------------------------
 
-    def advise(self, context: ContextLike = None) -> Advice:
-        """Start (or restart) the session at a context and return advice."""
+    def advise(self, context: ContextLike = None, refresh: bool = False) -> Advice:
+        """Start (or restart) the session at a context and return advice.
+
+        ``refresh=True`` with no context recomputes the current context's
+        advice against the server's newest data version — the follow-up
+        to a :attr:`stale` flag raised by an ingest.
+        """
+        if refresh:
+            return self.advisor.call(
+                "advise", session=self.name, context=context, refresh=True
+            )
         return self.advisor.call("advise", session=self.name, context=context)
 
     def drill(self, answer_index: int, segment_index: int) -> Advice:
@@ -198,6 +231,16 @@ class RemoteSession:
     @property
     def depth(self) -> int:
         return self._describe()["depth"]
+
+    @property
+    def data_version(self) -> Optional[int]:
+        """The served table's current data version."""
+        return self._describe()["data_version"]
+
+    @property
+    def stale(self) -> bool:
+        """Whether the session's advice predates the newest data version."""
+        return bool(self._describe()["stale"])
 
     def breadcrumbs(self) -> List[str]:
         return list(self._describe()["breadcrumbs"])

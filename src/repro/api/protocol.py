@@ -51,12 +51,13 @@ API_VERSION = 1
 #: parameters each accepts (documentation + validation; see docs/api.md).
 OPERATIONS: Dict[str, Tuple[str, ...]] = {
     "open_session": ("table", "context", "max_answers", "replace"),
-    "advise": ("context", "current"),
+    "advise": ("context", "current", "refresh"),
     "drill": ("answer_index", "segment_index"),
     "back": (),
     "count": ("context", "table"),
     "describe": (),
     "stats": (),
+    "ingest": ("table", "rows", "delete"),
     "close_session": (),
 }
 

@@ -40,7 +40,9 @@ from __future__ import annotations
 from typing import (
     Any,
     Dict,
+    Iterable,
     List,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
@@ -79,7 +81,18 @@ class ExecutionBackend(Protocol):
     ``counter``             an ``OperationCounter`` tallying logical work
     ``stats()``             backend-specific statistics snapshot (dict)
     ``reset()``             zero the operation counters
+    ``data_version``        monotonic version of the data answers reflect
+    ``ingest(rows)``        append a batch of row mappings (new version)
+    ``delete_where(q)``     delete the rows a query selects (count removed)
     ======================  ====================================================
+
+    The three live-data members make every backend *mutation-aware*:
+    ``ingest``/``delete_where`` bump the monotonic ``data_version`` and
+    surgically evict superseded cache entries, and callers (sessions, the
+    service layer, remote clients) compare versions to detect stale
+    advice.  Backends that cannot mutate (frozen statistical views such
+    as :class:`~repro.storage.sampling.SampledEngine`) still expose the
+    members but raise on mutation.
     """
 
     @property
@@ -123,6 +136,13 @@ class ExecutionBackend(Protocol):
     def stats(self) -> Dict[str, Any]: ...
 
     def reset(self) -> None: ...
+
+    @property
+    def data_version(self) -> int: ...
+
+    def ingest(self, rows: Iterable[Mapping[str, Any]]) -> int: ...
+
+    def delete_where(self, query: SDLQuery) -> int: ...
 
 
 class BackendWrapper:
@@ -215,6 +235,16 @@ class BackendWrapper:
 
     def reset(self) -> None:
         self._inner.reset()
+
+    @property
+    def data_version(self) -> int:
+        return self._inner.data_version
+
+    def ingest(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        return self._inner.ingest(rows)
+
+    def delete_where(self, query: SDLQuery) -> int:
+        return self._inner.delete_where(query)
 
     # -- optional capabilities pass through ------------------------------------
 

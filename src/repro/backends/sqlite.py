@@ -40,7 +40,7 @@ from __future__ import annotations
 import itertools
 import sqlite3
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import (
     BackendError,
@@ -63,8 +63,13 @@ from repro.storage.engine import (
     deduplicated_median_batch,
 )
 from repro.storage.sql import count_query_sql, query_to_where
-from repro.storage.table import Table
-from repro.storage.types import DataType, date_to_ordinal, ordinal_to_date
+from repro.storage.table import Table, reject_unknown_columns
+from repro.storage.types import (
+    DataType,
+    date_to_ordinal,
+    is_missing,
+    ordinal_to_date,
+)
 
 __all__ = ["SQLiteBackend"]
 
@@ -102,6 +107,22 @@ def _quote(identifier: str) -> str:
     return '"' + identifier.replace('"', '""') + '"'
 
 
+class _LiveState:
+    """Row count and data version shared by every sibling of one table.
+
+    Siblings share the connection and the cache; they must also share the
+    mutation bookkeeping, or a session could keep serving the pre-ingest
+    cardinality (and stale cache tags) after another session ingested.
+    All mutations happen under the backend's connection lock.
+    """
+
+    __slots__ = ("version", "num_rows")
+
+    def __init__(self, num_rows: int):
+        self.version = 1
+        self.num_rows = int(num_rows)
+
+
 class SQLiteBackend:
     """Executes the advisor's operations against a ``sqlite3`` database.
 
@@ -136,6 +157,7 @@ class SQLiteBackend:
         _lock: Optional[threading.Lock] = None,
         _dtypes: Optional[Dict[str, DataType]] = None,
         _owns_connection: Optional[bool] = None,
+        _live: Optional[_LiveState] = None,
     ):
         self.database = database
         if _connection is not None:
@@ -162,8 +184,12 @@ class SQLiteBackend:
             capacity=int(cache_size), name=f"sqlite:{self._table_name}"
         )
         self._cache_aggregates = bool(cache_aggregates)
-        self._num_rows = int(
-            self._execute(f"SELECT COUNT(*) FROM {_quote(self._table_name)}")[0][0]
+        self._live = _live if _live is not None else _LiveState(
+            int(
+                self._execute(
+                    f"SELECT COUNT(*) FROM {_quote(self._table_name)}"
+                )[0][0]
+            )
         )
 
     # -- construction ---------------------------------------------------------
@@ -284,6 +310,7 @@ class SQLiteBackend:
             _connection=self._connection,
             _lock=self._lock,
             _dtypes=self._dtypes,
+            _live=self._live,
         )
 
     def sample(self, fraction: float, seed: Optional[int] = None) -> "SQLiteBackend":
@@ -384,7 +411,12 @@ class SQLiteBackend:
 
     @property
     def num_rows(self) -> int:
-        return self._num_rows
+        return self._live.num_rows
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic version of the data, shared by every sibling."""
+        return self._live.version
 
     @property
     def column_names(self) -> List[str]:
@@ -465,19 +497,92 @@ class SQLiteBackend:
             return int(value)
         return value
 
+    # -- live mutation --------------------------------------------------------
+
+    def _encode_cell(self, dtype: DataType, value: Any) -> Any:
+        if is_missing(value):
+            return None
+        if dtype is DataType.BOOL:
+            return int(bool(value))
+        return self._encode_literal(dtype, value)
+
+    def ingest(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Append row mappings in one transaction; returns the new version.
+
+        Matches the column store's semantics: unknown columns are
+        rejected, missing keys become NULL, dates and booleans are stored
+        with the same encoding :meth:`from_table` uses.  Cache entries of
+        superseded versions are evicted surgically; an empty batch is a
+        no-op.
+        """
+        materialised = list(rows)
+        if not materialised:
+            return self._live.version
+        reject_unknown_columns(materialised, self._columns)
+        encoded: List[Tuple[Any, ...]] = [
+            tuple(
+                self._encode_cell(dtype, row.get(column))
+                for column, dtype in self._dtypes.items()
+            )
+            for row in materialised
+        ]
+        placeholders = ", ".join("?" for _ in self._dtypes)
+        sql = f"INSERT INTO {_quote(self._table_name)} VALUES ({placeholders})"
+        with self._lock:
+            try:
+                self._connection.executemany(sql, encoded)
+                self._connection.commit()
+            except sqlite3.Error as error:
+                self._connection.rollback()
+                raise BackendError(
+                    f"SQLite ingest into {self._table_name!r} failed: {error}"
+                ) from error
+            self._live.num_rows += len(encoded)
+            self._live.version += 1
+            version = self._live.version
+        self._cache.evict_superseded(version)
+        return version
+
+    def delete_where(self, query: SDLQuery) -> int:
+        """Delete the rows a query selects (one transaction); returns the count.
+
+        A query selecting nothing keeps the version — and every cache
+        entry — intact.
+        """
+        where = self._rendered_where(query)
+        with self._lock:
+            try:
+                cursor = self._connection.execute(
+                    f"DELETE FROM {_quote(self._table_name)} WHERE {where}"
+                )
+                self._connection.commit()
+            except sqlite3.Error as error:
+                self._connection.rollback()
+                raise BackendError(
+                    f"SQLite delete on {self._table_name!r} failed: {error}"
+                ) from error
+            deleted = max(0, int(cursor.rowcount))
+            if deleted:
+                self._live.num_rows -= deleted
+                self._live.version += 1
+            version = self._live.version
+        if deleted:
+            self._cache.evict_superseded(version)
+        return deleted
+
     # -- aggregate cache ------------------------------------------------------
 
     def _aggregate_get(self, key: str) -> Optional[Any]:
         if not self._cache_aggregates:
             return None
-        value = self._cache.get(key)
+        value = self._cache.get(key, version=self._live.version)
         if value is not None:
             self.counter.add(aggregate_hits=1)
         return value
 
     def _aggregate_put(self, key: str, value: Any) -> None:
         if self._cache_aggregates:
-            self._cache.put(key, value)
+            self._cache.put(key, value, version=self._live.version)
 
     # -- the two back-end operations (plus helpers) ---------------------------
 
@@ -500,7 +605,7 @@ class SQLiteBackend:
     def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
         """``C(Q)`` — table-relative, or context-relative when given."""
         numerator = self.count(query)
-        denominator = self._num_rows if context is None else self.count(context)
+        denominator = self.num_rows if context is None else self.count(context)
         if denominator == 0:
             return 0.0
         return numerator / denominator
@@ -653,7 +758,8 @@ class SQLiteBackend:
             "backend": "sqlite",
             "database": self.database,
             "table": self._table_name,
-            "rows": self._num_rows,
+            "rows": self.num_rows,
+            "data_version": self.data_version,
             "operations": self.counter.snapshot(),
             "cache": self.cache_info,
         }
@@ -665,5 +771,6 @@ class SQLiteBackend:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SQLiteBackend(database={self.database!r}, "
-            f"table={self._table_name!r}, rows={self._num_rows})"
+            f"table={self._table_name!r}, rows={self.num_rows}, "
+            f"version={self.data_version})"
         )

@@ -12,6 +12,9 @@ Sub-commands:
   replay reporting throughput, cache hit rates and batching statistics;
 * ``call``     — speak the wire protocol from the shell: one operation
   against a running ``serve --http`` server;
+* ``ingest``   — mutate a served table live: append rows (inline JSON or
+  a CSV file) and/or delete by a WHERE clause; open sessions see the
+  change, their advice goes stale, and ``advise --refresh`` recomputes;
 * ``datasets`` — list the built-in synthetic workloads.
 """
 
@@ -202,11 +205,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="segment index within the answer (drill)")
     call.add_argument("--max-answers", type=int, default=None,
                       help="ranked answers per advise (open_session)")
+    call.add_argument("--rows-json", default=None, metavar="JSON",
+                      help="JSON array of row objects to append (ingest)")
+    call.add_argument("--delete", default=None, metavar="WHERE",
+                      help="SDL query or SQL WHERE clause selecting rows "
+                           "to delete (ingest)")
+    call.add_argument("--refresh", action="store_true",
+                      help="recompute the current context's advice against "
+                           "the newest data version (advise)")
     call.add_argument("--timeout", type=float, default=30.0,
                       help="HTTP timeout in seconds")
     call.add_argument("--json", action="store_true", dest="raw_json",
                       help="print the raw wire result as JSON instead of "
                            "a human-readable rendering")
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="append rows to (and/or delete rows from) a table served by a "
+             "running serve --http server",
+    )
+    ingest.add_argument("--url", required=True,
+                        help="base URL of a serve --http server")
+    ingest.add_argument("--table", default=None,
+                        help="table to mutate (when several are registered)")
+    ingest.add_argument("--rows-json", default=None, metavar="JSON",
+                        help="JSON array of row objects to append")
+    ingest.add_argument("--csv", default=None, metavar="FILE",
+                        help="CSV file whose rows are appended")
+    ingest.add_argument("--delete", default=None, metavar="WHERE",
+                        help="SDL query or SQL WHERE clause selecting rows "
+                             "to delete (appends apply first)")
+    ingest.add_argument("--timeout", type=float, default=30.0,
+                        help="HTTP timeout in seconds")
 
     subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     return parser
@@ -393,6 +423,23 @@ def _render_call_result(result) -> str:
     return str(result)
 
 
+def _parse_rows_json(raw: Optional[str]):
+    if raw is None:
+        return None
+    try:
+        rows = json.loads(raw)
+    except ValueError as exc:
+        raise CharlesError(f"--rows-json is not valid JSON: {exc}") from None
+    if not isinstance(rows, list) or not all(
+        isinstance(row, dict) for row in rows
+    ):
+        raise CharlesError(
+            "--rows-json must be a JSON array of row objects, "
+            'e.g. \'[{"tonnage": 900, "type_of_boat": "pinas"}]\''
+        )
+    return rows
+
+
 def _command_call(args: argparse.Namespace) -> int:
     advisor = RemoteAdvisor(args.url, timeout=args.timeout)
     params = {
@@ -403,6 +450,9 @@ def _command_call(args: argparse.Namespace) -> int:
             ("answer_index", args.answer_index),
             ("segment_index", args.segment_index),
             ("max_answers", args.max_answers),
+            ("rows", _parse_rows_json(args.rows_json)),
+            ("delete", args.delete),
+            ("refresh", True if args.refresh else None),
         )
         if value is not None
     }
@@ -411,6 +461,22 @@ def _command_call(args: argparse.Namespace) -> int:
         print(json.dumps(to_wire(result), indent=2, ensure_ascii=False, sort_keys=True))
     else:
         print(_render_call_result(result))
+    return 0
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    rows: List[dict] = list(_parse_rows_json(args.rows_json) or [])
+    if args.csv:
+        rows.extend(load_csv(args.csv).iter_rows())
+    if not rows and args.delete is None:
+        raise CharlesError(
+            "nothing to ingest: provide --rows-json, --csv and/or --delete"
+        )
+    advisor = RemoteAdvisor(args.url, timeout=args.timeout)
+    result = advisor.ingest(
+        rows=rows or None, delete=args.delete, table=args.table
+    )
+    print(json.dumps(to_wire(result), indent=2, ensure_ascii=False, sort_keys=True))
     return 0
 
 
@@ -430,6 +496,7 @@ _COMMANDS = {
     "segment": _command_segment,
     "serve": _command_serve,
     "call": _command_call,
+    "ingest": _command_ingest,
     "datasets": _command_datasets,
 }
 

@@ -227,13 +227,36 @@ class Charles:
                 source, fraction=sample_fraction, seed=seed,
                 cache_size=cache_size, use_index=use_index,
             )
-        self.table = getattr(self.engine, "table", None)
         self.config = config or HBCutsConfig()
         self.ranker = ranker or EntropyRanker()
         # The pool driving parallel INDEP evaluation: an explicit one wins,
         # else whatever the backend itself runs on (e.g. a ParallelEngine's).
         self.pool = pool if pool is not None else getattr(self.engine, "pool", None)
         self._generator = HBCuts(self.config, pool=self.pool)
+
+    @property
+    def table(self) -> Optional[Table]:
+        """The backend's current in-memory snapshot (``None`` for pure SQL).
+
+        A property rather than a captured reference: live backends swap
+        snapshots on ingest, and :meth:`profile` must see the newest one.
+        """
+        return getattr(self.engine, "table", None)
+
+    # -- live data --------------------------------------------------------------
+
+    @property
+    def data_version(self) -> Optional[int]:
+        """The backend's monotonic data version (``None`` when unversioned)."""
+        return getattr(self.engine, "data_version", None)
+
+    def ingest(self, rows: Sequence[Any]) -> int:
+        """Append a batch of row mappings through the backend (new version)."""
+        return self.engine.ingest(rows)
+
+    def delete_where(self, context: ContextLike) -> int:
+        """Delete the rows a context selects; returns the number removed."""
+        return self.engine.delete_where(self.resolve_context(context))
 
     # -- context handling -------------------------------------------------------
 

@@ -29,7 +29,12 @@ __all__ = ["ExplorationStep", "ExplorationSession"]
 
 @dataclass
 class ExplorationStep:
-    """One level of the exploration stack."""
+    """One level of the exploration stack.
+
+    ``data_version`` records the engine's monotonic data version at the
+    moment the step's advice was computed; comparing it with the current
+    version is how the session detects stale advice after an ingest.
+    """
 
     context: SDLQuery
     advice: Optional[Advice] = None
@@ -37,6 +42,7 @@ class ExplorationStep:
     chosen_segment: Optional[int] = None
     label: str = "(root)"
     cached_count: Optional[int] = None
+    data_version: Optional[int] = None
 
     @property
     def row_count(self) -> Optional[int]:
@@ -102,15 +108,56 @@ class ExplorationSession:
         """The current exploration context."""
         return self.current.context
 
-    def advise(self) -> Advice:
-        """Ask Charles for segmentations of the current context (cached per step)."""
+    def advise(self, refresh: bool = False) -> Advice:
+        """Ask Charles for segmentations of the current context (cached per step).
+
+        With ``refresh=True`` the step's cached advice (and row count) is
+        discarded and recomputed against the engine's **newest** data
+        version — the way to bring a session up to date after an ingest
+        marked its advice stale (see :meth:`is_stale`).
+        """
         step = self.current
+        if refresh:
+            step.advice = None
+            step.cached_count = None
         if step.advice is None:
+            # Capture the version *before* computing: if an ingest lands
+            # mid-advise, the advice is tagged with the pre-ingest version
+            # and correctly reports stale, instead of masquerading as
+            # computed against data it never saw.
+            version = self.data_version
             if self.advise_fn is not None:
                 step.advice = self.advise_fn(step.context, self.max_answers)
             else:
                 step.advice = self.advisor.advise(step.context, max_answers=self.max_answers)
+            step.data_version = version
         return step.advice
+
+    # -- live data ----------------------------------------------------------------
+
+    @property
+    def data_version(self) -> Optional[int]:
+        """The engine's current data version (``None`` for unversioned engines)."""
+        return getattr(self.advisor.engine, "data_version", None)
+
+    def _step_stale(self, step: ExplorationStep) -> bool:
+        current = self.data_version
+        return (
+            step.data_version is not None
+            and current is not None
+            and step.data_version != current
+        )
+
+    def is_stale(self) -> bool:
+        """Whether the current step's advice predates the newest data version.
+
+        ``False`` before the session starts or before the first advice.
+        Stale advice is still served (navigation stays consistent); call
+        :meth:`advise` with ``refresh=True`` to recompute it.
+        """
+        if not self._stack:
+            return False
+        return self._step_stale(self.current)
 
     def drill(self, answer_index: int, segment_index: int) -> Advice:
         """Select one segment of one ranked answer and make it the new context.
@@ -181,12 +228,26 @@ class ExplorationSession:
         return step.cached_count
 
     def describe(self) -> str:
-        """Multi-line summary of the session state."""
+        """Multi-line summary of the session state.
+
+        On a live table the header reports the current data version and
+        stale steps — advice computed before the latest ingest — are
+        flagged.
+        """
         if not self._stack:
             return "exploration session (not started)"
-        lines = ["exploration session:"]
+        version = self.data_version
+        header = "exploration session:"
+        if version is not None and version > 1:
+            header = f"exploration session (data version {version}):"
+        lines = [header]
         for level, step in enumerate(self._stack):
             marker = "→" if level == len(self._stack) - 1 else " "
             count = self._step_count(step)
-            lines.append(f" {marker} level {level}: {step.label}  ({count} rows)")
+            suffix = ""
+            if self._step_stale(step):
+                suffix = f"  [stale: advice from data version {step.data_version}]"
+            lines.append(
+                f" {marker} level {level}: {step.label}  ({count} rows){suffix}"
+            )
         return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Live data subsystem: versioned mutable tables for a running advisor.
+
+The reproduction's storage substrate is immutable by design; this package
+makes the whole stack *mutation-aware* on top of it:
+
+* :mod:`repro.live.versioned` — :class:`VersionedTable`, the one mutable
+  handle over a chain of immutable copy-on-write snapshots:
+  ``append_batch``/``delete_where`` bump a monotonic data version,
+  readers pin snapshots for isolation, and row-range shard sets rebuild
+  lazily (and zero-copy) on growth;
+* :mod:`repro.live.profile` — :class:`IncrementalTableProfile`,
+  maintaining exact :class:`~repro.storage.statistics.TableProfile`
+  statistics (counts, min/max, frequencies, medians, quantiles) from each
+  batch instead of rescanning the table.
+
+Everything above consumes the data version this package mints: the
+:class:`~repro.storage.cache.ResultCache` keys entries by it and evicts
+superseded versions surgically, every
+:class:`~repro.backends.base.ExecutionBackend` exposes
+``ingest``/``delete_where``/``data_version``, exploration sessions record
+the version each advice was computed at and report staleness, and the
+wire protocol carries an ``ingest`` operation end-to-end (service op,
+HTTP route, ``RemoteAdvisor.ingest``, ``charles ingest``).
+"""
+
+from repro.live.profile import IncrementalTableProfile
+from repro.live.versioned import VersionPin, VersionedTable
+
+__all__ = ["VersionedTable", "VersionPin", "IncrementalTableProfile"]

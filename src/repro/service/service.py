@@ -180,9 +180,15 @@ class _TableRuntime:
         """A fresh per-session engine wired to the shared cache and coordinator."""
         return BatchedEngine(self._spawn_backend(), coordinator=self.coordinator)
 
+    @property
+    def data_version(self) -> Optional[int]:
+        """The backend's monotonic data version (``None`` when unversioned)."""
+        return getattr(self._backend, "data_version", None)
+
     def stats(self) -> Dict[str, Any]:
         return {
-            "rows": self.table.num_rows,
+            "rows": self._backend.num_rows,
+            "data_version": self.data_version,
             "backend": self._backend.stats(),
             "result_cache": self.cache.stats().snapshot(),
             "advice_cache": self.advice_cache.stats().snapshot(),
@@ -426,19 +432,34 @@ class AdvisorService:
                 f"advice:{max_answers}:{ranker_key}:{config_key}:"
                 f"{query_signature(context)}"
             )
+            # Tagging the entry with the data version it was computed at
+            # makes the advice cache mutation-aware: after an ingest, old
+            # entries miss (and are evicted) instead of serving answers
+            # for data that no longer exists.
             return runtime.advice_cache.get_or_compute(
                 key,
                 lambda: session.advisor.advise(context, max_answers=max_answers),
+                version=runtime.data_version,
             )
 
         return advise
 
     # -- request entry points -----------------------------------------------
 
-    def advise(self, session_name: str, context: ContextLike = None) -> Advice:
-        """(Re)start a session at a context and return the ranked answers."""
+    def advise(
+        self,
+        session_name: str,
+        context: ContextLike = None,
+        refresh: bool = False,
+    ) -> Advice:
+        """(Re)start a session at a context and return the ranked answers.
+
+        ``refresh=True`` with no context recomputes the current context's
+        advice against the newest data version (clearing the stale flag)
+        without restarting the exploration.
+        """
         self._tally()
-        return self.session(session_name).advise(context)
+        return self.session(session_name).advise(context, refresh=refresh)
 
     def drill(self, session_name: str, answer_index: int, segment_index: int) -> Advice:
         """Drill a session into one segment of one ranked answer."""
@@ -457,6 +478,73 @@ class AdvisorService:
         advisor = Charles(runtime.engine, config=self._config)
         return advisor.count(context)
 
+    def ingest(
+        self,
+        rows: Optional[Sequence[Mapping[str, Any]]] = None,
+        delete: ContextLike = None,
+        table: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Mutate a registered table: append a batch and/or delete rows.
+
+        Appends apply before deletions.  The mutation flows through the
+        table runtime's primary backend, so every open session over the
+        table observes it: their result-cache and advice-cache entries of
+        superseded versions are evicted surgically, and their existing
+        advice is reported ``stale`` until re-advised (``refresh=True``).
+
+        Parameters
+        ----------
+        rows:
+            Row mappings to append (missing keys become missing values).
+        delete:
+            A *constrained* context whose result set is deleted.
+        table:
+            Table to mutate when several are registered.
+
+        Returns a summary: rows appended/deleted, the new ``data_version``
+        and the number of cache entries invalidated by this mutation.
+        """
+        self._tally()
+        runtime = self._runtime(table)
+        engine = runtime.engine
+        if rows is None and delete is None:
+            raise ProtocolError(
+                "ingest requires 'rows' to append, 'delete' to remove, or both"
+            )
+        invalidated_before = runtime.cache.stats().invalidations
+        appended = 0
+        if rows is not None:
+            if isinstance(rows, (str, Mapping)) or not isinstance(rows, Sequence):
+                raise ProtocolError(
+                    "ingest 'rows' must be a sequence of row mappings, "
+                    f"got {type(rows).__name__}"
+                )
+            appended = len(rows)
+            engine.ingest(rows)
+        deleted = 0
+        if delete is not None:
+            resolved = Charles(engine, config=self._config).resolve_context(delete)
+            if not resolved.constrained_attributes:
+                raise ProtocolError(
+                    "ingest 'delete' must be a constrained query; refusing "
+                    "to delete every row of the table"
+                )
+            deleted = engine.delete_where(resolved)
+        version = getattr(engine, "data_version", None)
+        advice_evicted = 0
+        if version is not None:
+            advice_evicted = runtime.advice_cache.evict_superseded(version)
+        invalidated_after = runtime.cache.stats().invalidations
+        return {
+            "table": runtime.name,
+            "appended": appended,
+            "deleted": deleted,
+            "rows": engine.num_rows,
+            "data_version": version,
+            "cache_entries_invalidated": invalidated_after - invalidated_before,
+            "advice_entries_invalidated": advice_evicted,
+        }
+
     def _tally(self) -> None:
         with self._lock:
             self._requests += 1
@@ -473,6 +561,8 @@ class AdvisorService:
             "name": session.name,
             "table": session.table_name,
             "depth": session.depth,
+            "data_version": session.data_version,
+            "stale": session.stale,
             "breadcrumbs": session.breadcrumbs(),
             "text": session.describe(),
             "stats": session.stats(),
@@ -522,7 +612,11 @@ class AdvisorService:
             # Peek at the current context's advice without restarting the
             # exploration (RemoteSession.current_advice's path).
             return self.session(name).current_advice()
-        return self.advise(name, request.context)
+        return self.advise(
+            name,
+            request.context,
+            refresh=bool(request.params.get("refresh", False)),
+        )
 
     def _op_drill(self, request: Request) -> Any:
         return self.drill(
@@ -536,6 +630,13 @@ class AdvisorService:
 
     def _op_count(self, request: Request) -> Any:
         return self.count(request.context, table=request.table)
+
+    def _op_ingest(self, request: Request) -> Any:
+        return self.ingest(
+            rows=request.params.get("rows"),
+            delete=request.params.get("delete"),
+            table=request.table,
+        )
 
     def _op_describe(self, request: Request) -> Any:
         return self.describe_session(self._session_name(request))

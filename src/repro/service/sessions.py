@@ -57,10 +57,18 @@ class ServiceSession:
 
     # -- the Figure 1 loop --------------------------------------------------
 
-    def advise(self, context: ContextLike = None) -> Advice:
-        """Start (or restart) the session at a context and return advice."""
+    def advise(self, context: ContextLike = None, refresh: bool = False) -> Advice:
+        """Start (or restart) the session at a context and return advice.
+
+        With ``refresh=True`` and no ``context``, the advice of the
+        *current* context is recomputed against the newest data version
+        instead of restarting the exploration — the way to clear the
+        stale flag after an ingest without losing the drill-down stack.
+        """
         with self._lock:
             self.requests += 1
+            if refresh and context is None and self.exploration.started:
+                return self.exploration.advise(refresh=True)
             return self.exploration.start(context)
 
     def drill(self, answer_index: int, segment_index: int) -> Advice:
@@ -93,6 +101,17 @@ class ServiceSession:
     def depth(self) -> int:
         return self.exploration.depth if self.exploration.started else 0
 
+    @property
+    def data_version(self) -> Optional[int]:
+        """The backing table's current data version."""
+        return self.exploration.data_version
+
+    @property
+    def stale(self) -> bool:
+        """Whether the current advice predates the newest data version."""
+        with self._lock:
+            return self.exploration.is_stale()
+
     def breadcrumbs(self) -> List[str]:
         with self._lock:
             if not self.exploration.started:
@@ -100,13 +119,15 @@ class ServiceSession:
             return self.exploration.breadcrumbs()
 
     def stats(self) -> Dict[str, Any]:
-        """Per-session counters: requests served and engine operations."""
+        """Per-session counters: requests, staleness and engine operations."""
         with self._lock:
             return {
                 "name": self.name,
                 "table": self.table_name,
                 "requests": self.requests,
                 "depth": self.depth,
+                "data_version": self.exploration.data_version,
+                "stale": self.exploration.is_stale(),
                 "engine_operations": self.advisor.engine.counter.snapshot(),
             }
 

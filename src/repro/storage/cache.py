@@ -14,9 +14,20 @@ or ``median:<attribute>:<sig>``).  A single instance can be shared by many
 the :mod:`repro.service` layer creates one per registered table and wires
 every session engine to it.
 
-Statistics (hits, misses, evictions, approximate byte footprint) are
-tracked under the cache's own lock, so concurrent sessions always observe
-consistent numbers: ``hits + misses == lookups`` holds at any instant.
+Live data adds a second dimension: entries may be tagged with the **data
+version** they were computed at (see :class:`repro.live.VersionedTable`).
+A lookup carrying a version only matches entries of that same version —
+a mask computed before an ingest can never answer a query issued after it
+— and :meth:`ResultCache.evict_superseded` surgically drops the entries
+of superseded versions while leaving everything else (untagged entries,
+entries already recomputed at the current version, other namespaces in a
+shared cache) in place.  That is the precision alternative to
+flush-the-world invalidation; benchmark E16 measures the difference.
+
+Statistics (hits, misses, evictions, invalidations, approximate byte
+footprint) are tracked under the cache's own lock, so concurrent sessions
+always observe consistent numbers: ``hits + misses == lookups`` holds at
+any instant (a version mismatch counts as a miss *and* an invalidation).
 """
 
 from __future__ import annotations
@@ -61,6 +72,9 @@ class CacheStats:
     approx_bytes:
         Approximate footprint of the cached values (``ndarray.nbytes`` for
         masks, ``sys.getsizeof`` otherwise).
+    invalidations:
+        Entries dropped because their data version was superseded — by a
+        version-mismatched lookup or by :meth:`ResultCache.evict_superseded`.
     """
 
     capacity: int
@@ -70,6 +84,7 @@ class CacheStats:
     evictions: int
     puts: int
     approx_bytes: int
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,6 +106,7 @@ class CacheStats:
             "evictions": self.evictions,
             "puts": self.puts,
             "approx_bytes": self.approx_bytes,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
@@ -106,6 +122,16 @@ class ResultCache:
         ablations, which measure uncached work).
     name:
         Cosmetic label shown in service reports.
+
+    Version-keyed entries
+    ---------------------
+    ``put``/``get``/``get_or_compute`` accept an optional integer
+    ``version`` — the monotonically increasing data version of a live
+    table.  A versioned lookup matches only entries tagged with the same
+    version (a mismatch is a miss, and the stale entry is dropped on the
+    spot); untagged entries (``version=None``, the static-table default)
+    behave exactly as before.  :meth:`evict_superseded` removes every
+    entry older than a given version in one pass.
     """
 
     def __init__(self, capacity: int = 256, name: str = "results"):
@@ -114,11 +140,13 @@ class ResultCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._bytes: Dict[str, int] = {}
+        self._versions: Dict[str, int] = {}
         self._approx_bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._puts = 0
+        self._invalidations = 0
 
     # -- properties ---------------------------------------------------------
 
@@ -141,8 +169,19 @@ class ResultCache:
 
     # -- core operations ----------------------------------------------------
 
-    def get(self, key: str) -> Optional[Any]:
-        """The cached value, or ``None`` (recorded as hit/miss)."""
+    def _drop(self, key: str) -> None:
+        """Remove one entry and its bookkeeping (caller holds the lock)."""
+        del self._entries[key]
+        self._approx_bytes -= self._bytes.pop(key, 0)
+        self._versions.pop(key, None)
+
+    def get(self, key: str, version: Optional[int] = None) -> Optional[Any]:
+        """The cached value, or ``None`` (recorded as hit/miss).
+
+        With ``version`` given, an entry tagged with a *different* version
+        is a miss — and is invalidated immediately, since a monotonically
+        versioned table can never serve it again.
+        """
         if not self.enabled:
             return None
         with self._lock:
@@ -150,12 +189,21 @@ class ResultCache:
             if value is None:
                 self._misses += 1
                 return None
+            if version is not None and self._versions.get(key, version) != version:
+                self._drop(key)
+                self._invalidations += 1
+                self._misses += 1
+                return None
             self._entries.move_to_end(key)
             self._hits += 1
             return value
 
-    def put(self, key: str, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting LRU entries beyond capacity."""
+    def put(self, key: str, value: Any, version: Optional[int] = None) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries beyond capacity.
+
+        ``version`` tags the entry with the data version it was computed
+        at; versioned lookups only match the same tag.
+        """
         if not self.enabled:
             return
         size = _approx_size(value)
@@ -166,30 +214,62 @@ class ResultCache:
             self._entries.move_to_end(key)
             self._bytes[key] = size
             self._approx_bytes += size
+            if version is None:
+                self._versions.pop(key, None)
+            else:
+                self._versions[key] = int(version)
             self._puts += 1
             while len(self._entries) > self._capacity:
                 evicted_key, _ = self._entries.popitem(last=False)
                 self._approx_bytes -= self._bytes.pop(evicted_key, 0)
+                self._versions.pop(evicted_key, None)
                 self._evictions += 1
 
-    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        version: Optional[int] = None,
+    ) -> Any:
         """The cached value, computing and inserting it on a miss.
 
         ``compute`` runs *outside* the lock so a slow producer never blocks
         other readers; two threads racing on the same key may both compute,
         which is harmless for the deterministic values cached here.
         """
-        value = self.get(key)
+        value = self.get(key, version=version)
         if value is None:
             value = compute()
-            self.put(key, value)
+            self.put(key, value, version=version)
         return value
+
+    def evict_superseded(self, version: int) -> int:
+        """Drop every entry tagged with a data version below ``version``.
+
+        The surgical half of live-data invalidation: untagged entries and
+        entries already recomputed at (or beyond) the current version
+        survive, so in a shared cache only the work invalidated by the
+        mutation is lost.  Returns the number of entries removed (also
+        tallied in the ``invalidations`` statistic).
+        """
+        version = int(version)
+        removed = 0
+        with self._lock:
+            stale = [
+                key for key, tag in self._versions.items() if tag < version
+            ]
+            for key in stale:
+                self._drop(key)
+                removed += 1
+            self._invalidations += removed
+        return removed
 
     def clear(self) -> None:
         """Drop every entry (statistics are retained)."""
         with self._lock:
             self._entries.clear()
             self._bytes.clear()
+            self._versions.clear()
             self._approx_bytes = 0
 
     def reset_stats(self) -> None:
@@ -199,6 +279,7 @@ class ResultCache:
             self._misses = 0
             self._evictions = 0
             self._puts = 0
+            self._invalidations = 0
 
     # -- reporting ----------------------------------------------------------
 
@@ -213,6 +294,7 @@ class ResultCache:
                 evictions=self._evictions,
                 puts=self._puts,
                 approx_bytes=self._approx_bytes,
+                invalidations=self._invalidations,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

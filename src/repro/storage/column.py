@@ -139,6 +139,18 @@ class Column:
         """New column containing the rows at the given positions."""
         raise NotImplementedError
 
+    def append_values(self, values: Sequence[Any]) -> "Column":
+        """New column with the given raw values appended (copy-on-write).
+
+        The existing physical arrays are never mutated — snapshots handed
+        out earlier stay valid — and only the batch is coerced/encoded;
+        the old rows are concatenated at the array level.  This is the
+        per-column building block of
+        :meth:`repro.storage.table.Table.append_rows` and, above it, of
+        :class:`repro.live.VersionedTable.append_batch`.
+        """
+        raise NotImplementedError
+
     def slice_rows(self, start: int, stop: int) -> "Column":
         """New column over the contiguous row range ``[start, stop)``.
 
@@ -303,6 +315,20 @@ class NumericColumn(Column):
             self.name, self._data[start:stop], self._valid[start:stop], self.dtype
         )
 
+    def append_values(self, values: Sequence[Any]) -> "NumericColumn":
+        coerced = [coerce_value(v, self.dtype) for v in values]
+        fill = 0 if self.dtype is DataType.INT else 0.0
+        valid = np.array([v is not None for v in coerced], dtype=bool)
+        data = np.array(
+            [fill if v is None else v for v in coerced], dtype=self._data.dtype
+        )
+        return NumericColumn._from_arrays(
+            self.name,
+            np.concatenate([self._data, data]),
+            np.concatenate([self._valid, valid]),
+            self.dtype,
+        )
+
     def to_numpy(self) -> np.ndarray:
         """The raw physical array (missing rows hold the fill value)."""
         return self._data
@@ -360,6 +386,18 @@ class DateColumn(NumericColumn):
     def slice_rows(self, start: int, stop: int) -> "DateColumn":
         return DateColumn._from_arrays(
             self.name, self._data[start:stop], self._valid[start:stop]
+        )
+
+    def append_values(self, values: Sequence[Any]) -> "DateColumn":
+        ordinals = [
+            None if is_missing(v) else date_to_ordinal(v) for v in values
+        ]
+        valid = np.array([v is not None for v in ordinals], dtype=bool)
+        data = np.array([0 if v is None else v for v in ordinals], dtype=np.int64)
+        return DateColumn._from_arrays(
+            self.name,
+            np.concatenate([self._data, data]),
+            np.concatenate([self._valid, valid]),
         )
 
 
@@ -494,6 +532,28 @@ class StringColumn(Column):
             self.name, self._codes[start:stop], self._categories
         )
 
+    def append_values(self, values: Sequence[Any]) -> "StringColumn":
+        # The dictionary only grows: existing codes stay valid, new
+        # categories are appended in first-appearance order, exactly as if
+        # the column had been built from the concatenated values.
+        categories = list(self._categories)
+        index_of = dict(self._index_of)
+        codes = np.empty(len(values), dtype=np.int32)
+        for position, raw in enumerate(values):
+            if is_missing(raw):
+                codes[position] = self.MISSING_CODE
+                continue
+            text = str(raw)
+            code = index_of.get(text)
+            if code is None:
+                code = len(categories)
+                categories.append(text)
+                index_of[text] = code
+            codes[position] = code
+        return StringColumn._from_encoding(
+            self.name, np.concatenate([self._codes, codes]), categories
+        )
+
 
 class BoolColumn(Column):
     """A boolean column with a validity bitmap."""
@@ -589,6 +649,16 @@ class BoolColumn(Column):
     def slice_rows(self, start: int, stop: int) -> "BoolColumn":
         return BoolColumn._from_arrays(
             self.name, self._data[start:stop], self._valid[start:stop]
+        )
+
+    def append_values(self, values: Sequence[Any]) -> "BoolColumn":
+        coerced = [coerce_value(v, DataType.BOOL) for v in values]
+        valid = np.array([v is not None for v in coerced], dtype=bool)
+        data = np.array([bool(v) for v in coerced], dtype=bool)
+        return BoolColumn._from_arrays(
+            self.name,
+            np.concatenate([self._data, data]),
+            np.concatenate([self._valid, valid]),
         )
 
 

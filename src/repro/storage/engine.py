@@ -33,13 +33,35 @@ with the inline mapper.  With ``partitions=N`` and a
 across worker threads while counters, cache contents and results stay
 bit-for-bit identical to the sequential path (masks concatenate, counts
 sum, medians merge through per-partition value gathers).
+
+The engine is *mutation-aware*: its data lives in a
+:class:`~repro.live.VersionedTable` (a plain :class:`Table` is wrapped in
+a private one), every operation runs against an atomically captured
+``(version, snapshot, shards)`` state, cache entries are tagged with the
+data version they were computed at, and :meth:`QueryEngine.ingest` /
+:meth:`QueryEngine.delete_where` mutate the source, re-shard lazily and
+surgically evict the superseded cache entries.  Siblings sharing one
+source observe every mutation; static workloads stay at version 1 and pay
+a single integer comparison per operation.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -283,13 +305,29 @@ class OperationCounter:
         return snapshot
 
 
+class _LiveState(NamedTuple):
+    """One version's evaluation context, swapped atomically on refresh.
+
+    Operations capture the whole triple up front, so a concurrent ingest
+    can never pair a new snapshot with an old version tag (or an old
+    shard set with a new mask length) inside a single evaluation.
+    """
+
+    version: int
+    table: Table
+    partitioned: PartitionedTable
+
+
 class QueryEngine:
     """Evaluates SDL queries against a single table.
 
     Parameters
     ----------
     table:
-        The relation to query.
+        The relation to query — a :class:`~repro.storage.table.Table`
+        (wrapped in a private :class:`~repro.live.VersionedTable`) or a
+        shared ``VersionedTable`` so several engines observe the same
+        mutations (the service layer's sibling path).
     cache_size:
         Maximum number of results kept in the engine's private cache when
         no shared ``cache`` is given.  ``0`` disables caching entirely
@@ -320,60 +358,124 @@ class QueryEngine:
 
     def __init__(
         self,
-        table: Table,
+        table: Union[Table, Any],
         cache_size: int = 256,
         use_index: bool = False,
         cache: Optional[ResultCache] = None,
         cache_aggregates: bool = False,
         partitions: int = 1,
         pool: Optional[Any] = None,
-        _partitioned: Optional[PartitionedTable] = None,
     ):
-        self.table = table
+        # Deferred import: repro.live sits above repro.storage.statistics,
+        # which itself imports this module.
+        from repro.live.versioned import VersionedTable
+
+        if isinstance(table, VersionedTable):
+            self._source = table
+        else:
+            self._source = VersionedTable(table)
         self.counter = OperationCounter()
         self._cache_size = int(cache_size) if cache is None else cache.capacity
         self._cache = cache if cache is not None else ResultCache(
-            capacity=int(cache_size), name=f"engine:{table.name}"
+            capacity=int(cache_size), name=f"engine:{self._source.name}"
         )
         self._cache_aggregates = bool(cache_aggregates)
         self._use_index = bool(use_index)
-        self._indexes: Dict[str, SortedIndex] = {}
-        # Shards are shared between siblings (same data, one materialisation).
-        self._partitioned = (
-            _partitioned
-            if _partitioned is not None
-            else PartitionedTable(table, partitions)
+        self._indexes: Dict[Tuple[int, str], SortedIndex] = {}
+        # Shards are shared between siblings through the source's memo
+        # (same data, one materialisation per version).
+        self._partitions = max(1, int(partitions))
+        version, snapshot = self._source.state()
+        self._state = _LiveState(
+            version, snapshot, self._source.partitioned(self._partitions)
         )
         self._pool = pool
+
+    # -- live data -------------------------------------------------------------
+
+    def _refresh(self) -> _LiveState:
+        """The current evaluation state, re-sharding after a mutation."""
+        state = self._state
+        if self._source.version == state.version:
+            return state
+        version, snapshot = self._source.state()
+        sharded = self._source.partitioned(self._partitions)
+        if sharded.table is not snapshot:  # pragma: no cover - mutation race
+            sharded = PartitionedTable(snapshot, self._partitions)
+        state = _LiveState(version, snapshot, sharded)
+        self._state = state
+        return state
+
+    @property
+    def source(self) -> Any:
+        """The shared :class:`~repro.live.VersionedTable` behind the engine."""
+        return self._source
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic version of the data every answer is computed against."""
+        return self._source.version
+
+    def ingest(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Append a batch of row mappings; returns the new data version.
+
+        The mutation is visible to every engine sharing this source, the
+        shard set rebuilds lazily, and cache entries of superseded
+        versions are evicted surgically (everything else survives).  An
+        empty batch changes nothing.
+        """
+        version = self._source.append_batch(rows)
+        self._refresh()
+        self._cache.evict_superseded(version)
+        return version
+
+    def delete_where(self, query: SDLQuery) -> int:
+        """Delete the rows a query selects; returns the number removed.
+
+        A query selecting nothing keeps the version (and every cache
+        entry) intact.
+        """
+        deleted, version = self._source.delete_where(query)
+        if deleted:
+            self._refresh()
+            self._cache.evict_superseded(version)
+        return deleted
 
     # -- schema introspection (ExecutionBackend protocol) ---------------------
 
     @property
+    def table(self) -> Table:
+        """The current immutable snapshot of the relation."""
+        return self._refresh().table
+
+    @property
     def name(self) -> str:
         """The relation's name."""
-        return self.table.name
+        return self._source.name
 
     @property
     def num_rows(self) -> int:
         """``|T|``: cardinality of the relation."""
-        return self.table.num_rows
+        return self._refresh().table.num_rows
 
     @property
     def column_names(self) -> List[str]:
         """Attributes of the relation, in schema order."""
-        return self.table.column_names
+        return self._refresh().table.column_names
 
     def is_numeric(self, attribute: str) -> bool:
         """Whether ``attribute`` supports arithmetic medians (paper §4.1)."""
-        return self.table.column(attribute).dtype.is_numeric
+        return self._refresh().table.column(attribute).dtype.is_numeric
 
     def stats(self) -> Dict[str, Any]:
         """Backend statistics: identity, operation tallies and cache traffic."""
+        state = self._refresh()
         return {
             "backend": "memory",
-            "table": self.table.name,
-            "rows": self.table.num_rows,
-            "partitions": self._partitioned.num_partitions,
+            "table": state.table.name,
+            "rows": state.table.num_rows,
+            "partitions": state.partitioned.num_partitions,
+            "data_version": state.version,
             "operations": self.counter.snapshot(),
             "cache": self.cache_info,
         }
@@ -385,19 +487,21 @@ class QueryEngine:
     # -- backend construction helpers ----------------------------------------
 
     def sibling(self) -> "QueryEngine":
-        """A fresh engine over the same table sharing this engine's cache.
+        """A fresh engine over the same source sharing this engine's cache.
 
         Used by the service layer to give each session private operation
         counters while reusing the table runtime's shared cache — and,
-        when partitioned, the same shards and executor pool.
+        when partitioned, the same shards and executor pool.  Sharing the
+        :class:`~repro.live.VersionedTable` source means every sibling
+        observes ingested batches and deletions immediately.
         """
         return QueryEngine(
-            self.table,
+            self._source,
             cache=self._cache,
             use_index=self._use_index,
             cache_aggregates=self._cache_aggregates,
+            partitions=self._partitions,
             pool=self._pool,
-            _partitioned=self._partitioned,
         )
 
     def sample(self, fraction: float, seed: Optional[int] = None) -> "QueryEngine":
@@ -409,7 +513,7 @@ class QueryEngine:
             sampled,
             cache_size=self._cache_size,
             use_index=self._use_index,
-            partitions=self._partitioned.num_partitions,
+            partitions=self._partitions,
             pool=self._pool,
         )
 
@@ -433,10 +537,17 @@ class QueryEngine:
 
     def index_for(self, attribute: str) -> SortedIndex:
         """The (lazily built) sorted index for a column."""
-        index = self._indexes.get(attribute)
+        return self._index_for(attribute, self._refresh())
+
+    def _index_for(self, attribute: str, state: _LiveState) -> SortedIndex:
+        """Indexes are keyed by data version; a mutation drops old ones."""
+        key = (state.version, attribute)
+        index = self._indexes.get(key)
         if index is None:
-            index = SortedIndex(self.table.column(attribute))
-            self._indexes[attribute] = index
+            if any(version != state.version for version, _ in self._indexes):
+                self._indexes = {}
+            index = SortedIndex(state.table.column(attribute))
+            self._indexes[key] = index
         return index
 
     # -- partitioned execution ------------------------------------------------
@@ -444,12 +555,12 @@ class QueryEngine:
     @property
     def partitions(self) -> int:
         """Number of row-range shards evaluation maps over (1 = sequential)."""
-        return self._partitioned.num_partitions
+        return self._partitions
 
     @property
     def partitioned_table(self) -> PartitionedTable:
         """The shard set backing partitioned evaluation."""
-        return self._partitioned
+        return self._refresh().partitioned
 
     @property
     def pool(self) -> Optional[Any]:
@@ -468,30 +579,44 @@ class QueryEngine:
         """Boolean selection mask of the query over the table (cached).
 
         The mask is assembled from per-partition masks (mapped through the
-        pool when one is attached) and cached whole, so sequential and
-        partitioned engines sharing a cache interoperate key-for-key.
+        pool when one is attached) and cached whole — tagged with the data
+        version it was computed at — so sequential and partitioned engines
+        sharing a cache interoperate key-for-key and a mask from before an
+        ingest can never answer a query issued after it.
         """
+        return self._evaluate(query, self._refresh())
+
+    def _evaluate(self, query: SDLQuery, state: _LiveState) -> np.ndarray:
+        """One mask against an already-captured live state."""
         key = "mask:" + query_signature(query)
-        cached = self._cache.get(key)
+        cached = self._cache.get(key, version=state.version)
         if cached is not None:
             self.counter.add(cache_hits=1)
             return cached
         self.counter.add(evaluations=1)
-        mask = self._partitioned.query_mask(query, self._map)
-        self._cache.put(key, mask)
+        mask = state.partitioned.query_mask(query, self._map)
+        self._cache.put(key, mask, version=state.version)
         return mask
 
-    def _aggregate_get(self, key: str) -> Optional[Any]:
+    def _aggregate_get(self, key: str, version: Optional[int] = None) -> Optional[Any]:
         if not self._cache_aggregates:
             return None
-        value = self._cache.get(key)
+        value = self._cache.get(
+            key, version=self._state.version if version is None else version
+        )
         if value is not None:
             self.counter.add(aggregate_hits=1)
         return value
 
-    def _aggregate_put(self, key: str, value: Any) -> None:
+    def _aggregate_put(
+        self, key: str, value: Any, version: Optional[int] = None
+    ) -> None:
         if self._cache_aggregates:
-            self._cache.put(key, value)
+            self._cache.put(
+                key,
+                value,
+                version=self._state.version if version is None else version,
+            )
 
     def _count_uncached(self, query: SDLQuery) -> int:
         """One cardinality, bypassing the aggregate cache.
@@ -501,20 +626,22 @@ class QueryEngine:
         full mask — the uncached-scan fast path the scalability ablations
         measure.  Tallies match the mask path: one evaluation per scan.
         """
-        if self._partitioned.num_partitions > 1 and not self._cache.enabled:
+        state = self._refresh()
+        if state.partitioned.num_partitions > 1 and not self._cache.enabled:
             self.counter.add(evaluations=1)
-            return self._partitioned.count(query, self._map)
-        return int(np.count_nonzero(self.evaluate(query)))
+            return state.partitioned.count(query, self._map)
+        return int(np.count_nonzero(self._evaluate(query, state)))
 
     def count(self, query: SDLQuery) -> int:
         """``|R(Q)|``: number of rows selected by the query."""
         self.counter.add(count_calls=1)
+        state = self._refresh()
         key = "count::" + query_signature(query)
-        cached = self._aggregate_get(key)
+        cached = self._aggregate_get(key, state.version)
         if cached is not None:
             return cached
         value = self._count_uncached(query)
-        self._aggregate_put(key, value)
+        self._aggregate_put(key, value, state.version)
         return value
 
     def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
@@ -526,7 +653,7 @@ class QueryEngine:
         """
         numerator = self.count(query)
         if context is None:
-            denominator = self.table.num_rows
+            denominator = self._refresh().table.num_rows
         else:
             denominator = self.count(context)
         if denominator == 0:
@@ -543,54 +670,57 @@ class QueryEngine:
         shared cache); nominal columns raise exactly like the sequential
         ``column.median`` path.
         """
+        state = self._refresh()
         unconstrained = query is None or not query.constrained_attributes
-        column = self.table.column(attribute)
+        column = state.table.column(attribute)
         if unconstrained:
             if self._use_index:
-                return self.index_for(attribute).median()
+                return self._index_for(attribute, state).median()
             return column.median()
-        mask = self.evaluate(query)
-        if self._partitioned.num_partitions > 1 and hasattr(
+        mask = self._evaluate(query, state)
+        if state.partitioned.num_partitions > 1 and hasattr(
             column, "median_from_gathered"
         ):
-            return self._partitioned.median(attribute, mask, self._map)
+            return state.partitioned.median(attribute, mask, self._map)
         return column.median(mask)
 
     def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
         """Arithmetic median of ``attribute`` over the query's result set."""
         self.counter.add(median_calls=1)
+        state = self._refresh()
         unconstrained = query is None or not query.constrained_attributes
         key = "median:{}:{}".format(
             attribute, "" if unconstrained else query_signature(query)
         )
-        cached = self._aggregate_get(key)
+        cached = self._aggregate_get(key, state.version)
         if cached is not None:
             return cached
         value = self._median_uncached(attribute, query)
-        self._aggregate_put(key, value)
+        self._aggregate_put(key, value, state.version)
         return value
 
     def minmax(self, attribute: str, query: Optional[SDLQuery] = None) -> Tuple[Any, Any]:
         """Minimum and maximum of ``attribute`` over the query's result set."""
         self.counter.add(minmax_calls=1)
+        state = self._refresh()
         unconstrained = query is None or not query.constrained_attributes
         key = "minmax:{}:{}".format(
             attribute, "" if unconstrained else query_signature(query)
         )
-        cached = self._aggregate_get(key)
+        cached = self._aggregate_get(key, state.version)
         if cached is not None:
             return cached
-        column = self.table.column(attribute)
+        column = state.table.column(attribute)
         if unconstrained:
             if self._use_index:
-                index = self.index_for(attribute)
+                index = self._index_for(attribute, state)
                 value = (index.minimum(), index.maximum())
             else:
                 value = (column.minimum(), column.maximum())
         else:
-            mask = self.evaluate(query)
+            mask = self._evaluate(query, state)
             value = (column.minimum(mask), column.maximum(mask))
-        self._aggregate_put(key, value)
+        self._aggregate_put(key, value, state.version)
         return value
 
     def value_frequencies(
@@ -598,8 +728,9 @@ class QueryEngine:
     ) -> Dict[Any, int]:
         """Value -> count of ``attribute`` over the query's result set."""
         self.counter.add(frequency_calls=1)
-        column = self.table.column(attribute)
-        mask = None if query is None else self.evaluate(query)
+        state = self._refresh()
+        column = state.table.column(attribute)
+        mask = None if query is None else self._evaluate(query, state)
         return column.value_counts(mask)
 
     def distinct_count(self, attribute: str, query: Optional[SDLQuery] = None) -> int:
@@ -617,11 +748,12 @@ class QueryEngine:
         accounting matches the sequential equivalent: one count call per
         request, duplicates recorded as cache hits.
         """
+        state = self._refresh()
         return deduplicated_count_batch(
             queries,
             self.counter,
-            self._aggregate_get,
-            self._aggregate_put,
+            lambda key: self._aggregate_get(key, state.version),
+            lambda key, value: self._aggregate_put(key, value, state.version),
             self._count_uncached,
         )
 
@@ -636,12 +768,13 @@ class QueryEngine:
         SQLite backend uses, so median traces stay bit-for-bit comparable
         across backends.
         """
+        state = self._refresh()
         return deduplicated_median_batch(
             attribute,
             queries,
             self.counter,
-            self._aggregate_get,
-            self._aggregate_put,
+            lambda key: self._aggregate_get(key, state.version),
+            lambda key, value: self._aggregate_put(key, value, state.version),
             lambda query: self._median_uncached(attribute, query),
         )
 
@@ -649,8 +782,11 @@ class QueryEngine:
 
     def materialize(self, query: SDLQuery, name: Optional[str] = None) -> Table:
         """The result set of a query as a new table (used for drill-down)."""
-        mask = self.evaluate(query)
-        return self.table.filter(mask, name=name or f"{self.table.name}_selection")
+        state = self._refresh()
+        mask = self._evaluate(query, state)
+        return state.table.filter(
+            mask, name=name or f"{state.table.name}_selection"
+        )
 
     def counts_for(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
         """Cardinalities for a batch of queries (one count call per query)."""
@@ -658,7 +794,7 @@ class QueryEngine:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"QueryEngine(table={self.table.name!r}, rows={self.table.num_rows}, "
+            f"QueryEngine(table={self.name!r}, rows={self.num_rows}, "
             f"cache_size={self._cache_size}, use_index={self._use_index}, "
-            f"partitions={self.partitions})"
+            f"partitions={self.partitions}, version={self.data_version})"
         )

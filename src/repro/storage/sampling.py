@@ -194,6 +194,25 @@ class SampledEngine(BackendWrapper):
             return 0.0
         return numerator / denominator
 
+    def ingest(self, rows: Any) -> int:
+        """Sampled views are frozen: mutating through one is rejected.
+
+        Ingesting into the *sample* would silently bias every scaled
+        estimate; ingest through the unsampled backend and rebuild the
+        sampled view instead.
+        """
+        raise StorageError(
+            "a sampled backend is a frozen statistical view and cannot "
+            "ingest; ingest through the unsampled backend and re-sample"
+        )
+
+    def delete_where(self, query: SDLQuery) -> int:
+        """Sampled views are frozen: mutating through one is rejected."""
+        raise StorageError(
+            "a sampled backend is a frozen statistical view and cannot "
+            "delete; delete through the unsampled backend and re-sample"
+        )
+
     def exact_count(self, query: SDLQuery) -> int:
         """Exact cardinality on the full population (accuracy measurements)."""
         return self.base_engine.count(query)

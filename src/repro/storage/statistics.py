@@ -32,17 +32,22 @@ __all__ = [
 
 
 def column_entropy(frequencies: Dict[Any, int]) -> float:
-    """Shannon entropy (natural log) of a value-frequency histogram."""
+    """Shannon entropy (natural log) of a value-frequency histogram.
+
+    Summed with :func:`math.fsum`, so the result is independent of the
+    histogram's iteration order — a freshly scanned column and an
+    incrementally maintained one (:mod:`repro.live.profile`) produce the
+    same bits.
+    """
     total = sum(frequencies.values())
     if total == 0:
         return 0.0
-    entropy = 0.0
-    for count in frequencies.values():
-        if count <= 0:
-            continue
-        p = count / total
-        entropy -= p * math.log(p)
-    return entropy
+    entropy = -math.fsum(
+        (count / total) * math.log(count / total)
+        for count in frequencies.values()
+        if count > 0
+    )
+    return entropy if entropy else 0.0  # never -0.0 for constant columns
 
 
 @dataclass

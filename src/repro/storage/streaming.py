@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.errors import EmptyColumnError, StorageError
 from repro.sdl.query import SDLQuery
 from repro.storage.engine import QueryEngine
+from repro.storage.types import is_missing
 
 __all__ = ["P2QuantileEstimator", "StreamingMedianSketch", "streaming_median"]
 
@@ -158,7 +159,14 @@ class P2QuantileEstimator:
 
 
 class StreamingMedianSketch:
-    """Track the median (and optional extra quantiles) of a stream."""
+    """Track the median (and optional extra quantiles) of a stream.
+
+    Besides raw value feeds (:meth:`update`/:meth:`extend`), the sketch
+    absorbs *ingested batches* — the row-mapping lists a live deployment
+    appends through :meth:`repro.live.VersionedTable.append_batch` — via
+    :meth:`update_batch`, so a production system can keep approximate
+    medians current without ever rescanning the grown column.
+    """
 
     def __init__(self, extra_quantiles: Sequence[float] = ()):
         self._estimators: Dict[float, P2QuantileEstimator] = {
@@ -175,6 +183,25 @@ class StreamingMedianSketch:
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.update(value)
+
+    def update_batch(self, rows: Iterable[Dict[str, object]], attribute: str) -> int:
+        """Absorb one append batch: feed ``attribute`` of every row.
+
+        Missing values are skipped (matching aggregate semantics) and
+        dates are consumed as their proleptic ordinals, exactly like
+        :func:`streaming_median`.  Returns the number of observations
+        consumed, so callers can track batch coverage.
+        """
+        consumed = 0
+        for row in rows:
+            value = row.get(attribute)
+            if is_missing(value):
+                continue
+            self.update(
+                value.toordinal() if hasattr(value, "toordinal") else float(value)
+            )
+            consumed += 1
+        return consumed
 
     @property
     def count(self) -> int:

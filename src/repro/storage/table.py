@@ -17,7 +17,26 @@ from repro.errors import SchemaError, UnknownColumnError
 from repro.storage.column import Column, build_column
 from repro.storage.types import DataType, infer_collection_type
 
-__all__ = ["Table"]
+__all__ = ["Table", "reject_unknown_columns"]
+
+
+def reject_unknown_columns(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str]
+) -> None:
+    """Raise :class:`SchemaError` when any row names a column not in the schema.
+
+    The one validation rule every ingest path applies — the in-memory
+    :meth:`Table.append_rows` and the SQLite backend's ``ingest`` — so
+    error behavior stays identical across backends: the *whole batch* is
+    scanned and every offending column is reported.
+    """
+    known = set(columns)
+    unknown = sorted({key for row in rows for key in row if key not in known})
+    if unknown:
+        raise SchemaError(
+            f"appended rows name unknown column(s) {unknown}; "
+            f"the table has: {list(columns)}"
+        )
 
 
 class Table:
@@ -216,6 +235,27 @@ class Table:
     def rename(self, name: str) -> "Table":
         """New table object sharing the same columns under a different name."""
         return Table(name, [self._columns[n] for n in self._order])
+
+    def append_rows(self, rows: Iterable[Mapping[str, Any]]) -> "Table":
+        """New table with the given row mappings appended (copy-on-write).
+
+        The schema is fixed: rows naming unknown columns are rejected,
+        missing keys become missing values, and batch values are coerced
+        to the existing column types.  The source table — and every
+        snapshot or shard derived from it — is left untouched; this is
+        the append primitive :class:`repro.live.VersionedTable` versions.
+        """
+        materialised = list(rows)
+        if not materialised:
+            return self
+        reject_unknown_columns(materialised, self._order)
+        columns = [
+            self._columns[name].append_values(
+                [row.get(name) for row in materialised]
+            )
+            for name in self._order
+        ]
+        return Table(self.name, columns)
 
     # -- display ------------------------------------------------------------------
 

@@ -11,6 +11,7 @@ exploration scenarios for the service layer and benchmark E12.
 """
 
 from repro.workloads.generators import (
+    batched,
     categorical_series,
     correlated_numeric_series,
     dependent_categorical_series,
@@ -40,6 +41,7 @@ from repro.workloads.synthetic import (
 
 __all__ = [
     "make_rng",
+    "batched",
     "categorical_series",
     "zipf_categorical_series",
     "dependent_categorical_series",

@@ -117,6 +117,7 @@ class TestRequestEnvelope:
             "count",
             "describe",
             "stats",
+            "ingest",
             "close_session",
         }
 

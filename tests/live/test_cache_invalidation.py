@@ -1,0 +1,128 @@
+"""Version-keyed cache invalidation: tagged entries, surgical eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import QueryEngine, ResultCache
+from repro.storage.sql import parse_where
+from repro.workloads import generate_voc
+
+
+@pytest.fixture()
+def table():
+    return generate_voc(rows=250, seed=5)
+
+
+class TestVersionedResultCache:
+    def test_untagged_entries_behave_classically(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert cache.get("k", version=7) == 1  # untagged matches any version
+
+    def test_version_match_hits(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k", 1, version=3)
+        assert cache.get("k", version=3) == 1
+
+    def test_version_mismatch_misses_and_invalidate(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k", 1, version=1)
+        assert cache.get("k", version=2) is None
+        stats = cache.stats()
+        assert stats.entries == 0  # the stale entry was dropped on the spot
+        assert stats.invalidations == 1
+        assert stats.hits + stats.misses == stats.lookups
+
+    def test_unversioned_get_serves_tagged_entry(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k", 1, version=1)
+        assert cache.get("k") == 1
+
+    def test_evict_superseded_is_surgical(self):
+        cache = ResultCache(capacity=16)
+        cache.put("old-a", 1, version=1)
+        cache.put("old-b", 2, version=1)
+        cache.put("current", 3, version=2)
+        cache.put("untagged", 4)
+        removed = cache.evict_superseded(2)
+        assert removed == 2
+        assert "old-a" not in cache and "old-b" not in cache
+        assert cache.get("current", version=2) == 3
+        assert cache.get("untagged") == 4
+        assert cache.stats().invalidations == 2
+
+    def test_get_or_compute_recomputes_for_new_version(self):
+        cache = ResultCache(capacity=8)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return len(calls)
+
+        assert cache.get_or_compute("k", compute, version=1) == 1
+        assert cache.get_or_compute("k", compute, version=1) == 1
+        assert cache.get_or_compute("k", compute, version=2) == 2
+
+    def test_snapshot_reports_invalidations(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k", 1, version=1)
+        cache.evict_superseded(5)
+        assert cache.stats().snapshot()["invalidations"] == 1
+
+
+class TestEngineInvalidationPrecision:
+    def test_ingest_evicts_only_superseded_entries(self, table):
+        cache = ResultCache(capacity=512, name="shared")
+        engine = QueryEngine(table, cache=cache, cache_aggregates=True)
+        sibling = engine.sibling()
+
+        stale_query = parse_where("tonnage BETWEEN 1000 AND 3000")
+        engine.count(stale_query)
+        # Entries the mutation must NOT touch: untagged ones, and entries
+        # already recomputed at the post-ingest version by a racing
+        # sibling (simulated by tagging ahead).
+        cache.put("untagged-probe", "keep", version=None)
+        cache.put("ahead-probe", "keep", version=engine.data_version + 1)
+
+        entries_before = cache.stats().entries
+        engine.ingest([table.row(0), table.row(1)])
+
+        stats = cache.stats()
+        # The superseded mask + count entries are gone...
+        assert stats.invalidations >= 2
+        assert stats.entries < entries_before
+        # ...but everything not superseded survived, for every sibling.
+        assert cache.get("untagged-probe") == "keep"
+        assert cache.get("ahead-probe", version=sibling.data_version) == "keep"
+
+    def test_stale_mask_never_answers_new_version(self, table):
+        engine = QueryEngine(table, cache_aggregates=True)
+        query = parse_where("tonnage >= 1000")
+        count_before = engine.count(query)
+        engine.ingest([{"tonnage": 1500, "type_of_boat": "pinas"}])
+        assert engine.count(query) == count_before + 1
+        assert engine.median("tonnage", query) == QueryEngine(
+            engine.table
+        ).median("tonnage", query)
+
+    def test_noop_mutations_keep_the_cache_warm(self, table):
+        engine = QueryEngine(table, cache_aggregates=True)
+        query = parse_where("tonnage >= 1000")
+        engine.count(query)
+        engine.ingest([])
+        assert engine.delete_where(parse_where("tonnage < 0")) == 0
+        hits_before = engine.cache.stats().hits
+        engine.count(query)
+        assert engine.cache.stats().hits > hits_before
+
+    def test_delete_invalidates_and_recomputes(self, table):
+        engine = QueryEngine(table, cache_aggregates=True)
+        query = parse_where("tonnage >= 1000")
+        engine.count(query)
+        deleted = engine.delete_where(parse_where("tonnage > 4000"))
+        assert deleted > 0
+        fresh = QueryEngine(engine.table)
+        assert engine.count(query) == fresh.count(query)
+        assert engine.cache.stats().invalidations > 0

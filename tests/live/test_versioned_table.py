@@ -1,0 +1,187 @@
+"""Tests for VersionedTable: versioning, isolation, re-sharding, profiles."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.live import VersionedTable
+from repro.storage import QueryEngine, Table, profile_table
+from repro.storage.sql import parse_where
+from repro.workloads import batched, generate_voc
+
+
+@pytest.fixture()
+def table():
+    return generate_voc(rows=300, seed=21)
+
+
+@pytest.fixture()
+def source(table):
+    return VersionedTable(table)
+
+
+class TestVersioning:
+    def test_starts_at_version_one(self, source, table):
+        assert source.version == 1
+        assert source.table is table
+        assert source.num_rows == table.num_rows
+
+    def test_append_bumps_version_and_grows(self, source, table):
+        version = source.append_batch([table.row(0), table.row(1)])
+        assert version == 2
+        assert source.version == 2
+        assert source.num_rows == table.num_rows + 2
+
+    def test_empty_append_is_a_no_op(self, source):
+        assert source.append_batch([]) == 1
+        assert source.version == 1
+
+    def test_delete_bumps_version_and_shrinks(self, source, table):
+        deleted, version = source.delete_where(parse_where("tonnage < 2000"))
+        assert deleted > 0
+        assert version == 2
+        assert source.num_rows == table.num_rows - deleted
+
+    def test_empty_delete_keeps_version(self, source):
+        deleted, version = source.delete_where(parse_where("tonnage < 0"))
+        assert (deleted, version) == (0, 1)
+
+    def test_append_matches_cold_concatenation(self, source, table):
+        batch = [table.row(i) for i in range(30)]
+        source.append_batch(batch)
+        cold = table.append_rows(batch)
+        assert source.table.to_dict() == cold.to_dict()
+
+    def test_appended_values_are_coerced(self, source):
+        before = source.num_rows
+        source.append_batch(
+            [{"tonnage": "900", "type_of_boat": "pinas"}]
+        )
+        row = source.table.row(before)
+        assert row["tonnage"] == 900
+        assert row["master"] is None  # missing key -> missing value
+
+    def test_date_columns_round_trip_through_append(self):
+        dated = Table.from_dict(
+            {"day": [dt.date(1700, 1, 1), dt.date(1700, 6, 1)], "v": [1, 2]},
+            name="dated",
+        )
+        source = VersionedTable(dated)
+        source.append_batch([{"day": "1701-05-02", "v": 3}])
+        assert source.table.row(2)["day"] == dt.date(1701, 5, 2)
+        assert source.profile() == profile_table(source.table)
+
+    def test_unknown_column_is_rejected(self, source):
+        with pytest.raises(SchemaError):
+            source.append_batch([{"no_such_column": 1}])
+        assert source.version == 1
+
+
+class TestSnapshotIsolation:
+    def test_old_snapshots_are_not_mutated(self, source, table):
+        old = source.table
+        source.append_batch([table.row(0)])
+        assert old.num_rows == table.num_rows
+        assert source.table.num_rows == table.num_rows + 1
+
+    def test_pin_retains_superseded_version(self, source, table):
+        with source.pin() as pin:
+            assert pin.version == 1
+            source.append_batch([table.row(0)])
+            assert source.snapshot(1) is pin.table
+            assert pin.table.num_rows == table.num_rows
+        # Released on exit: the superseded snapshot is gone.
+        with pytest.raises(StorageError):
+            source.snapshot(1)
+
+    def test_unpinned_superseded_version_is_dropped(self, source, table):
+        source.append_batch([table.row(0)])
+        with pytest.raises(StorageError):
+            source.snapshot(1)
+
+    def test_release_is_idempotent(self, source, table):
+        pin = source.pin()
+        source.append_batch([table.row(0)])
+        pin.release()
+        pin.release()
+        assert source.retained_versions() == []
+
+
+class TestLazyResharding:
+    def test_shards_are_memoised_per_version(self, source):
+        assert source.partitioned(4) is source.partitioned(4)
+
+    def test_growth_reshards_lazily(self, source, table):
+        before = source.partitioned(4)
+        assert before.bounds[-1][1] == table.num_rows
+        source.append_batch([table.row(i) for i in range(10)])
+        after = source.partitioned(4)
+        assert after is not before
+        assert after.bounds[-1][1] == table.num_rows + 10
+        # The old shard set still covers the old snapshot.
+        assert before.bounds[-1][1] == table.num_rows
+
+    def test_engines_share_reshard_through_source(self, source):
+        engine = QueryEngine(source, partitions=3)
+        sibling = engine.sibling()
+        source.append_batch([source.table.row(0)])
+        assert engine.partitioned_table is sibling.partitioned_table
+        assert engine.partitioned_table.num_rows == source.num_rows
+
+
+class TestIncrementalProfile:
+    def test_matches_cold_profile_after_appends(self, source, table):
+        source.profile()  # seed the incremental statistics
+        for batch in batched(table, 37, start=120):
+            source.append_batch(batch)
+        assert source.profile() == profile_table(source.table)
+
+    def test_matches_cold_profile_after_deletes(self, source):
+        source.profile()
+        source.delete_where(parse_where("tonnage < 1800"))
+        source.delete_where(parse_where("type_of_boat IN ('pinas')"))
+        assert source.profile() == profile_table(source.table)
+
+    def test_matches_cold_profile_after_mixed_mutations(self, source, table):
+        source.profile()
+        source.append_batch([table.row(i) for i in range(25)])
+        source.delete_where(parse_where("tonnage > 4200"))
+        source.append_batch([table.row(i) for i in range(25, 40)])
+        assert source.profile() == profile_table(source.table)
+
+    def test_profile_without_mutations_matches(self, source, table):
+        assert source.profile() == profile_table(table)
+
+
+class TestBatchedGenerator:
+    def test_batches_cover_the_table_in_order(self, table):
+        batches = list(batched(table, 90))
+        assert sum(len(b) for b in batches) == table.num_rows
+        assert [len(b) for b in batches[:-1]] == [90] * (len(batches) - 1)
+        rebuilt = [row for batch in batches for row in batch]
+        assert rebuilt[0] == table.row(0)
+        assert rebuilt[-1] == table.row(table.num_rows - 1)
+
+    def test_start_skips_a_seed_prefix(self, table):
+        batches = list(batched(table, 100, start=250))
+        assert sum(len(b) for b in batches) == table.num_rows - 250
+        assert batches[0][0] == table.row(250)
+
+    def test_exhausted_range_yields_nothing(self, table):
+        assert list(batched(table, 10, start=table.num_rows)) == []
+
+    def test_invalid_batch_size_is_rejected(self, table):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            next(batched(table, 0))
+
+    def test_stream_rebuilds_the_table(self, table):
+        seed = table.slice_rows(0, 100)
+        source = VersionedTable(seed)
+        for batch in batched(table, 64, start=100):
+            source.append_batch(batch)
+        assert source.table.to_dict() == table.to_dict()

@@ -308,6 +308,95 @@ class TestCallCommand:
         assert "[remote]" in capsys.readouterr().err
 
 
+class TestIngestCommand:
+    """The `ingest` sub-command (and `call --op ingest`) against a server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.api.server import AdvisorHTTPServer
+        from repro.service import AdvisorService
+        from repro.workloads import generate_voc
+
+        service = AdvisorService(generate_voc(rows=400, seed=3), batch_window=0.0)
+        with AdvisorHTTPServer(service) as running:
+            yield running
+
+    def test_ingest_rows_json_appends(self, server, capsys):
+        import json as json_module
+
+        exit_code = main(
+            [
+                "ingest",
+                "--url", server.url,
+                "--rows-json", '[{"tonnage": 901, "type_of_boat": "pinas"}]',
+            ]
+        )
+        assert exit_code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["appended"] == 1
+        assert payload["rows"] == 401
+        assert payload["data_version"] == 2
+
+    def test_ingest_csv_and_delete(self, server, tmp_path, capsys):
+        import json as json_module
+
+        csv_path = tmp_path / "batch.csv"
+        csv_path.write_text("tonnage,type_of_boat\n902,pinas\n903,fluit\n")
+        exit_code = main(
+            [
+                "ingest",
+                "--url", server.url,
+                "--csv", str(csv_path),
+                "--delete", "tonnage BETWEEN 902 AND 903",
+            ]
+        )
+        assert exit_code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["appended"] == 2
+        assert payload["deleted"] == 2  # appends apply before deletes
+        assert payload["rows"] == 400
+
+    def test_ingest_requires_something_to_do(self, server, capsys):
+        exit_code = main(["ingest", "--url", server.url])
+        assert exit_code == 2
+        assert "nothing to ingest" in capsys.readouterr().err
+
+    def test_ingest_rejects_malformed_rows_json(self, server, capsys):
+        exit_code = main(
+            ["ingest", "--url", server.url, "--rows-json", '{"not": "a list"}']
+        )
+        assert exit_code == 2
+        assert "array of row objects" in capsys.readouterr().err
+
+    def test_call_ingest_then_refresh_clears_staleness(self, server, capsys):
+        import json as json_module
+
+        assert main(
+            ["call", "--url", server.url, "--op", "open_session",
+             "--session", "live", "--context", "(tonnage:, type_of_boat:)"]
+        ) == 0
+        assert main(
+            ["call", "--url", server.url, "--op", "ingest",
+             "--rows-json", '[{"tonnage": 901, "type_of_boat": "pinas"}]']
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["call", "--url", server.url, "--op", "describe",
+             "--session", "live", "--json"]
+        ) == 0
+        assert json_module.loads(capsys.readouterr().out)["stale"] is True
+        assert main(
+            ["call", "--url", server.url, "--op", "advise",
+             "--session", "live", "--refresh"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["call", "--url", server.url, "--op", "describe",
+             "--session", "live", "--json"]
+        ) == 0
+        assert json_module.loads(capsys.readouterr().out)["stale"] is False
+
+
 class TestServeHTTPSubprocess:
     """End-to-end: `serve --http 0` as a real child process."""
 
