@@ -1,0 +1,197 @@
+"""E17 — skipping indexes: zone maps, bitmaps and shard-skip rates.
+
+The skipping tier (``memory?index=zonemap,bitmap,...``) must be free
+performance: bit-for-bit identical answers (the differential harness
+proves that) at strictly higher count throughput whenever the data is
+clustered on the filtered column.  This benchmark measures the effect on
+the two axes the scalability experiments use:
+
+* **counts/s vs selectivity (E6 shape)** — uncached range counts on a
+  tonnage-clustered VOC table across low/mid/high selectivities, indexes
+  on vs off, with the shard-skip rate reported per selectivity.  On the
+  low-selectivity predicate (the drill-down hot case: the user zoomed
+  into a narrow slice) the zone maps must deliver at least a 2× counts/s
+  improvement on measurement runs.
+* **end-to-end advise latency (E5 shape)** — whole ``advise`` calls with
+  and without the index tier, asserting identical ranked answers.
+
+Every figure is recorded through :func:`conftest.record`, so running
+with ``--json-out BENCH_e17.json`` emits the machine-readable trajectory
+rows CI archives.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import is_smoke, print_table, record, scale
+
+from repro.backends import open_backend
+from repro.core import Charles
+from repro.sdl import RangePredicate, SDLQuery
+from repro.workloads import generate_voc
+
+_ROWS = scale(200_000, 2_000)
+_ADVISE_ROWS = scale(30_000, 1_000)
+_PARTITIONS = 8
+_REPEATS = scale(20, 2)
+_INDEX_TIERS = ("none", "zonemap,bitmap")
+
+
+@pytest.fixture(scope="module")
+def clustered_voc():
+    """VOC at measurement scale, physically clustered on ``tonnage``.
+
+    Sorting is the stand-in for the natural clustering (time-ordered
+    ingest, partitioned loads) that makes zone maps effective in real
+    columnar stores.
+    """
+    table = generate_voc(rows=_ROWS, seed=29)
+    order = np.argsort(table.column("tonnage").to_numpy(), kind="stable")
+    return table.take(order, name="voc")
+
+
+def _selectivity_queries(table):
+    """(label, query) pairs at ~2% / ~25% / ~80% selectivity."""
+    tonnage = table.column("tonnage").to_numpy()
+    q = lambda p: float(np.percentile(tonnage, p))
+    return (
+        ("low ~2%", SDLQuery([RangePredicate("tonnage", q(49), q(51))])),
+        ("mid ~25%", SDLQuery([RangePredicate("tonnage", q(25), q(50))])),
+        ("high ~80%", SDLQuery([RangePredicate("tonnage", q(10), q(90))])),
+    )
+
+
+def _throughput(table, index: str, query: SDLQuery):
+    backend = open_backend(
+        f"memory?partitions={_PARTITIONS}&cache=0&index={index}", table
+    )
+    count = backend.count(query)  # warm the zone maps outside the timing
+    started = time.perf_counter()
+    for _ in range(_REPEATS):
+        assert backend.count(query) == count
+    elapsed = time.perf_counter() - started
+    operations = backend.stats()["operations"]
+    evaluated = operations["count_calls"] * _PARTITIONS
+    return {
+        "count": count,
+        "throughput": _REPEATS / elapsed if elapsed > 0 else float("inf"),
+        "skip_rate": operations["skipped_partitions"] / evaluated,
+    }
+
+
+def test_e17_counts_per_second_vs_selectivity(benchmark, clustered_voc):
+    queries = _selectivity_queries(clustered_voc)
+
+    results = benchmark.pedantic(
+        lambda: {
+            label: {index: _throughput(clustered_voc, index, query) for index in _INDEX_TIERS}
+            for label, query in queries
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, tiers in results.items():
+        plain, indexed = tiers["none"], tiers["zonemap,bitmap"]
+        assert indexed["count"] == plain["count"]
+        assert plain["skip_rate"] == 0.0
+        speedup = indexed["throughput"] / plain["throughput"]
+        rows.append(
+            (
+                label,
+                f"{plain['throughput']:.1f}",
+                f"{indexed['throughput']:.1f}",
+                f"{speedup:.2f}x",
+                f"{indexed['skip_rate']:.0%}",
+            )
+        )
+        for index, outcome in tiers.items():
+            record(
+                "e17",
+                "counts_per_second",
+                outcome["throughput"],
+                selectivity=label,
+                index=index,
+                partitions=_PARTITIONS,
+                rows=clustered_voc.num_rows,
+            )
+        record(
+            "e17",
+            "shard_skip_rate",
+            indexed["skip_rate"],
+            selectivity=label,
+            partitions=_PARTITIONS,
+            rows=clustered_voc.num_rows,
+        )
+
+    print_table(
+        f"E17 — uncached counts/s, indexes on vs off "
+        f"(clustered VOC, {clustered_voc.num_rows:,} rows, {_PARTITIONS} partitions)",
+        ["selectivity", "counts/s (off)", "counts/s (on)", "speedup", "skip rate"],
+        rows,
+    )
+
+    low = results["low ~2%"]
+    low_speedup = low["zonemap,bitmap"]["throughput"] / low["none"]["throughput"]
+    benchmark.extra_info["low_selectivity_speedup"] = round(low_speedup, 2)
+    # The narrow slice lives in ~1 of 8 shards, so most shards must skip...
+    assert low["zonemap,bitmap"]["skip_rate"] >= 0.5
+    # ...which on a measurement run has to buy at least 2x counts/s.
+    if not is_smoke():
+        assert low_speedup >= 2.0, (
+            f"expected >=2x counts/s from shard skipping on the low-selectivity "
+            f"predicate, measured {low_speedup:.2f}x"
+        )
+
+
+def test_e17_advise_latency_with_indexes(benchmark):
+    table = generate_voc(rows=_ADVISE_ROWS, seed=29)
+    context = ["type_of_boat", "departure_harbour", "tonnage"]
+    specs = {
+        "off": "memory",
+        "on": f"memory?index=all&partitions={_PARTITIONS}",
+    }
+
+    def advise_all():
+        outcomes = {}
+        for label, spec in specs.items():
+            advisor = Charles(table, backend=spec)
+            started = time.perf_counter()
+            advice = advisor.advise(context, max_answers=6)
+            elapsed = time.perf_counter() - started
+            outcomes[label] = {
+                "latency": elapsed,
+                "fingerprint": [
+                    (a.segmentation.cut_attributes, tuple(a.segmentation.counts))
+                    for a in advice.answers
+                ],
+                "skipped": advisor.engine.stats()["operations"]["skipped_partitions"],
+            }
+        return outcomes
+
+    results = benchmark.pedantic(advise_all, rounds=1, iterations=1)
+
+    assert results["on"]["fingerprint"] == results["off"]["fingerprint"]
+    print_table(
+        f"E17 — advise latency, indexes on vs off (VOC, {table.num_rows:,} rows)",
+        ["indexes", "latency", "shards skipped"],
+        [
+            (label, f"{o['latency'] * 1000:.1f} ms", o["skipped"])
+            for label, o in results.items()
+        ],
+    )
+    for label, outcome in results.items():
+        record(
+            "e17",
+            "advise_latency_ms",
+            round(outcome["latency"] * 1000, 2),
+            index=label,
+            rows=table.num_rows,
+        )
+    benchmark.extra_info["advise_ms_indexed"] = round(
+        results["on"]["latency"] * 1000, 1
+    )

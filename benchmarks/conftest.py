@@ -10,7 +10,8 @@ survive in the JSON output.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import json
+from typing import Any, Dict, Iterable, List, Sequence
 
 import pytest
 
@@ -20,6 +21,11 @@ from repro.workloads import generate_astronomy, generate_voc, generate_weblog
 #: Set by ``--smoke`` (pytest_configure runs before bench modules import).
 SMOKE = False
 
+#: Structured result rows collected by :func:`record`, flushed to the
+#: ``--json-out`` path (if any) at session end.
+_JSON_ROWS: List[Dict[str, Any]] = []
+_JSON_PATH: Any = None
+
 
 def pytest_addoption(parser) -> None:
     parser.addoption(
@@ -28,11 +34,41 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="run every benchmark at tiny scale (CI rot check, not a measurement)",
     )
+    parser.addoption(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the rows benchmarks record() as a JSON array of "
+            "{bench, metric, value, config} objects (e.g. BENCH_results.json); "
+            "CI uploads these as the benchmark-trajectory artifact"
+        ),
+    )
 
 
 def pytest_configure(config) -> None:
-    global SMOKE
+    global SMOKE, _JSON_PATH
     SMOKE = bool(config.getoption("--smoke", default=False))
+    _JSON_PATH = config.getoption("--json-out", default=None)
+
+
+def record(bench: str, metric: str, value: Any, **config: Any) -> None:
+    """Record one machine-readable result row.
+
+    Rows accumulate regardless of flags (the cost is a dict append) and
+    are written out only when the session runs with ``--json-out``, so
+    benchmarks call this unconditionally next to their ``print_table``.
+    """
+    _JSON_ROWS.append(
+        {"bench": bench, "metric": metric, "value": value, "config": config}
+    )
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if _JSON_PATH:
+        with open(_JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump(_JSON_ROWS, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
 
 
 def scale(value: Any, smoke_value: Any) -> Any:

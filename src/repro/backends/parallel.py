@@ -68,7 +68,7 @@ class ParallelEngine(BackendWrapper):
         cache: Optional[ResultCache] = None,
         cache_aggregates: bool = False,
         cache_size: int = 256,
-        use_index: bool = False,
+        use_index: Union[bool, str, Any] = False,
         _engine: Optional[QueryEngine] = None,
     ):
         if _engine is not None:
@@ -145,7 +145,7 @@ class ParallelEngine(BackendWrapper):
             partitions=self.partitions,
             pool=self._pool,
             cache_size=self.inner._cache_size,
-            use_index=self.inner._use_index,
+            use_index=self.inner.index_features,
         )
 
     def sibling(self) -> "ParallelEngine":

@@ -5,6 +5,7 @@ A backend *spec* is a compact URI-like string::
     memory                      the in-memory columnar QueryEngine
     memory?sample=0.1&seed=7    SampledEngine over a 10% uniform sample
     memory?index=1&cache=512    engine options as query parameters
+    memory?index=zonemap,bitmap,maskreuse   skipping-index tier (or index=all)
     memory?partitions=4&workers=4   ParallelEngine: sharded, pooled evaluation
     sqlite                      load the table into an in-memory SQLite db
     sqlite?sample=0.25          … sampled, materialised inside SQLite
@@ -34,9 +35,9 @@ from repro.backends.base import ExecutionBackend
 from repro.backends.parallel import ParallelEngine
 from repro.backends.pool import ExecutorPool, parallel_requested, resolve_workers
 from repro.backends.sqlite import SQLiteBackend
-from repro.errors import BackendError
+from repro.errors import BackendError, StorageError
 from repro.storage.cache import ResultCache
-from repro.storage.engine import QueryEngine
+from repro.storage.engine import QueryEngine, resolve_index_features
 from repro.storage.sampling import SampledEngine
 from repro.storage.table import Table
 
@@ -139,6 +140,23 @@ def _spec_bool(spec: BackendSpec, key: str, default: bool = False) -> bool:
     return raw.strip().lower() in ("1", "true", "yes", "on")
 
 
+def _spec_index(spec: BackendSpec, default: Any) -> Any:
+    """The ``index=`` parameter as engine index features (spec wins).
+
+    Accepts everything :func:`repro.storage.engine.resolve_index_features`
+    does — ``index=1`` keeps its historical sorted-only meaning,
+    ``index=zonemap,bitmap,maskreuse`` or ``index=all`` enables the
+    skipping tier.  Validation happens eagerly so a typo in a spec string
+    fails at ``open_backend`` time, as a :class:`BackendError`.
+    """
+    raw = spec.params.get("index")
+    value = default if raw is None else raw
+    try:
+        return resolve_index_features(value)
+    except StorageError as exc:
+        raise BackendError(exc.message) from exc
+
+
 def _spec_float(spec: BackendSpec, key: str) -> Optional[float]:
     raw = spec.params.get(key)
     if raw is None:
@@ -198,7 +216,7 @@ def _memory_factory(
     cache: Optional[ResultCache] = None,
     cache_aggregates: bool = False,
     cache_size: int = 256,
-    use_index: bool = False,
+    use_index: Any = False,
     partitions: Optional[int] = None,
     workers: Optional[int] = None,
     pool: Optional[ExecutorPool] = None,
@@ -208,7 +226,7 @@ def _memory_factory(
     spec_cache = _spec_int(spec, "cache")
     options = {
         "cache_size": spec_cache if spec_cache is not None else cache_size,
-        "use_index": _spec_bool(spec, "index", use_index),
+        "use_index": _spec_index(spec, use_index),
         "cache": cache,
         "cache_aggregates": cache_aggregates,
     }

@@ -183,7 +183,7 @@ class Charles:
         sample_fraction: Optional[float] = None,
         seed: Optional[int] = None,
         cache_size: int = 256,
-        use_index: bool = False,
+        use_index: Union[bool, str] = False,
         backend: Optional[str] = None,
         partitions: Optional[int] = None,
         workers: Optional[int] = None,

@@ -406,6 +406,10 @@ class HBCuts:
 
         if uncached:
             trace.batched_passes += 1
+            # Same breadcrumb the sequential product() hands the engine:
+            # each cell refines the piece it was merged from, which lets
+            # mask reuse build the cell mask from the piece's cached one.
+            hint = getattr(engine, "hint_parent", None)
             cells_per_pair: List[List[SDLQuery]] = []
             flat_queries: List[SDLQuery] = []
             for first, second in uncached:
@@ -415,6 +419,8 @@ class HBCuts:
                         merged = left.query.merge(right.query)
                         if merged is None:
                             continue
+                        if hint is not None:
+                            hint(merged, left.query)
                         cells.append(merged)
                 cells_per_pair.append(cells)
                 flat_queries.extend(cells)

@@ -42,12 +42,18 @@ def product(
         raise CompositionError(
             "the SDL product requires both segmentations to partition the same context"
         )
+    # Product cells refine the pieces they are merged from; the hint lets
+    # mask reuse AND a piece's cached mask with just the other side's
+    # predicate (engines without the feature have no hint_parent).
+    hint = getattr(engine, "hint_parent", None)
     segments: List[Segment] = []
     for left in first.segments:
         for right in second.segments:
             merged = left.query.merge(right.query)
             if merged is None:
                 continue
+            if hint is not None:
+                hint(merged, left.query)
             count = engine.count(merged)
             if drop_empty and count == 0:
                 continue

@@ -252,6 +252,13 @@ class VersionedTable:
         :class:`~repro.storage.partition.PartitionedTable` per partition
         count; after a mutation the first caller re-shards the new
         snapshot and the rest reuse it.
+
+        This memo is also the version key of every structure derived from
+        the shards — in particular the zone maps and bitmap indexes of
+        :meth:`PartitionedTable.skipping`.  An ingest or delete clears the
+        memo (:meth:`_install`), so superseded skipping indexes vanish
+        with their shard set and can never answer a query against newer
+        data; no separate invalidation protocol is needed.
         """
         partitions = int(partitions)
         with self._lock:

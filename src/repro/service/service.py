@@ -149,7 +149,7 @@ class _TableRuntime:
         cache_capacity: int,
         advice_capacity: int,
         batch_window: float,
-        use_index: bool,
+        use_index: Union[bool, str, Any],
         backend_spec: str = "memory",
         partitions: int = 1,
         workers: int = 1,
@@ -221,7 +221,10 @@ class AdvisorService:
     max_answers:
         Default number of ranked answers per advise.
     use_index:
-        Build sorted indexes in session engines.
+        Index features for session engines — anything
+        :func:`repro.storage.engine.resolve_index_features` accepts
+        (``True`` for sorted indexes only, ``"all"`` or
+        ``"zonemap,bitmap,maskreuse"`` for the skipping tier).
     backend:
         Default backend spec for registered tables (resolved through
         :func:`repro.backends.open_backend`); ``register_table`` can
@@ -247,7 +250,7 @@ class AdvisorService:
         config: Optional[HBCutsConfig] = None,
         batch_indep: bool = True,
         max_answers: int = 10,
-        use_index: bool = False,
+        use_index: Union[bool, str] = False,
         backend: str = "memory",
         workers: int = 1,
         partitions: Optional[int] = None,
@@ -263,7 +266,7 @@ class AdvisorService:
             dataclasses.replace(base, batch_indep=True) if batch_indep else base
         )
         self._max_answers = int(max_answers)
-        self._use_index = bool(use_index)
+        self._use_index = use_index
         self._backend_spec = str(backend)
         # One bounded pool for the whole service: every session of every
         # table runtime fans its partitioned work through it.  The opt-in

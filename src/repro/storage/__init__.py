@@ -14,7 +14,9 @@ NumPy-backed, dictionary-encoded column store with exactly that surface:
 * :mod:`repro.storage.cache` — the shared, thread-safe result cache
   (masks and aggregates) engines and the service layer plug into;
 * :mod:`repro.storage.statistics` — column/table profiling;
-* :mod:`repro.storage.index` — sorted-column indexes (ablation E6);
+* :mod:`repro.storage.index` — sorted-column and bitmap indexes (E6, E17);
+* :mod:`repro.storage.zonemap` — per-partition zone maps and shard
+  skipping (the aggregate hot path's skipping-index tier);
 * :mod:`repro.storage.sampling` — sampled engines (paper §5.2, E8);
 * :mod:`repro.storage.sql` — SDL↔SQL translation (Charles as SQL front-end);
 * :mod:`repro.storage.csv_loader`, :mod:`repro.storage.catalog` — ingestion
@@ -31,16 +33,24 @@ from repro.storage.column import (
     build_column,
 )
 from repro.storage.table import Table
-from repro.storage.expression import predicate_mask, query_mask
+from repro.storage.expression import (
+    predicate_implies,
+    predicate_mask,
+    query_mask,
+    refinement_delta,
+)
 from repro.storage.partition import PartitionedTable, partition_bounds
 from repro.storage.cache import CacheStats, ResultCache
 from repro.storage.engine import (
+    INDEX_FEATURES,
     OperationCounter,
     QueryEngine,
     deduplicated_count_batch,
     deduplicated_median_batch,
+    resolve_index_features,
 )
-from repro.storage.index import SortedIndex
+from repro.storage.index import BitmapIndex, SortedIndex
+from repro.storage.zonemap import SkippingIndexes, ZoneMap
 from repro.storage.statistics import (
     ColumnProfile,
     TableProfile,
@@ -82,15 +92,22 @@ __all__ = [
     "Table",
     "predicate_mask",
     "query_mask",
+    "predicate_implies",
+    "refinement_delta",
     "PartitionedTable",
     "partition_bounds",
     "QueryEngine",
     "OperationCounter",
+    "INDEX_FEATURES",
+    "resolve_index_features",
     "deduplicated_count_batch",
     "deduplicated_median_batch",
     "ResultCache",
     "CacheStats",
     "SortedIndex",
+    "BitmapIndex",
+    "SkippingIndexes",
+    "ZoneMap",
     "ColumnProfile",
     "TableProfile",
     "profile_column",

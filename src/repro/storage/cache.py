@@ -198,6 +198,26 @@ class ResultCache:
             self._hits += 1
             return value
 
+    def peek(self, key: str, version: Optional[int] = None) -> Optional[Any]:
+        """The cached value without any observable side effect.
+
+        Unlike :meth:`get`, a peek records no hit or miss, does not touch
+        LRU recency, and leaves version-mismatched entries in place.  It
+        exists for *opportunistic* reuse — the engine's mask-algebra
+        shortcut peeks at parent masks it was never asked for, and must
+        not perturb the statistics or eviction order the unindexed
+        execution would produce (the differential harness compares both).
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                return None
+            if version is not None and self._versions.get(key, version) != version:
+                return None
+            return value
+
     def put(self, key: str, value: Any, version: Optional[int] = None) -> None:
         """Insert (or refresh) an entry, evicting LRU entries beyond capacity.
 

@@ -65,9 +65,12 @@ from typing import (
 
 import numpy as np
 
+from repro.errors import StorageError
 from repro.sdl.formatter import query_signature
+from repro.sdl.predicates import NoConstraint
 from repro.sdl.query import SDLQuery
 from repro.storage.cache import ResultCache
+from repro.storage.expression import predicate_mask, refinement_delta
 from repro.storage.index import SortedIndex
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
@@ -75,9 +78,73 @@ from repro.storage.table import Table
 __all__ = [
     "OperationCounter",
     "QueryEngine",
+    "INDEX_FEATURES",
+    "resolve_index_features",
     "deduplicated_count_batch",
     "deduplicated_median_batch",
 ]
+
+#: The individually toggleable index features of the engine:
+#:
+#: ``sorted``
+#:     Lazily built sorted projections answering full-table medians and
+#:     min/max without re-sorting (:class:`~repro.storage.index.SortedIndex`).
+#: ``zonemap``
+#:     Per-partition min/max/null/distinct statistics that skip shards a
+#:     predicate provably cannot match (:mod:`repro.storage.zonemap`).
+#: ``bitmap``
+#:     Per-value bitmaps over nominal columns answering equality / IN /
+#:     NOT-IN masks (:class:`~repro.storage.index.BitmapIndex`).
+#: ``maskreuse``
+#:     Incremental mask algebra: a drill-down ANDs the parent step's
+#:     cached selection vector with only the new predicate's mask.
+INDEX_FEATURES = frozenset({"sorted", "zonemap", "bitmap", "maskreuse"})
+
+_INDEX_OFF_WORDS = frozenset({"", "none", "off", "false", "no", "0"})
+_INDEX_LEGACY_ON_WORDS = frozenset({"true", "yes", "on", "1"})
+
+
+def resolve_index_features(value: Any) -> frozenset:
+    """Normalise a ``use_index`` argument into a set of feature names.
+
+    Accepted forms:
+
+    * ``False`` / ``None`` / ``"none"`` / ``"off"`` — no indexes;
+    * ``True`` / ``"true"`` — the legacy meaning: sorted indexes only,
+      exactly what ``use_index=True`` enabled before the skipping tier;
+    * ``"all"`` — every feature in :data:`INDEX_FEATURES`;
+    * a comma-separated string (``"zonemap,bitmap"``, the
+      ``memory?index=...`` backend-spec form) or any iterable of feature
+      names.
+
+    Unknown feature names raise :class:`~repro.errors.StorageError`.
+    """
+    if value is None or isinstance(value, bool):
+        return frozenset({"sorted"}) if value else frozenset()
+    if isinstance(value, str):
+        features: set = set()
+        for part in value.lower().split(","):
+            word = part.strip()
+            if word in _INDEX_OFF_WORDS:
+                continue
+            if word in _INDEX_LEGACY_ON_WORDS:
+                features.add("sorted")
+            elif word == "all":
+                features |= INDEX_FEATURES
+            elif word in INDEX_FEATURES:
+                features.add(word)
+            else:
+                raise StorageError(
+                    f"unknown index feature {word!r}; expected one of "
+                    f"{sorted(INDEX_FEATURES)}, 'all' or 'none'"
+                )
+        return frozenset(features)
+    if isinstance(value, Iterable):
+        features = set()
+        for item in value:
+            features |= resolve_index_features(item)
+        return frozenset(features)
+    return frozenset({"sorted"}) if value else frozenset()
 
 
 def deduplicated_count_batch(
@@ -230,6 +297,13 @@ class OperationCounter:
     batch_calls:
         Number of multi-query engine passes (:meth:`QueryEngine.count_batch`
         and :meth:`QueryEngine.median_batch`).
+    skipped_partitions:
+        Number of shards skipped by zone-map pruning — shards the
+        skipping tier proved empty under a query without scanning them
+        (only with the ``zonemap`` index feature; see
+        :mod:`repro.storage.zonemap`).  Purely observational: results are
+        identical with and without skipping, so tests and benches assert
+        on this tally to show skipping actually happened.
     """
 
     evaluations: int = 0
@@ -240,6 +314,7 @@ class OperationCounter:
     frequency_calls: int = 0
     minmax_calls: int = 0
     batch_calls: int = 0
+    skipped_partitions: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -253,6 +328,7 @@ class OperationCounter:
         "frequency_calls",
         "minmax_calls",
         "batch_calls",
+        "skipped_partitions",
     )
 
     def add(self, **deltas: int) -> None:
@@ -333,8 +409,14 @@ class QueryEngine:
         no shared ``cache`` is given.  ``0`` disables caching entirely
         (used by the scalability ablations).
     use_index:
-        When true, sorted-column indexes are built lazily and used to
-        answer full-table medians and min/max requests without re-sorting.
+        Which index features to enable — anything
+        :func:`resolve_index_features` accepts.  ``True`` keeps its
+        historical meaning (sorted-column indexes answering full-table
+        medians and min/max without re-sorting); ``"all"`` or a feature
+        list such as ``"zonemap,bitmap,maskreuse"`` additionally enables
+        the skipping tier.  Results are bit-for-bit identical for every
+        setting (the differential harness enforces it); only the work
+        performed differs.
     cache:
         An externally owned :class:`~repro.storage.cache.ResultCache` to
         use instead of a private one.  Sharing a cache between engines is
@@ -360,7 +442,7 @@ class QueryEngine:
         self,
         table: Union[Table, Any],
         cache_size: int = 256,
-        use_index: bool = False,
+        use_index: Union[bool, str, Iterable] = False,
         cache: Optional[ResultCache] = None,
         cache_aggregates: bool = False,
         partitions: int = 1,
@@ -380,8 +462,13 @@ class QueryEngine:
             capacity=int(cache_size), name=f"engine:{self._source.name}"
         )
         self._cache_aggregates = bool(cache_aggregates)
-        self._use_index = bool(use_index)
+        self._features = resolve_index_features(use_index)
+        self._use_index = "sorted" in self._features
         self._indexes: Dict[Tuple[int, str], SortedIndex] = {}
+        # Drill-down breadcrumbs for mask reuse: child signature -> parent
+        # query, recorded by hint_parent() and consumed opportunistically.
+        self._hints: Dict[str, SDLQuery] = {}
+        self._hints_lock = threading.Lock()
         # Shards are shared between siblings through the source's memo
         # (same data, one materialisation per version).
         self._partitions = max(1, int(partitions))
@@ -476,6 +563,7 @@ class QueryEngine:
             "rows": state.table.num_rows,
             "partitions": state.partitioned.num_partitions,
             "data_version": state.version,
+            "index": sorted(self._features),
             "operations": self.counter.snapshot(),
             "cache": self.cache_info,
         }
@@ -498,7 +586,7 @@ class QueryEngine:
         return QueryEngine(
             self._source,
             cache=self._cache,
-            use_index=self._use_index,
+            use_index=self._features,
             cache_aggregates=self._cache_aggregates,
             partitions=self._partitions,
             pool=self._pool,
@@ -512,7 +600,7 @@ class QueryEngine:
         return QueryEngine(
             sampled,
             cache_size=self._cache_size,
-            use_index=self._use_index,
+            use_index=self._features,
             partitions=self._partitions,
             pool=self._pool,
         )
@@ -534,6 +622,11 @@ class QueryEngine:
         self._cache.clear()
 
     # -- index ---------------------------------------------------------------
+
+    @property
+    def index_features(self) -> frozenset:
+        """The enabled index features (subset of :data:`INDEX_FEATURES`)."""
+        return self._features
 
     def index_for(self, attribute: str) -> SortedIndex:
         """The (lazily built) sorted index for a column."""
@@ -594,9 +687,105 @@ class QueryEngine:
             self.counter.add(cache_hits=1)
             return cached
         self.counter.add(evaluations=1)
-        mask = state.partitioned.query_mask(query, self._map)
+        mask = self._compute_mask(query, state)
         self._cache.put(key, mask, version=state.version)
         return mask
+
+    def _compute_mask(self, query: SDLQuery, state: _LiveState) -> np.ndarray:
+        """One uncached mask, through whatever index features are enabled.
+
+        Every branch yields bit-for-bit the mask of the plain partitioned
+        scan — the features only change how much work it takes.  Counter
+        and cache traffic also match the plain path exactly (the caller
+        already tallied the evaluation and will put the mask), with one
+        observational exception: zone-map pruning tallies
+        ``skipped_partitions``.
+        """
+        if "maskreuse" in self._features:
+            reused = self._reuse_parent_mask(query, state)
+            if reused is not None:
+                return reused
+        if self._features & {"zonemap", "bitmap"}:
+            mask, skipped = state.partitioned.skipping().query_mask(
+                query,
+                self._map,
+                zonemaps="zonemap" in self._features,
+                bitmaps="bitmap" in self._features,
+            )
+            if skipped:
+                self.counter.add(skipped_partitions=skipped)
+            return mask
+        return state.partitioned.query_mask(query, self._map)
+
+    # -- incremental mask algebra ----------------------------------------------
+
+    def hint_parent(self, child: SDLQuery, parent: SDLQuery) -> None:
+        """Record that ``child`` was formed by refining ``parent``.
+
+        Drill-downs (:meth:`repro.core.session.ExplorationSession.drill`)
+        and HB-cuts piece evaluations call this before asking for the
+        child's aggregate, so mask reuse can find the parent's cached
+        selection vector without guessing.  Hints are advisory — reuse
+        still proves the refinement relationship predicate-by-predicate —
+        and are a no-op unless the ``maskreuse`` feature is enabled.
+        """
+        if "maskreuse" not in self._features:
+            return
+        with self._hints_lock:
+            while len(self._hints) >= 512:
+                self._hints.pop(next(iter(self._hints)))
+            self._hints[query_signature(child)] = parent
+
+    def _parent_candidates(self, query: SDLQuery):
+        """Possible parents of a query, most promising first.
+
+        The hinted parent (if any) leads; then each single-predicate
+        relaxation of the query — the shapes HB-cuts and drill-down
+        produce, where the child is the context plus one new constraint.
+        """
+        with self._hints_lock:
+            hinted = self._hints.get(query_signature(query))
+        if hinted is not None:
+            yield hinted
+        for predicate in query.predicates:
+            if not predicate.is_constrained:
+                continue
+            yield SDLQuery(
+                NoConstraint(p.attribute) if p is predicate else p
+                for p in query.predicates
+            )
+
+    def _reuse_parent_mask(
+        self, query: SDLQuery, state: _LiveState
+    ) -> Optional[np.ndarray]:
+        """The query's mask as ``parent_mask & delta_mask``, if provable.
+
+        Requires a parent whose mask is already cached at the current data
+        version and whose relationship to the query is a single new
+        predicate (see :func:`~repro.storage.expression.refinement_delta`).
+        The parent lookup uses :meth:`ResultCache.peek` — no hit/miss/LRU
+        side effects — and the delta predicate is probed against a
+        zero-row slice first so a predicate that cannot encode falls back
+        to the plain path and raises (or short-circuits) exactly as the
+        unindexed engine would.  ``None`` declines the shortcut.
+        """
+        for parent in self._parent_candidates(query):
+            delta = refinement_delta(query, parent, state.table)
+            if delta is None:
+                continue
+            parent_mask = self._cache.peek(
+                "mask:" + query_signature(parent), version=state.version
+            )
+            if parent_mask is None or len(parent_mask) != state.table.num_rows:
+                continue
+            try:
+                predicate_mask(state.table.slice_rows(0, 0), delta)
+            except Exception:
+                return None
+            if not parent_mask.any():
+                return np.zeros(state.table.num_rows, dtype=bool)
+            return parent_mask & predicate_mask(state.table, delta)
+        return None
 
     def _aggregate_get(self, key: str, version: Optional[int] = None) -> Optional[Any]:
         if not self._cache_aggregates:
@@ -629,6 +818,16 @@ class QueryEngine:
         state = self._refresh()
         if state.partitioned.num_partitions > 1 and not self._cache.enabled:
             self.counter.add(evaluations=1)
+            if self._features & {"zonemap", "bitmap"}:
+                value, skipped = state.partitioned.skipping().count(
+                    query,
+                    self._map,
+                    zonemaps="zonemap" in self._features,
+                    bitmaps="bitmap" in self._features,
+                )
+                if skipped:
+                    self.counter.add(skipped_partitions=skipped)
+                return value
             return state.partitioned.count(query, self._map)
         return int(np.count_nonzero(self._evaluate(query, state)))
 
@@ -793,8 +992,9 @@ class QueryEngine:
         return tuple(self.count(query) for query in queries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        index = ",".join(sorted(self._features)) or "off"
         return (
             f"QueryEngine(table={self.name!r}, rows={self.num_rows}, "
-            f"cache_size={self._cache_size}, use_index={self._use_index}, "
+            f"cache_size={self._cache_size}, index={index}, "
             f"partitions={self.partitions}, version={self.data_version})"
         )

@@ -16,7 +16,7 @@ an :class:`~repro.backends.pool.ExecutorPool`).  See
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,14 +31,32 @@ from repro.sdl.predicates import (
 from repro.sdl.query import SDLQuery
 from repro.storage.table import Table
 
-__all__ = ["predicate_mask", "query_mask", "query_masks"]
+__all__ = [
+    "predicate_mask",
+    "query_mask",
+    "query_masks",
+    "predicate_implies",
+    "refinement_delta",
+]
+
+#: ``bitmaps(attribute) -> BitmapIndex | None`` — an optional provider of
+#: per-column bitmap indexes (see :class:`repro.storage.index.BitmapIndex`).
+#: ``None`` for an attribute means "no index here, evaluate the column".
+BitmapLookup = Callable[[str], Optional[object]]
 
 
-def predicate_mask(table: Table, predicate: Predicate) -> np.ndarray:
+def predicate_mask(
+    table: Table,
+    predicate: Predicate,
+    bitmaps: Optional[BitmapLookup] = None,
+) -> np.ndarray:
     """Boolean selection vector for a single predicate over ``table``.
 
     Unconstrained predicates select every row.  Unknown columns raise
     :class:`~repro.errors.UnknownColumnError` via :meth:`Table.column`.
+    When ``bitmaps`` offers a bitmap index for the attribute, set and
+    exclusion masks come from its cached per-value bitmaps — bit-for-bit
+    the same vectors, computed without re-scanning the column codes.
     """
     if isinstance(predicate, NoConstraint):
         # The attribute must still exist: context queries may only mention
@@ -53,17 +71,26 @@ def predicate_mask(table: Table, predicate: Predicate) -> np.ndarray:
             include_low=predicate.include_low,
             include_high=predicate.include_high,
         )
+    index = bitmaps(predicate.attribute) if bitmaps is not None else None
     if isinstance(predicate, SetPredicate):
+        if index is not None:
+            return index.mask_set(predicate.values)
         return column.mask_set(predicate.values)
     if isinstance(predicate, ExclusionPredicate):
         # NOT IN with SQL NULL semantics: missing values never match.
+        if index is not None:
+            return index.mask_exclusion(predicate.values)
         return column.valid_mask() & ~column.mask_set(predicate.values)
     raise TypeMismatchError(
         f"unsupported predicate type: {type(predicate).__name__}"
     )  # pragma: no cover - exhaustive over the SDL grammar
 
 
-def query_mask(table: Table, query: SDLQuery) -> np.ndarray:
+def query_mask(
+    table: Table,
+    query: SDLQuery,
+    bitmaps: Optional[BitmapLookup] = None,
+) -> np.ndarray:
     """Boolean selection vector for an SDL query (conjunction of predicates)."""
     mask = np.ones(table.num_rows, dtype=bool)
     for predicate in query.predicates:
@@ -71,7 +98,7 @@ def query_mask(table: Table, query: SDLQuery) -> np.ndarray:
             # Still validate that the context column exists.
             table.column(predicate.attribute)
             continue
-        mask &= predicate_mask(table, predicate)
+        mask &= predicate_mask(table, predicate, bitmaps)
         if not mask.any():
             break
     return mask
@@ -81,6 +108,8 @@ def query_masks(
     tables: Sequence[Table],
     query: SDLQuery,
     map_fn: Optional[Callable] = None,
+    bitmaps: Optional[Callable[[int], Optional[BitmapLookup]]] = None,
+    skip: Optional[Callable[[int], bool]] = None,
 ) -> List[np.ndarray]:
     """One query evaluated over several shard tables, in order.
 
@@ -89,7 +118,115 @@ def query_masks(
     ``map_fn(fn, items)`` decides where each shard is evaluated; the
     default maps inline, an executor pool's ``map`` fans the shards out
     across workers.  Results always come back in shard order.
+
+    The optional hooks take a *shard index*: ``skip(i)`` declares shard
+    ``i`` provably empty under the query (its mask is all-``False``
+    without evaluation — the caller carries the proof, see
+    :class:`repro.storage.zonemap.SkippingIndexes`), and ``bitmaps(i)``
+    supplies the shard's per-column bitmap lookup.
     """
+    if bitmaps is None and skip is None:
+        if map_fn is None:
+            return [query_mask(table, query) for table in tables]
+        return map_fn(lambda table: query_mask(table, query), tables)
+
+    def evaluate(item: Tuple[int, Table]) -> np.ndarray:
+        index, table = item
+        if skip is not None and skip(index):
+            return np.zeros(table.num_rows, dtype=bool)
+        lookup = bitmaps(index) if bitmaps is not None else None
+        return query_mask(table, query, lookup)
+
+    items = list(enumerate(tables))
     if map_fn is None:
-        return [query_mask(table, query) for table in tables]
-    return map_fn(lambda table: query_mask(table, query), tables)
+        return [evaluate(item) for item in items]
+    return map_fn(evaluate, items)
+
+
+def predicate_implies(child: Predicate, parent: Predicate, column: object) -> bool:
+    """Whether every row satisfying ``child`` must satisfy ``parent``.
+
+    The soundness gate of mask reuse: a drill-down step may AND the
+    parent's cached mask with only the *new* predicate's mask iff each
+    retained child predicate implies its parent counterpart.  Implication
+    is only claimed between predicates of the same shape — cross-shape
+    reasoning (a range inside a set, say) would have to re-model each
+    column's encoding quirks (INT set predicates truncate float values,
+    string ranges compare lexicographically), and a false positive here
+    silently corrupts results.  ``False`` merely declines the shortcut.
+    """
+    if not parent.is_constrained:
+        return True
+    if child == parent:
+        return True
+    if isinstance(child, SetPredicate) and isinstance(parent, SetPredicate):
+        return child.values <= parent.values
+    if isinstance(child, ExclusionPredicate) and isinstance(
+        parent, ExclusionPredicate
+    ):
+        # Excluding MORE values selects a subset.
+        return parent.values <= child.values
+    if isinstance(child, RangePredicate) and isinstance(parent, RangePredicate):
+        encode = getattr(column, "_encode_bound", None)
+        if encode is None:
+            return False
+        try:
+            child_low, child_high = encode(child.low), encode(child.high)
+            parent_low, parent_high = encode(parent.low), encode(parent.high)
+        except Exception:
+            return False
+        if child_low < parent_low or (
+            child_low == parent_low
+            and child.include_low
+            and not parent.include_low
+        ):
+            return False
+        if child_high > parent_high or (
+            child_high == parent_high
+            and child.include_high
+            and not parent.include_high
+        ):
+            return False
+        return True
+    return False
+
+
+def refinement_delta(
+    child: SDLQuery, parent: SDLQuery, table: Table
+) -> Optional[Predicate]:
+    """The single predicate separating ``child`` from ``parent``, if any.
+
+    Returns the one constrained child predicate ``p`` such that
+    ``mask(child) == mask(parent) & predicate_mask(p)`` is guaranteed by
+    implication — i.e. every other child predicate implies its parent
+    counterpart and ``p`` itself implies its counterpart (so rows outside
+    the parent mask are excluded by ``p`` alone).  ``None`` when the
+    queries differ in more than one place, constrain different attribute
+    sets, or implication cannot be established; callers then evaluate the
+    child from scratch.
+    """
+    parent_by_attr = {p.attribute: p for p in parent.predicates}
+    if set(parent_by_attr) != {p.attribute for p in child.predicates}:
+        return None
+    delta: Optional[Predicate] = None
+    for predicate in child.predicates:
+        counterpart = parent_by_attr[predicate.attribute]
+        if predicate == counterpart:
+            continue
+        try:
+            column = table.column(predicate.attribute)
+        except Exception:
+            return None
+        if not predicate_implies(predicate, counterpart, column):
+            return None
+        if not counterpart.is_constrained:
+            # A genuinely new constraint: this is the drill-down delta.
+            if delta is not None:
+                return None
+            delta = predicate
+        else:
+            # A *tightened* predicate (child strictly inside its parent
+            # counterpart) also shrinks the selection on rows inside the
+            # parent mask, which ANDing a single delta would miss.
+            return None
+    return delta

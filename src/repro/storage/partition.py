@@ -30,6 +30,7 @@ shards contribute empty partials).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -103,6 +104,8 @@ class PartitionedTable:
                 table.slice_rows(start, stop, name=f"{table.name}[{index}]")
                 for index, (start, stop) in enumerate(self._bounds)
             ]
+        self._skipping_lock = threading.Lock()
+        self._skipping: Optional[Any] = None
 
     # -- introspection --------------------------------------------------------
 
@@ -131,6 +134,24 @@ class PartitionedTable:
 
     def __len__(self) -> int:
         return len(self._shards)
+
+    def skipping(self) -> "Any":
+        """The shared :class:`~repro.storage.zonemap.SkippingIndexes`.
+
+        Built lazily and memoized on the partitioned table itself, so
+        every engine over the same shard set (siblings on a shared cache,
+        workers on a pool) reuses one set of zone maps and bitmap
+        indexes.  Version keying is inherited: live tables memoize one
+        ``PartitionedTable`` per data version
+        (:meth:`repro.live.VersionedTable.partitioned`) and drop it on
+        mutation, taking the attached indexes with it.
+        """
+        with self._skipping_lock:
+            if self._skipping is None:
+                from repro.storage.zonemap import SkippingIndexes
+
+                self._skipping = SkippingIndexes(self)
+            return self._skipping
 
     # -- partition-aware evaluation -------------------------------------------
 

@@ -134,7 +134,7 @@ class SampledEngine(BackendWrapper):
         fraction: float = 0.1,
         seed: Optional[int] = None,
         cache_size: int = 256,
-        use_index: bool = False,
+        use_index: Any = False,
     ):
         if not 0.0 < fraction <= 1.0:
             raise StorageError(f"fraction must lie in (0, 1], got {fraction}")

@@ -3,8 +3,27 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.sdl import SDLQuery
+
+# Hypothesis example budgets.  The fast tier runs the "dev" profile (kept
+# small so property tests stay a fraction of the suite); the dedicated CI
+# differential job passes --hypothesis-profile=ci for a deeper sweep.
+# Tests with explicit @settings decorators are unaffected either way.
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+hypothesis_settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+hypothesis_settings.load_profile("dev")
 from repro.storage import QueryEngine, Table
 from repro.workloads import (
     generate_astronomy,

@@ -1,0 +1,285 @@
+"""Unit tests for the skipping-index tier: zone maps, bitmap indexes,
+feature resolution, cache peeking and mask-reuse implication algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import open_backend
+from repro.errors import BackendError, StorageError, TypeMismatchError
+from repro.sdl import (
+    ExclusionPredicate,
+    NoConstraint,
+    RangePredicate,
+    SDLQuery,
+    SetPredicate,
+)
+from repro.storage import (
+    DataType,
+    QueryEngine,
+    ResultCache,
+    Table,
+    build_column,
+    predicate_implies,
+    refinement_delta,
+    resolve_index_features,
+)
+from repro.storage.expression import query_mask
+from repro.storage.index import BitmapIndex
+from repro.storage.partition import PartitionedTable
+from repro.storage.zonemap import ZoneMap
+
+
+def _int_column(values, name="num"):
+    return build_column(name, values, DataType.INT)
+
+
+def _str_column(values, name="cat"):
+    return build_column(name, values, DataType.STRING)
+
+
+def _bool_column(values, name="flag"):
+    return build_column(name, values, DataType.BOOL)
+
+
+class TestZoneMapNumeric:
+    def test_statistics(self):
+        zone = ZoneMap(_int_column([3, None, 7, 5]))
+        assert zone.rows == 4
+        assert zone.null_count == 1
+        assert zone.valid_rows == 3
+        assert zone.low == 3.0 and zone.high == 7.0
+        assert zone.distinct == frozenset({3.0, 5.0, 7.0})
+
+    def test_range_pruning(self):
+        zone = ZoneMap(_int_column([10, 20, 30]))
+        assert zone.allows(RangePredicate("num", 15, 25))
+        assert not zone.allows(RangePredicate("num", 40, 50))
+        assert not zone.allows(RangePredicate("num", 0, 5))
+        # Exclusive bounds at the extremes.
+        assert zone.allows(RangePredicate("num", 30, 99))
+        assert not zone.allows(RangePredicate("num", 30, 99, include_low=False))
+
+    def test_distinct_gap_pruning(self):
+        # The range [11, 19] sits inside [10, 30] but between the points.
+        zone = ZoneMap(_int_column([10, 20, 30]))
+        assert not zone.allows(RangePredicate("num", 11, 19))
+
+    def test_set_pruning_respects_int_truncation(self):
+        # mask_set truncates float members to the INT dtype: 10.7 -> 10.
+        zone = ZoneMap(_int_column([10, 20]))
+        assert zone.allows(SetPredicate("num", frozenset({10.7})))
+        assert not zone.allows(SetPredicate("num", frozenset({11.7})))
+
+    def test_exclusion_pruning(self):
+        zone = ZoneMap(_int_column([10, 10, 20]))
+        assert zone.allows(ExclusionPredicate("num", frozenset({10})))
+        assert not zone.allows(ExclusionPredicate("num", frozenset({10, 20})))
+
+    def test_all_missing_shard_allows_nothing(self):
+        zone = ZoneMap(_int_column([None, None]))
+        assert not zone.allows(RangePredicate("num", 0, 100))
+        assert not zone.allows(SetPredicate("num", frozenset({1})))
+        assert not zone.allows(ExclusionPredicate("num", frozenset({1})))
+
+    def test_bad_bound_raises_like_evaluation(self):
+        zone = ZoneMap(_int_column([1, 2]))
+        with pytest.raises(TypeMismatchError):
+            zone.allows(RangePredicate("num", "aaa", "zzz"))
+
+
+class TestZoneMapNominal:
+    def test_string_set_and_exclusion(self):
+        zone = ZoneMap(_str_column(["a", "b", None, "b"]))
+        assert zone.distinct == frozenset({"a", "b"})
+        assert zone.allows(SetPredicate("cat", frozenset({"b", "z"})))
+        assert not zone.allows(SetPredicate("cat", frozenset({"z"})))
+        assert zone.allows(ExclusionPredicate("cat", frozenset({"a"})))
+        assert not zone.allows(ExclusionPredicate("cat", frozenset({"a", "b"})))
+
+    def test_bool_range(self):
+        zone = ZoneMap(_bool_column([False, False, None]))
+        assert zone.allows(RangePredicate("flag", False, False))
+        assert not zone.allows(RangePredicate("flag", True, True))
+
+    def test_missing_only_set_is_empty_everywhere(self):
+        zone = ZoneMap(_str_column(["a"]))
+        assert not zone.allows(SetPredicate("cat", frozenset({None})))
+
+
+class TestBitmapIndex:
+    def test_matches_column_mask_set(self):
+        column = _str_column(["a", "b", None, "a", "c"])
+        index = BitmapIndex(column)
+        for values in ({"a"}, {"b", "c"}, {"z"}, {"a", None}, {None}):
+            expected = column.mask_set(frozenset(values))
+            assert np.array_equal(index.mask_set(frozenset(values)), expected)
+
+    def test_matches_column_mask_exclusion(self):
+        column = _str_column(["a", "b", None, "a"])
+        index = BitmapIndex(column)
+        for values in ({"a"}, {"a", "b"}, {"z"}):
+            expected = column.valid_mask() & ~column.mask_set(frozenset(values))
+            assert np.array_equal(index.mask_exclusion(frozenset(values)), expected)
+
+    def test_repeated_lookups_do_not_corrupt_bitmaps(self):
+        column = _str_column(["a", "b", "a"])
+        index = BitmapIndex(column)
+        first = index.mask_set(frozenset({"a"})).copy()
+        index.mask_set(frozenset({"a", "b"}))
+        index.mask_exclusion(frozenset({"a"}))
+        assert np.array_equal(index.mask_set(frozenset({"a"})), first)
+
+
+class TestFeatureResolution:
+    def test_legacy_forms(self):
+        assert resolve_index_features(False) == frozenset()
+        assert resolve_index_features(None) == frozenset()
+        assert resolve_index_features(True) == frozenset({"sorted"})
+
+    def test_strings(self):
+        assert resolve_index_features("none") == frozenset()
+        assert resolve_index_features("off") == frozenset()
+        assert resolve_index_features("zonemap,bitmap") == frozenset(
+            {"zonemap", "bitmap"}
+        )
+        assert resolve_index_features("all") == frozenset(
+            {"sorted", "zonemap", "bitmap", "maskreuse"}
+        )
+        assert resolve_index_features(" Zonemap , MASKREUSE ") == frozenset(
+            {"zonemap", "maskreuse"}
+        )
+
+    def test_iterables_and_idempotence(self):
+        features = resolve_index_features(["zonemap", "bitmap"])
+        assert features == frozenset({"zonemap", "bitmap"})
+        assert resolve_index_features(features) == features
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(StorageError):
+            resolve_index_features("zonemaps")
+
+    def test_backend_spec_parses_features(self, voc_table):
+        engine = open_backend("memory?index=zonemap,bitmap", voc_table)
+        assert engine.index_features == frozenset({"zonemap", "bitmap"})
+        assert open_backend("memory?index=all", voc_table).index_features == frozenset(
+            {"sorted", "zonemap", "bitmap", "maskreuse"}
+        )
+
+    def test_backend_spec_typo_raises_backend_error(self, voc_table):
+        with pytest.raises(BackendError):
+            open_backend("memory?index=zonemapz", voc_table)
+
+    def test_repr_shows_features(self, voc_table):
+        assert "zonemap" in repr(QueryEngine(voc_table, use_index="zonemap"))
+        assert "index=off" in repr(QueryEngine(voc_table))
+
+
+class TestCachePeek:
+    def test_peek_has_no_side_effects(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1, version=1)
+        before = cache.stats().snapshot()
+        assert cache.peek("a", version=1) == 1
+        assert cache.peek("a", version=2) is None  # stale: no drop either
+        assert cache.peek("missing") is None
+        assert cache.stats().snapshot() == before
+        assert cache.peek("a", version=1) == 1  # stale probe kept the entry
+
+    def test_peek_does_not_refresh_lru(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")  # a get() here would mark "a" recently used
+        cache.put("c", 3)
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_disabled_cache_peeks_none(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.peek("a") is None
+
+
+class TestImplicationAlgebra:
+    def setup_method(self):
+        self.table = Table(
+            "t",
+            [
+                _int_column([1, 2, 3, 4, 5]),
+                _str_column(["a", "b", "c", "a", "b"]),
+            ],
+        )
+
+    def test_predicate_implies_shapes(self):
+        column = self.table.column("num")
+        assert predicate_implies(
+            RangePredicate("num", 2, 3), RangePredicate("num", 1, 4), column
+        )
+        assert not predicate_implies(
+            RangePredicate("num", 0, 3), RangePredicate("num", 1, 4), column
+        )
+        assert predicate_implies(RangePredicate("num", 2, 3), NoConstraint("num"), column)
+        cat = self.table.column("cat")
+        assert predicate_implies(
+            SetPredicate("cat", frozenset({"a"})),
+            SetPredicate("cat", frozenset({"a", "b"})),
+            cat,
+        )
+        assert predicate_implies(
+            ExclusionPredicate("cat", frozenset({"a", "b"})),
+            ExclusionPredicate("cat", frozenset({"a"})),
+            cat,
+        )
+        # Cross-shape implication is deliberately not claimed.
+        assert not predicate_implies(
+            SetPredicate("num", frozenset({2})), RangePredicate("num", 1, 4), column
+        )
+
+    def test_refinement_delta_single_new_predicate(self):
+        parent = SDLQuery([NoConstraint("num"), SetPredicate("cat", frozenset({"a"}))])
+        child = SDLQuery(
+            [RangePredicate("num", 2, 4), SetPredicate("cat", frozenset({"a"}))]
+        )
+        delta = refinement_delta(child, parent, self.table)
+        assert delta == RangePredicate("num", 2, 4)
+
+    def test_refinement_delta_rejects_tightened_predicates(self):
+        parent = SDLQuery([SetPredicate("cat", frozenset({"a", "b"}))])
+        child = SDLQuery([SetPredicate("cat", frozenset({"a"}))])
+        assert refinement_delta(child, parent, self.table) is None
+
+    def test_refinement_delta_rejects_two_deltas(self):
+        parent = SDLQuery([NoConstraint("num"), NoConstraint("cat")])
+        child = SDLQuery(
+            [RangePredicate("num", 2, 4), SetPredicate("cat", frozenset({"a"}))]
+        )
+        assert refinement_delta(child, parent, self.table) is None
+
+    def test_refinement_delta_requires_same_attributes(self):
+        parent = SDLQuery([NoConstraint("num")])
+        child = SDLQuery([RangePredicate("num", 2, 4), NoConstraint("cat")])
+        assert refinement_delta(child, parent, self.table) is None
+
+
+class TestSkippingIndexes:
+    def test_skip_decisions_and_masks_agree(self):
+        table = Table("t", [_int_column(sorted(range(100)))])
+        partitioned = PartitionedTable(table, 5)
+        skipping = partitioned.skipping()
+        query = SDLQuery([RangePredicate("num", 5, 15)])
+        decisions = skipping.skip_decisions(query)
+        assert sum(decisions) == 4  # every 20-row shard beyond [0, 20)
+        mask, skipped = skipping.query_mask(query)
+        assert skipped == 4
+        assert np.array_equal(mask, query_mask(table, query))
+        count, skipped = skipping.count(query)
+        assert (count, skipped) == (11, 4)
+
+    def test_skipping_memo_shared_and_version_keyed(self, voc_table):
+        partitioned = PartitionedTable(voc_table, 4)
+        assert partitioned.skipping() is partitioned.skipping()
+        engine = QueryEngine(voc_table, use_index="all", partitions=4)
+        first = engine.partitioned_table.skipping()
+        engine.ingest([next(iter(voc_table.iter_rows()))])
+        assert engine.partitioned_table.skipping() is not first
