@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Run the project's AST invariant checks (charles-lint) from the shell.
+
+The CI ``static-analysis`` job and the pre-commit habit both call this:
+
+    python scripts/lint.py src
+    python scripts/lint.py src --json
+    python scripts/lint.py src/repro/storage --rules CHR002 CHR004
+
+Exit codes: 0 clean, 1 findings, 2 bad invocation.  Rule semantics are
+documented in ``docs/analysis.md``; configuration in ``pyproject.toml``
+under ``[tool.charles-lint]``.  ``charles lint`` is the same checker
+behind the installed CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis import run_lint  # noqa: E402  (needs the path shim)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint.py", description="Charles AST invariant checker (CHR001–CHR006)"
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable findings document")
+    parser.add_argument("--rules", nargs="*", metavar="RULE",
+                        help="restrict the run to these rule ids")
+    args = parser.parse_args(argv)
+    code, report = run_lint(args.paths, as_json=args.as_json, rules=args.rules)
+    print(report)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

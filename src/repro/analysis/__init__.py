@@ -1,0 +1,47 @@
+"""Static analysis for the Charles codebase: ``charles lint``.
+
+Six PRs of growth accumulated invariants that only reviewers enforced —
+layer purity, lock discipline, counter atomicity, version-keyed caching,
+wire-table sync, codec determinism.  This package proves them from the
+AST on every commit instead:
+
+>>> from repro.analysis import lint_paths
+>>> findings = lint_paths(["src"])
+>>> [f.format() for f in findings]
+[]
+
+Entry points: ``scripts/lint.py``, ``charles lint`` (see
+:mod:`repro.cli`) and the CI ``static-analysis`` job.  Rule ids and
+semantics are documented in ``docs/analysis.md``; configuration lives in
+``[tool.charles-lint]`` in ``pyproject.toml``.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    LintConfig,
+    ModuleSource,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_paths,
+    load_config,
+    register,
+)
+from repro.analysis.render import render_human, render_json, run_lint
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleSource",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "load_config",
+    "register",
+    "render_human",
+    "render_json",
+    "run_lint",
+]

@@ -1,0 +1,68 @@
+"""Finding records produced by the lint framework.
+
+A :class:`Finding` pins one invariant violation to a ``file:line``
+location, names the rule that proved it (``CHR001``...) and carries a
+fix hint.  Findings are plain value objects: the drivers
+(``scripts/lint.py``, ``charles lint``) render them for humans or as
+JSON, and the test suite asserts on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier of the rule that produced the finding
+        (``CHR001``...; rule ids are API surface, never re-used).
+    path:
+        Path of the offending file, as given to the driver.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        One-sentence statement of the violated invariant.
+    hint:
+        How to fix it (or how to suppress it when the code is right).
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    col: int = 0
+
+    @property
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self, show_hint: bool = True) -> str:
+        """The human-readable one-or-two-line rendering."""
+        text = f"{self.location}: {self.rule_id} {self.message}"
+        if show_hint and self.hint:
+            text += f"\n    fix: {self.hint}"
+        return text
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe dict used by ``--json`` output."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,74 @@
+"""Shared driver + output rendering for the lint entry points.
+
+``scripts/lint.py`` and ``charles lint`` both funnel through
+:func:`run_lint`, so the human text, the ``--json`` document and the
+exit-code contract (0 clean, 1 findings, 2 bad invocation) cannot drift
+between the two front doors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    LintConfig,
+    all_rules,
+    collect_files,
+    lint_paths,
+    load_config,
+)
+
+__all__ = ["render_human", "render_json", "run_lint"]
+
+
+def render_human(findings: Sequence[Finding], files: int) -> str:
+    """The human-readable report (one or two lines per finding + summary)."""
+    lines = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun} in {files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files: int) -> str:
+    """The machine-readable report consumed by CI tooling."""
+    document = {
+        "version": 1,
+        "files": files,
+        "findings": [finding.to_json() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def run_lint(
+    paths: Sequence[str],
+    as_json: bool = False,
+    rules: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> tuple:
+    """Lint ``paths``; returns ``(exit_code, report_text)``.
+
+    ``rules`` narrows the run to the named rule ids (overriding the
+    config's enable list); unknown ids exit 2 with the error as the
+    report.
+    """
+    if config is None:
+        config = load_config(paths[0] if paths else None)
+    if rules:
+        known = all_rules()
+        unknown = sorted(set(rules) - set(known))
+        if unknown:
+            return 2, (
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        config.enable = tuple(rules)
+        config.ignore = ()
+    try:
+        findings: List[Finding] = lint_paths(paths, config)
+    except OSError as exc:
+        return 2, f"cannot lint {paths!r}: {exc}"
+    files = len(collect_files(paths, config))
+    report = render_json(findings, files) if as_json else render_human(findings, files)
+    return (1 if findings else 0), report

@@ -46,7 +46,7 @@ class RemoteAdvisor:
     >>> session.drill(0, 0)
     """
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
 
@@ -103,8 +103,13 @@ class RemoteAdvisor:
         return self._http("GET", "/v1/health")
 
     def stats(self) -> Dict[str, Any]:
-        """Service-wide statistics (``GET /v1/stats``)."""
-        return self._http("GET", "/v1/stats")["stats"]
+        """Service-wide statistics (the ``stats`` op).
+
+        ``GET /v1/stats`` serves the same document for shell/monitoring
+        use; the client goes through the RPC op so tagged values decode
+        back to their real types.
+        """
+        return self.call("stats")
 
     @property
     def table_names(self) -> List[str]:
@@ -180,7 +185,7 @@ class RemoteSession:
     holds only the session name.
     """
 
-    def __init__(self, advisor: RemoteAdvisor, name: str):
+    def __init__(self, advisor: RemoteAdvisor, name: str) -> None:
         self.advisor = advisor
         self.name = name
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 import datetime
 import json
 import math
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, Iterable
 
 from repro.core.advisor import Advice, RankedAnswer
 from repro.core.hbcuts import HBCutsTrace
@@ -61,7 +61,7 @@ SCHEMA_VERSION = 1
 _SET_ORDER = lambda v: (str(type(v)), str(v))  # noqa: E731
 
 
-def _encode_set(values) -> Dict[str, Any]:
+def _encode_set(values: Iterable[Any]) -> Dict[str, Any]:
     return {"$set": [to_wire(value) for value in sorted(values, key=_SET_ORDER)]}
 
 

@@ -26,7 +26,7 @@ __all__ = ["Dispatcher"]
 class Dispatcher:
     """Maps wire envelopes onto one advisor service."""
 
-    def __init__(self, service: "AdvisorService"):
+    def __init__(self, service: "AdvisorService") -> None:
         self.service = service
 
     def dispatch(self, request: Request) -> Response:

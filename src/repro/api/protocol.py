@@ -120,7 +120,7 @@ class Request:
         request_id: Optional[str] = None,
         api_version: int = API_VERSION,
         **legacy: Any,
-    ):
+    ) -> None:
         self.op = canonical_op(op)
         self.session = session
         merged: Dict[str, Any] = dict(params or {})
@@ -208,7 +208,7 @@ class Request:
 
     # -- value semantics ------------------------------------------------------
 
-    def _key(self) -> tuple:
+    def _key(self) -> Tuple[Any, ...]:
         return (
             self.op,
             self.session,
@@ -275,7 +275,7 @@ class Response:
         error_code: Optional[str] = None,
         request_id: str = "",
         elapsed_seconds: float = 0.0,
-    ):
+    ) -> None:
         self.ok = bool(ok)
         self.op = op
         self.session = session
@@ -335,7 +335,7 @@ class Response:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
         )
 
-    def _key(self) -> tuple:
+    def _key(self) -> Tuple[Any, ...]:
         return (
             self.ok,
             self.op,

@@ -165,7 +165,7 @@ class AdvisorHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
-    ):
+    ) -> None:
         self.dispatcher = Dispatcher(service)
         handler = type(
             "_BoundHandler",

@@ -61,7 +61,7 @@ class SDLSyntaxError(SDLError):
 
     code = "sdl_syntax"
 
-    def __init__(self, message: str, text: str = "", position: int | None = None):
+    def __init__(self, message: str, text: str = "", position: int | None = None) -> None:
         super().__init__(message)
         self.text = text
         self.position = position
@@ -112,7 +112,7 @@ class UnknownColumnError(SchemaError):
 
     code = "storage_unknown_column"
 
-    def __init__(self, column: str, available: tuple[str, ...] = ()):
+    def __init__(self, column: str, available: tuple[str, ...] = ()) -> None:
         message = f"unknown column {column!r}"
         if available:
             message += f" (available: {', '.join(available)})"
@@ -176,7 +176,7 @@ class CannotCutError(CoreError):
 
     code = "core_cannot_cut"
 
-    def __init__(self, attribute: str, reason: str = ""):
+    def __init__(self, attribute: str, reason: str = "") -> None:
         message = f"cannot cut on attribute {attribute!r}"
         if reason:
             message += f": {reason}"
@@ -247,7 +247,7 @@ class RemoteError(CharlesError):
 
     code = "remote"
 
-    def __init__(self, message: str, code: str | None = None):
+    def __init__(self, message: str, code: str | None = None) -> None:
         super().__init__(message)
         if code is not None:
             self.code = code

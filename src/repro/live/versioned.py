@@ -214,7 +214,7 @@ class VersionedTable:
                     self._current.num_rows, new_table.num_rows
                 )
                 self._profile.absorb_append(appended)
-            self._install(new_table)
+            self._install_locked(new_table)
             return self._version
 
     def delete_where(self, query: SDLQuery) -> Tuple[int, int]:
@@ -230,11 +230,11 @@ class VersionedTable:
                 return 0, self._version
             if self._profile is not None:
                 self._profile.absorb_delete(self._current, mask)
-            self._install(self._current.filter(~mask, name=self._current.name))
+            self._install_locked(self._current.filter(~mask, name=self._current.name))
             return deleted, self._version
 
-    def _install(self, table: Table) -> None:
-        """Make ``table`` the current snapshot under a bumped version."""
+    def _install_locked(self, table: Table) -> None:
+        """Make ``table`` the current snapshot under a bumped version (caller holds the lock)."""
         if self._pins.get(self._version):
             self._retained[self._version] = self._current
         self._current = table
@@ -256,7 +256,7 @@ class VersionedTable:
         This memo is also the version key of every structure derived from
         the shards — in particular the zone maps and bitmap indexes of
         :meth:`PartitionedTable.skipping`.  An ingest or delete clears the
-        memo (:meth:`_install`), so superseded skipping indexes vanish
+        memo (:meth:`_install_locked`), so superseded skipping indexes vanish
         with their shard set and can never answer a query against newer
         data; no separate invalidation protocol is needed.
         """

@@ -52,7 +52,7 @@ _TOKEN_RE = re.compile(
 class _Token:
     __slots__ = ("kind", "value", "position")
 
-    def __init__(self, kind: str, value: str, position: int):
+    def __init__(self, kind: str, value: str, position: int) -> None:
         self.kind = kind
         self.value = value
         self.position = position
@@ -105,7 +105,7 @@ def _literal_value(token: _Token) -> Any:
 class _Parser:
     """Recursive-descent parser over the token stream."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.tokens = _tokenise(text)
         self.index = 0

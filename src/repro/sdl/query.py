@@ -44,7 +44,7 @@ class SDLQuery:
 
     __slots__ = ("_predicates", "_by_attribute", "_hash")
 
-    def __init__(self, predicates: Iterable[Predicate] = ()):
+    def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
         ordered: list[Predicate] = []
         by_attribute: Dict[str, Predicate] = {}
         for predicate in predicates:

@@ -28,7 +28,7 @@ class Segment:
 
     __slots__ = ("query", "count")
 
-    def __init__(self, query: SDLQuery, count: int):
+    def __init__(self, query: SDLQuery, count: int) -> None:
         if count < 0:
             raise SegmentationError(f"segment count must be non-negative, got {count}")
         self.query = query
@@ -79,7 +79,7 @@ class Segmentation:
         segments: Iterable[Segment],
         context_count: Optional[int] = None,
         cut_attributes: Sequence[str] = (),
-    ):
+    ) -> None:
         self.context = context
         self._segments: Tuple[Segment, ...] = tuple(segments)
         if not self._segments:

@@ -169,7 +169,7 @@ class ResultCache:
 
     # -- core operations ----------------------------------------------------
 
-    def _drop(self, key: str) -> None:
+    def _drop_locked(self, key: str) -> None:
         """Remove one entry and its bookkeeping (caller holds the lock)."""
         del self._entries[key]
         self._approx_bytes -= self._bytes.pop(key, 0)
@@ -190,7 +190,7 @@ class ResultCache:
                 self._misses += 1
                 return None
             if version is not None and self._versions.get(key, version) != version:
-                self._drop(key)
+                self._drop_locked(key)
                 self._invalidations += 1
                 self._misses += 1
                 return None
@@ -279,7 +279,7 @@ class ResultCache:
                 key for key, tag in self._versions.items() if tag < version
             ]
             for key in stale:
-                self._drop(key)
+                self._drop_locked(key)
                 removed += 1
             self._invalidations += removed
         return removed

@@ -469,6 +469,9 @@ class QueryEngine:
         # query, recorded by hint_parent() and consumed opportunistically.
         self._hints: Dict[str, SDLQuery] = {}
         self._hints_lock = threading.Lock()
+        # Guards _state replacement and the _indexes memo; readers of
+        # _state stay lock-free (single atomic reference read).
+        self._state_lock = threading.Lock()
         # Shards are shared between siblings through the source's memo
         # (same data, one materialisation per version).
         self._partitions = max(1, int(partitions))
@@ -481,17 +484,26 @@ class QueryEngine:
     # -- live data -------------------------------------------------------------
 
     def _refresh(self) -> _LiveState:
-        """The current evaluation state, re-sharding after a mutation."""
+        """The current evaluation state, re-sharding after a mutation.
+
+        Double-checked: the hot path is one lock-free reference read plus
+        an integer comparison; only the first caller after a mutation
+        takes the state lock and rebuilds.
+        """
         state = self._state
         if self._source.version == state.version:
             return state
-        version, snapshot = self._source.state()
-        sharded = self._source.partitioned(self._partitions)
-        if sharded.table is not snapshot:  # pragma: no cover - mutation race
-            sharded = PartitionedTable(snapshot, self._partitions)
-        state = _LiveState(version, snapshot, sharded)
-        self._state = state
-        return state
+        with self._state_lock:
+            state = self._state
+            if self._source.version == state.version:
+                return state
+            version, snapshot = self._source.state()
+            sharded = self._source.partitioned(self._partitions)
+            if sharded.table is not snapshot:  # pragma: no cover - mutation race
+                sharded = PartitionedTable(snapshot, self._partitions)
+            state = _LiveState(version, snapshot, sharded)
+            self._state = state
+            return state
 
     @property
     def source(self) -> Any:
@@ -619,7 +631,7 @@ class QueryEngine:
 
     def clear_cache(self) -> None:
         """Drop every cached result (affects all engines sharing the cache)."""
-        self._cache.clear()
+        self._cache.clear()  # lint: ignore[CHR002] ResultCache locks internally
 
     # -- index ---------------------------------------------------------------
 
@@ -635,13 +647,17 @@ class QueryEngine:
     def _index_for(self, attribute: str, state: _LiveState) -> SortedIndex:
         """Indexes are keyed by data version; a mutation drops old ones."""
         key = (state.version, attribute)
-        index = self._indexes.get(key)
-        if index is None:
+        with self._state_lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                return index
             if any(version != state.version for version, _ in self._indexes):
                 self._indexes = {}
-            index = SortedIndex(state.table.column(attribute))
-            self._indexes[key] = index
-        return index
+        # Build outside the lock (sorting can be expensive); two racing
+        # builders produce equal indexes and setdefault keeps one.
+        index = SortedIndex(state.table.column(attribute))
+        with self._state_lock:
+            return self._indexes.setdefault(key, index)
 
     # -- partitioned execution ------------------------------------------------
 

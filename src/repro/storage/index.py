@@ -203,9 +203,16 @@ class BitmapIndex:
 
     def valid(self) -> np.ndarray:
         """The column's validity bitmap, cached."""
-        if self._valid is None:
-            self._valid = self.column.valid_mask()
-        return self._valid
+        valid = self._valid
+        if valid is not None:
+            return valid
+        # Compute outside the lock (racing builders produce equal masks),
+        # publish the first one under it.
+        valid = self.column.valid_mask()
+        with self._lock:
+            if self._valid is None:
+                self._valid = valid
+            return self._valid
 
     def mask_set(self, values: Iterable[Any]) -> np.ndarray:
         """Equality / IN mask: OR of per-value bitmaps.

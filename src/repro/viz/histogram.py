@@ -24,7 +24,7 @@ from repro.errors import VisualizationError
 from repro.sdl.formatter import format_segment_label
 from repro.sdl.query import SDLQuery
 from repro.sdl.segmentation import Segmentation
-from repro.storage.engine import QueryEngine
+from repro.backends.base import ExecutionBackend
 
 __all__ = ["value_histogram", "segment_distributions", "numeric_sparkline"]
 
@@ -33,7 +33,7 @@ _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
 def value_histogram(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     attribute: str,
     query: Optional[SDLQuery] = None,
     width: int = 30,
@@ -66,7 +66,7 @@ def value_histogram(
 
 
 def numeric_sparkline(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     attribute: str,
     query: Optional[SDLQuery] = None,
     bins: int = 16,
@@ -98,7 +98,7 @@ def numeric_sparkline(
 
 
 def segment_distributions(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     segmentation: Segmentation,
     attribute: str,
     width: int = 24,
@@ -137,7 +137,7 @@ def segment_distributions(
 
 
 def _nominal_row(
-    engine: QueryEngine,
+    engine: ExecutionBackend,
     query: SDLQuery,
     attribute: str,
     ordered_values: Sequence,

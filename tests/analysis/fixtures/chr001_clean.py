@@ -1,0 +1,8 @@
+"""CHR001 true negative: programs against the backend protocol only."""
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import open_backend
+
+
+def build(spec: str) -> ExecutionBackend:
+    return open_backend(spec)

@@ -1,0 +1,5 @@
+"""CHR001 suppression honoured: an acknowledged concrete-engine import."""
+
+from repro.storage.engine import QueryEngine  # lint: ignore[CHR001] fixture exercises the escape hatch
+
+__all__ = ["QueryEngine"]

@@ -1,0 +1,8 @@
+"""CHR001 true positive: concrete engine imports outside the allowed layers."""
+
+from repro.storage.engine import QueryEngine  # line 3: forbidden class import
+import repro.backends.sqlite  # line 4: forbidden module import
+
+
+def build(table):
+    return QueryEngine(table), repro.backends.sqlite

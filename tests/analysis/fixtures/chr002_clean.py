@@ -1,0 +1,32 @@
+"""CHR002 true negatives: guarded mutations, _locked helpers, lock-free classes."""
+
+import threading
+
+
+class Disciplined:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._entries = {}
+
+    def record(self):
+        with self._lock:
+            self._hits += 1
+            self._drop_locked("stale")
+
+    def _drop_locked(self, key):
+        self._entries.pop(key, None)  # contract: caller holds the lock
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)
+
+
+class Unsynchronised:
+    """No lock owned: plain mutation is fine (single-threaded by design)."""
+
+    def __init__(self):
+        self._hits = 0
+
+    def record(self):
+        self._hits += 1

@@ -1,0 +1,12 @@
+"""CHR002 suppression honoured: a deliberate atomic reference swap."""
+
+import threading
+
+
+class AtomicSwap:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = ()
+
+    def publish(self, state):
+        self._state = tuple(state)  # lint: ignore[CHR002] atomic reference swap

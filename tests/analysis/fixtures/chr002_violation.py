@@ -1,0 +1,25 @@
+"""CHR002 true positives: unlocked mutations in a lock-owning class."""
+
+import threading
+
+
+class Racy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._entries = {}
+
+    def record(self):
+        self._hits += 1  # line 13: augmented assignment outside the lock
+
+    def stash(self, key, value):
+        self._entries[key] = value  # line 16: subscript store outside the lock
+
+    def evict(self, key):
+        self._entries.pop(key, None)  # line 19: mutator call outside the lock
+
+    def closure(self):
+        with self._lock:
+            def later():
+                self._hits = 0  # line 24: nested def may outlive the lock
+            return later

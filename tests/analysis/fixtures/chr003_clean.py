@@ -1,0 +1,10 @@
+"""CHR003 true negatives: add()/merge() and unrelated augmented assignment."""
+
+
+def tally(counter, other, trace):
+    counter.add(count_calls=1, cache_hits=2)
+    counter.merge(other)
+    trace.pair_cache_rounds += 1  # not a counter tally, not a counter receiver
+    total = 0
+    total += 1
+    return total

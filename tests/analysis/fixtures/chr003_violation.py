@@ -1,0 +1,6 @@
+"""CHR003 true positives: bare += on counter tallies."""
+
+
+def tally(counter, engine):
+    counter.count_calls += 1  # line 5: named tally field
+    engine.counter.whatever += 2  # line 6: receiver named counter

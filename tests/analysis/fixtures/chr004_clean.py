@@ -1,0 +1,20 @@
+"""CHR004 true negatives: versioned calls, positional versions, plain dicts."""
+
+from typing import Any, Dict, Optional
+
+
+def lookup(cache, key: str, value: Any, version: int) -> Any:
+    cache.put(key, value, version=version)
+    cache.put(key, value, version)  # version passed positionally
+    if cache.peek(key, version=None) is None:  # static table, explicit None
+        return cache.get_or_compute(key, lambda: value, version=version)
+    return cache.get(key, version=version)
+
+
+def memoise(cache: Dict[str, Any], key: str) -> Optional[Any]:
+    # A plain dict annotated as such is not a ResultCache: exempt.
+    return cache.get(key)
+
+
+def forward(cache, key, **options):
+    return cache.get(key, **options)  # **kwargs may carry version: exempt

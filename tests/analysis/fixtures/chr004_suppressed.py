@@ -1,0 +1,5 @@
+"""CHR004 suppression honoured."""
+
+
+def lookup(cache, key):
+    return cache.get(key)  # lint: ignore[CHR004] table is immutable here

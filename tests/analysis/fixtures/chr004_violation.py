@@ -1,0 +1,7 @@
+"""CHR004 true positives: version-less ResultCache traffic."""
+
+
+def lookup(cache, advice_cache, key, value):
+    hit = cache.get(key)  # line 5
+    advice_cache.put(key, value)  # line 6
+    return hit or cache.get_or_compute(key, lambda: value)  # line 7

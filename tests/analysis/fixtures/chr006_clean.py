@@ -1,0 +1,14 @@
+"""CHR006 true negatives: every unordered source goes through sorted()."""
+
+
+def encode_set(values: frozenset) -> dict:
+    return {"$set": [v for v in sorted(values, key=str)]}
+
+
+def dump_keys(mapping: dict) -> list:
+    out = []
+    for key in sorted(mapping.keys()):
+        out.append(key)
+    for key, value in mapping.items():  # insertion-ordered: fine
+        out.append((key, value))
+    return out

@@ -1,0 +1,16 @@
+"""CHR006 true positives: unordered iteration in a codec dump path."""
+
+
+def encode_set(values: frozenset) -> dict:
+    return {"$set": [v for v in values if v]} | {  # not flagged: bare name
+        "$also": [str(v) for v in set(values)]  # line 6: bare set(...) call
+    }
+
+
+def dump_keys(mapping: dict) -> list:
+    out = []
+    for key in mapping.keys():  # line 12: bare dict.keys()
+        out.append(key)
+    for tag in {"b", "a"}:  # line 14: set literal
+        out.append(tag)
+    return out

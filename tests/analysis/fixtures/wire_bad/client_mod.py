@@ -1,0 +1,18 @@
+"""CHR005 fixture: client calls an unknown op and never reaches 'orphan'."""
+
+
+class Client:
+    def call(self, op, **params):
+        return {"op": op, "params": params}
+
+    def advise(self, question):
+        return self.call("advise", question=question)
+
+    def drill(self, dimension):
+        return self.call("explore", dimension=dimension)  # via alias
+
+    def stats(self):
+        return self.call("stats")
+
+    def bogus(self):
+        return self.call("vanish")  # not in the op table

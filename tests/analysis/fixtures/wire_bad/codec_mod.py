@@ -1,0 +1,37 @@
+"""CHR005 fixture: asymmetric codec tables.
+
+Defects: ``_encode_blob`` emits no ``$type`` tag; tag ``mark`` encodes but
+never decodes; tag ``point`` decodes but nothing encodes it.
+"""
+
+
+def _encode_span(value):
+    return {"$type": "span", "lo": value.lo, "hi": value.hi}
+
+
+def _encode_blob(value):
+    return {"bytes": list(value)}
+
+
+def _encode_mark(value):
+    return {"$type": "mark", "at": value.at}
+
+
+def _decode_span(payload):
+    return (payload["lo"], payload["hi"])
+
+
+def _decode_point(payload):
+    return payload["at"]
+
+
+_OBJECT_ENCODERS = {
+    "Span": _encode_span,
+    "Blob": _encode_blob,
+    "Mark": _encode_mark,
+}
+
+_OBJECT_DECODERS = {
+    "span": _decode_span,
+    "point": _decode_point,
+}

@@ -1,0 +1,17 @@
+"""CHR005 fixture: error hierarchy with a missing and a re-used wire code."""
+
+
+class WireError(Exception):
+    code = "wire.error"
+
+
+class TimeoutError_(WireError):
+    code = "wire.timeout"
+
+
+class MissingCodeError(WireError):
+    """Declares no code of its own: envelopes would report the parent's."""
+
+
+class UsesTakenCodeError(WireError):
+    code = "wire.timeout"  # already owned by TimeoutError_

@@ -1,0 +1,14 @@
+"""CHR005 fixture: op table with a handler-less op and broken aliases."""
+
+OPERATIONS = {
+    "advise": {"params": ("question",)},
+    "drill": {"params": ("dimension",)},
+    "stats": {"params": ()},
+    "orphan": {"params": ()},  # no handler and no client caller
+}
+
+OPERATION_ALIASES = {
+    "explore": "drill",
+    "inspect": "missing_op",  # targets an op that does not exist
+    "drill": "advise",  # shadows a canonical operation name
+}

@@ -1,0 +1,15 @@
+"""CHR005 fixture: service handlers out of step with the op table."""
+
+
+class Service:
+    def _op_advise(self, payload):
+        return {"answer": payload["question"]}
+
+    def _op_drill(self, payload):
+        return {"dimension": payload["dimension"]}
+
+    def _op_stats(self, payload):
+        return {}
+
+    def _op_legacy(self, payload):  # no OPERATIONS entry
+        return {}

@@ -1,0 +1,15 @@
+"""CHR005 fixture (clean): the client reaches every op (one via alias)."""
+
+
+class Client:
+    def call(self, op, **params):
+        return {"op": op, "params": params}
+
+    def advise(self, question):
+        return self.call("advise", question=question)
+
+    def drill(self, dimension):
+        return self.call("explore", dimension=dimension)  # alias for drill
+
+    def stats(self):
+        return self.call("stats")

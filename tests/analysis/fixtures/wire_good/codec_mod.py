@@ -1,0 +1,28 @@
+"""CHR005 fixture (clean): encoder and decoder tables are symmetric."""
+
+
+def _encode_span(value):
+    return {"$type": "span", "lo": value.lo, "hi": value.hi}
+
+
+def _encode_mark(value):
+    return {"$type": "mark", "at": value.at}
+
+
+def _decode_span(payload):
+    return (payload["lo"], payload["hi"])
+
+
+def _decode_mark(payload):
+    return payload["at"]
+
+
+_OBJECT_ENCODERS = {
+    "Span": _encode_span,
+    "Mark": _encode_mark,
+}
+
+_OBJECT_DECODERS = {
+    "span": _decode_span,
+    "mark": _decode_mark,
+}

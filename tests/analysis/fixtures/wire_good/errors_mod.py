@@ -1,0 +1,13 @@
+"""CHR005 fixture (clean): every error owns a unique wire code."""
+
+
+class WireError(Exception):
+    code = "wire.error"
+
+
+class TimeoutError_(WireError):
+    code = "wire.timeout"
+
+
+class BusyError(TimeoutError_):
+    code = "wire.busy"

@@ -1,0 +1,11 @@
+"""CHR005 fixture (clean): op table and aliases are consistent."""
+
+OPERATIONS = {
+    "advise": {"params": ("question",)},
+    "drill": {"params": ("dimension",)},
+    "stats": {"params": ()},
+}
+
+OPERATION_ALIASES = {
+    "explore": "drill",
+}

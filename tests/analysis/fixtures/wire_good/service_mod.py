@@ -1,0 +1,12 @@
+"""CHR005 fixture (clean): one handler per table entry, no strays."""
+
+
+class Service:
+    def _op_advise(self, payload):
+        return {"answer": payload["question"]}
+
+    def _op_drill(self, payload):
+        return {"dimension": payload["dimension"]}
+
+    def _op_stats(self, payload):
+        return {}

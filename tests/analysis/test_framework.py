@@ -1,0 +1,247 @@
+"""Unit tests for the lint framework: sources, config, driver, rendering."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    ModuleSource,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_paths,
+    load_config,
+    run_lint,
+)
+from repro.analysis.framework import (
+    PARSE_ERROR_RULE,
+    _module_name,
+    _parse_suppressions,
+    attribute_chain,
+    parse_modules,
+    register,
+)
+
+
+class TestSuppressions:
+    def test_bare_ignore_silences_every_rule(self):
+        sup = _parse_suppressions("x = 1  # lint: ignore\n")
+        assert sup == {1: None}
+
+    def test_bracketed_ignore_lists_rule_ids(self):
+        sup = _parse_suppressions("x = 1  # lint: ignore[CHR001, CHR002] reason\n")
+        assert sup == {1: frozenset({"CHR001", "CHR002"})}
+
+    def test_unrelated_comments_are_not_suppressions(self):
+        assert _parse_suppressions("x = 1  # lint is great\n") == {}
+
+    def test_is_suppressed(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "a = 1  # lint: ignore[CHR003]\n"
+            "b = 2  # lint: ignore\n"
+            "c = 3\n"
+        )
+        module = ModuleSource.parse(path)
+        assert module.is_suppressed("CHR003", 1)
+        assert not module.is_suppressed("CHR002", 1)
+        assert module.is_suppressed("CHR002", 2)  # bare ignore covers all
+        assert not module.is_suppressed("CHR003", 3)
+
+
+class TestModuleNames:
+    def test_package_layout_yields_dotted_name(self, tmp_path):
+        (tmp_path / "pkg" / "sub").mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+        target = tmp_path / "pkg" / "sub" / "mod.py"
+        target.write_text("x = 1\n")
+        assert _module_name(target) == "pkg.sub.mod"
+        assert _module_name(tmp_path / "pkg" / "sub" / "__init__.py") == "pkg.sub"
+
+    def test_loose_file_maps_to_stem(self, tmp_path):
+        target = tmp_path / "loose.py"
+        target.write_text("x = 1\n")
+        assert _module_name(target) == "loose"
+
+
+class TestFinding:
+    def _finding(self):
+        return Finding(
+            rule_id="CHR999",
+            path="src/x.py",
+            line=7,
+            col=4,
+            message="something drifted",
+            hint="fix it like so",
+        )
+
+    def test_format_includes_location_rule_and_hint(self):
+        text = self._finding().format()
+        assert "src/x.py:7:4" in text
+        assert "CHR999" in text
+        assert "fix it like so" in text
+        assert "fix it like so" not in self._finding().format(show_hint=False)
+
+    def test_to_json_shape(self):
+        doc = self._finding().to_json()
+        assert doc == {
+            "rule": "CHR999",
+            "path": "src/x.py",
+            "line": 7,
+            "col": 4,
+            "message": "something drifted",
+            "hint": "fix it like so",
+        }
+
+    def test_sort_key_orders_by_path_then_line(self):
+        first = Finding(rule_id="CHR002", path="a.py", line=3, message="m")
+        second = Finding(rule_id="CHR001", path="a.py", line=9, message="m")
+        third = Finding(rule_id="CHR001", path="b.py", line=1, message="m")
+        assert sorted([third, second, first], key=Finding.sort_key) == [
+            first,
+            second,
+            third,
+        ]
+
+
+class TestRegistry:
+    def test_all_rules_contains_the_six_shipped_rules(self):
+        ids = set(all_rules())
+        assert {"CHR001", "CHR002", "CHR003", "CHR004", "CHR005", "CHR006"} <= ids
+
+    def test_get_rule_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="CHR942"):
+            get_rule("CHR942")
+
+    def test_register_rejects_duplicate_ids(self):
+        class Imposter(Rule):
+            rule_id = "CHR001"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Imposter)
+
+    def test_register_rejects_missing_id(self):
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="no rule_id"):
+            register(Anonymous)
+
+
+class TestConfig:
+    def test_defaults_select_every_rule(self):
+        selected = {rule.rule_id for rule in LintConfig().selected_rules()}
+        assert selected == set(all_rules())
+
+    def test_ignore_removes_rules(self):
+        config = LintConfig(ignore=("CHR005",))
+        assert "CHR005" not in {r.rule_id for r in config.selected_rules()}
+
+    def test_unknown_enable_entry_raises(self):
+        with pytest.raises(KeyError, match="CHR942"):
+            LintConfig(enable=("CHR942",)).selected_rules()
+
+    def test_exclude_is_substring_match(self):
+        config = LintConfig(exclude=("tests/analysis/fixtures",))
+        assert config.is_excluded("tests/analysis/fixtures/chr001_violation.py")
+        assert not config.is_excluded("src/repro/errors.py")
+
+    def test_load_config_reads_pyproject_when_tomllib_available(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent(
+                """
+                [tool.charles-lint]
+                ignore = ["CHR006"]
+                exclude = ["somewhere/else"]
+
+                [tool.charles-lint.rules.CHR001]
+                forbidden_names = ["Nope"]
+                """
+            )
+        )
+        config = load_config(tmp_path)
+        try:
+            import tomllib  # noqa: F401
+        except ImportError:
+            # Python 3.10: no parser, defaults by design (pyproject restates them).
+            assert config == LintConfig()
+        else:
+            assert config.ignore == ("CHR006",)
+            assert config.exclude == ("somewhere/else",)
+            assert config.rule_options["CHR001"] == {"forbidden_names": ["Nope"]}
+
+    def test_load_config_without_pyproject_returns_defaults(self, tmp_path):
+        assert load_config(tmp_path) == LintConfig()
+
+
+class TestDriver:
+    def test_syntax_error_becomes_chr000_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def nope(:\n")
+        modules, errors = parse_modules([bad])
+        assert modules == {}
+        assert [f.rule_id for f in errors] == [PARSE_ERROR_RULE]
+        assert errors[0].line == 1
+
+    def test_lint_paths_filters_suppressed_findings(self, tmp_path):
+        target = tmp_path / "tallies.py"
+        target.write_text(
+            "def f(counter):\n"
+            "    counter.evaluations += 1\n"
+            "    counter.cache_hits += 1  # lint: ignore[CHR003]\n"
+        )
+        findings = lint_paths([target], rules=[get_rule("CHR003")()])
+        assert [f.line for f in findings] == [2]
+
+    def test_lint_paths_respects_exclude(self, tmp_path):
+        target = tmp_path / "skipme" / "tallies.py"
+        target.parent.mkdir()
+        target.write_text("def f(counter):\n    counter.evaluations += 1\n")
+        config = LintConfig(exclude=("skipme",))
+        assert lint_paths([tmp_path], config, rules=[get_rule("CHR003")()]) == []
+
+    def test_attribute_chain(self):
+        import ast
+
+        expr = ast.parse("self._entries[key].inner", mode="eval").body
+        assert attribute_chain(expr) == ("self", "_entries", "inner")
+        assert attribute_chain(ast.parse("f().x", mode="eval").body) is None
+
+
+class TestRunLint:
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        code, report = run_lint([str(tmp_path)])
+        assert code == 0
+        assert "0 findings" in report
+
+    def test_exit_one_with_findings_and_json_shape(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "def f(counter):\n    counter.evaluations += 1\n"
+        )
+        code, report = run_lint([str(tmp_path)], as_json=True)
+        assert code == 1
+        document = json.loads(report)
+        assert document["version"] == 1
+        assert document["files"] == 1
+        assert [f["rule"] for f in document["findings"]] == ["CHR003"]
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        code, report = run_lint([str(tmp_path)], rules=["CHR942"])
+        assert code == 2
+        assert "unknown rule" in report
+
+    def test_rules_narrows_the_run(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "def f(counter, cache, key):\n"
+            "    counter.evaluations += 1\n"
+            "    return cache.get(key)\n"
+        )
+        code, report = run_lint([str(tmp_path)], rules=["CHR004"])
+        assert code == 1
+        assert "CHR004" in report and "CHR003" not in report

@@ -89,20 +89,32 @@ class TestBackendWrapper:
 
 
 class TestLayerBoundary:
-    """The acceptance criterion: core/service never import QueryEngine."""
+    """The acceptance criterion: core/service never import QueryEngine.
+
+    Since the analysis package landed, the single source of truth for
+    this invariant is lint rule CHR001 (``repro.analysis``); the original
+    ad-hoc line scan lives on only as this thin, greppably-named wrapper.
+    """
 
     @pytest.mark.parametrize("package", ["core", "service"])
     def test_no_concrete_engine_imports(self, package):
-        offenders = []
-        for path in sorted((SRC_ROOT / package).glob("*.py")):
-            source = path.read_text(encoding="utf-8")
-            for line in source.splitlines():
-                stripped = line.strip()
-                if stripped.startswith("#"):
-                    continue
-                if "import" in stripped and "QueryEngine" in stripped:
-                    offenders.append(f"{path.name}: {stripped}")
-        assert not offenders, (
+        from repro.analysis import get_rule, lint_paths
+
+        rule = get_rule("CHR001")()
+        findings = lint_paths([SRC_ROOT / package], rules=[rule])
+        assert not findings, (
             "core/service modules must depend on the ExecutionBackend "
-            f"protocol, not the concrete engine: {offenders}"
+            "protocol, not the concrete engine:\n"
+            + "\n".join(f.format(show_hint=False) for f in findings)
         )
+
+    def test_rule_catches_a_planted_violation(self, tmp_path):
+        from repro.analysis import get_rule, lint_paths
+
+        planted = tmp_path / "offender.py"
+        planted.write_text(
+            "from repro.storage.engine import QueryEngine\n", encoding="utf-8"
+        )
+        findings = lint_paths([planted], rules=[get_rule("CHR001")()])
+        assert [f.rule_id for f in findings] == ["CHR001"]
+        assert findings[0].line == 1
