@@ -1,0 +1,161 @@
+"""E18 — approximate-first advise: time-to-first-advice and the error/speed frontier.
+
+The sketch tier's whole purpose is the paper's latency argument: the
+analyst needs a ranked next step *now*, and the exact answer can catch
+up.  This benchmark quantifies that promise on the E6 vertical-
+scalability workload (VOC at growing row counts, same context):
+
+* **time-to-first-advice** — a cold ``advise`` per mode: interactive
+  (sketch-ranked, with its reported error bound) vs exact, both paying
+  their one-time build costs inside the timing.  The sketch path must be
+  at least 5× faster at the largest size on measurement runs.
+* **error/speed frontier** — interactive advise across sketch budgets:
+  bigger budgets buy tighter reported bounds at higher first-answer
+  latency, mapping the knob an operator actually turns.
+
+Mode routing goes through ``Charles.advise`` directly (not sessions), so
+no background refinement thread competes with the timed foreground work.
+Every figure is recorded through :func:`conftest.record` for the
+``--json-out`` trajectory rows CI archives.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from conftest import is_smoke, print_table, record, scale
+
+from repro.core import Charles
+from repro.workloads import generate_voc
+
+_SIZES = scale((1_000, 5_000, 20_000, 50_000, 100_000), (300, 600, 1_200))
+_BUDGETS = (64, 256, 1024)
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
+_MAX_ANSWERS = 6
+#: Timing comparisons need real parallel headroom to be meaningful.
+_CAN_MEASURE_SPEEDUP = (os.cpu_count() or 1) >= 4
+
+
+def _cold_advise(table, mode: str, backend: str = "memory"):
+    """One cold ``advise``: fresh advisor, build costs inside the timing."""
+    advisor = Charles(table, backend=backend)
+    started = time.perf_counter()
+    advice = advisor.advise(_CONTEXT, max_answers=_MAX_ANSWERS, mode=mode)
+    elapsed = time.perf_counter() - started
+    return advice, elapsed
+
+
+def _fingerprint(advice):
+    return [answer.segmentation.cut_attributes for answer in advice.answers]
+
+
+def test_e18_time_to_first_advice(benchmark):
+    def run_all():
+        outcomes = {}
+        for rows in _SIZES:
+            table = generate_voc(rows=rows, seed=21)
+            exact, exact_s = _cold_advise(table, "exact")
+            approx, approx_s = _cold_advise(table, "interactive")
+            assert exact.approximate is False
+            assert approx.approximate is True and approx.error_bound is not None
+            exact_keys = _fingerprint(exact)
+            overlap = sum(
+                1 for key in _fingerprint(approx) if key in exact_keys
+            ) / max(1, len(_fingerprint(approx)))
+            outcomes[rows] = {
+                "exact_s": exact_s,
+                "approx_s": approx_s,
+                "speedup": exact_s / approx_s if approx_s > 0 else float("inf"),
+                "bound": approx.error_bound,
+                "overlap": overlap,
+            }
+        return outcomes
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for rows, outcome in results.items():
+        record("e18", "first_advice_exact_ms", round(outcome["exact_s"] * 1000, 2),
+               rows=rows, mode="exact")
+        record("e18", "first_advice_approx_ms", round(outcome["approx_s"] * 1000, 2),
+               rows=rows, mode="interactive", error_bound=round(outcome["bound"], 6))
+        record("e18", "first_advice_speedup", round(outcome["speedup"], 2), rows=rows)
+        record("e18", "topk_overlap", round(outcome["overlap"], 3), rows=rows)
+
+    print_table(
+        "E18 — cold time-to-first-advice, sketch tier vs exact (VOC)",
+        ["rows", "exact", "interactive", "speedup", "bound", "top-k overlap"],
+        [
+            (
+                f"{rows:,}",
+                f"{o['exact_s'] * 1000:.1f} ms",
+                f"{o['approx_s'] * 1000:.1f} ms",
+                f"{o['speedup']:.1f}x",
+                f"±{o['bound']:.2%}",
+                f"{o['overlap']:.0%}",
+            )
+            for rows, o in results.items()
+        ],
+    )
+
+    largest = results[max(results)]
+    benchmark.extra_info["largest_size_speedup"] = round(largest["speedup"], 2)
+    # The first sketch-ranked answer must stay in interactive territory:
+    # at the largest size it has to beat exact by at least 5x.
+    if not is_smoke() and _CAN_MEASURE_SPEEDUP:
+        assert largest["speedup"] >= 5.0, (
+            f"expected >=5x faster first advice from the sketch tier at "
+            f"{max(results):,} rows, measured {largest['speedup']:.2f}x"
+        )
+
+
+def test_e18_error_speed_frontier(benchmark):
+    rows = max(_SIZES)
+    table = generate_voc(rows=rows, seed=21)
+    exact_keys = _fingerprint(
+        Charles(table).advise(_CONTEXT, max_answers=_MAX_ANSWERS)
+    )
+
+    def run_frontier():
+        outcomes = {}
+        for budget in _BUDGETS:
+            advice, elapsed = _cold_advise(
+                table, "interactive", backend=f"memory?approx={budget}"
+            )
+            keys = _fingerprint(advice)
+            outcomes[budget] = {
+                "seconds": elapsed,
+                "bound": advice.error_bound,
+                "overlap": sum(1 for key in keys if key in exact_keys)
+                / max(1, len(keys)),
+            }
+        return outcomes
+
+    results = benchmark.pedantic(run_frontier, rounds=1, iterations=1)
+
+    for budget, outcome in results.items():
+        record("e18", "frontier_advice_ms", round(outcome["seconds"] * 1000, 2),
+               rows=rows, budget=budget, error_bound=round(outcome["bound"], 6),
+               overlap=round(outcome["overlap"], 3))
+
+    print_table(
+        f"E18 — error/speed frontier over sketch budgets (VOC, {rows:,} rows)",
+        ["budget", "first advice", "reported bound", "top-k overlap"],
+        [
+            (
+                budget,
+                f"{o['seconds'] * 1000:.1f} ms",
+                f"±{o['bound']:.2%}",
+                f"{o['overlap']:.0%}",
+            )
+            for budget, o in results.items()
+        ],
+    )
+
+    # Bigger budgets must never report looser bounds: the knob is
+    # monotone in the direction the operator expects.
+    bounds = [results[budget]["bound"] for budget in _BUDGETS]
+    assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bounds, bounds[1:])), (
+        f"reported bounds should tighten with budget, got {bounds}"
+    )

@@ -10,7 +10,11 @@ survive in the JSON output.
 
 from __future__ import annotations
 
+import datetime
+import functools
 import json
+import pathlib
+import subprocess
 from typing import Any, Dict, Iterable, List, Sequence
 
 import pytest
@@ -27,6 +31,26 @@ _JSON_ROWS: List[Dict[str, Any]] = []
 _JSON_PATH: Any = None
 
 
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str:
+    """The repository HEAD at measurement time (``"unknown"`` outside git)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _timestamp() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
 def pytest_addoption(parser) -> None:
     parser.addoption(
         "--smoke",
@@ -40,7 +64,8 @@ def pytest_addoption(parser) -> None:
         metavar="PATH",
         help=(
             "write the rows benchmarks record() as a JSON array of "
-            "{bench, metric, value, config} objects (e.g. BENCH_results.json); "
+            "{bench, metric, value, config, git_sha, timestamp} objects "
+            "(e.g. BENCH_results.json); "
             "CI uploads these as the benchmark-trajectory artifact"
         ),
     )
@@ -58,9 +83,19 @@ def record(bench: str, metric: str, value: Any, **config: Any) -> None:
     Rows accumulate regardless of flags (the cost is a dict append) and
     are written out only when the session runs with ``--json-out``, so
     benchmarks call this unconditionally next to their ``print_table``.
+    Every row is stamped with the git SHA and a UTC ISO timestamp so
+    archived artifact rows stay attributable to the commit that produced
+    them (the benchmark-trajectory requirement).
     """
     _JSON_ROWS.append(
-        {"bench": bench, "metric": metric, "value": value, "config": config}
+        {
+            "bench": bench,
+            "metric": metric,
+            "value": value,
+            "config": config,
+            "git_sha": _git_sha(),
+            "timestamp": _timestamp(),
+        }
     )
 
 

@@ -26,6 +26,7 @@ synthetic modules.
 from __future__ import annotations
 
 import ast
+import fnmatch
 from typing import (
     Any,
     Dict,
@@ -436,9 +437,12 @@ class VersionedCacheRule(Rule):
 
     An unversioned ``get``/``peek``/``put`` on a live table can serve a
     stale answer across a mutation (PR 5's invariant).  The rule matches
-    call sites whose receiver is named ``cache`` / ``*_cache`` — except
-    receivers statically annotated as plain dicts (the memoisation
-    dictionaries in ``core/`` are not version-keyed caches).
+    call sites whose receiver name matches one of the configured
+    ``receivers`` patterns (default: ``cache`` / ``*_cache`` /
+    ``sketches`` / ``*_sketches``, covering the approximate tier's
+    sketch caches) — except receivers statically annotated as plain
+    dicts (the memoisation dictionaries in ``core/`` are not
+    version-keyed caches).
     """
 
     rule_id = "CHR004"
@@ -453,10 +457,21 @@ class VersionedCacheRule(Rule):
         "put": 3,
         "get_or_compute": 3,
     }
+    #: ``fnmatch``-style receiver-name patterns the rule covers.  The
+    #: sketch patterns arrived with the approximate tier: its merged-sketch
+    #: ``ResultCache`` receivers (``self._sketches``) must be version-keyed
+    #: exactly like result caches, or an ingest serves stale sketches.
+    DEFAULT_RECEIVERS: Tuple[str, ...] = (
+        "cache",
+        "*_cache",
+        "sketches",
+        "*_sketches",
+    )
     _DICT_ANNOTATIONS = ("Dict", "dict", "Mapping", "MutableMapping", "OrderedDict")
 
     def check_module(self, module: ModuleSource) -> Iterator[Finding]:
         methods = dict(self.option("methods", self.DEFAULT_METHODS))
+        self._receivers = tuple(self.option("receivers", self.DEFAULT_RECEIVERS))
         yield from self._scan(module, module.tree, methods, annotations={})
 
     def _scan(
@@ -494,7 +509,9 @@ class VersionedCacheRule(Rule):
             return
         receiver = func.value
         name = _terminal_name(receiver)
-        if name is None or not (name == "cache" or name.endswith("_cache")):
+        if name is None or not any(
+            fnmatch.fnmatchcase(name, pattern) for pattern in self._receivers
+        ):
             return
         if isinstance(receiver, ast.Name) and self._is_plain_dict(
             annotations.get(receiver.id)

@@ -191,18 +191,34 @@ class RemoteSession:
 
     # -- the Figure 1 loop ----------------------------------------------------
 
-    def advise(self, context: ContextLike = None, refresh: bool = False) -> Advice:
+    def advise(
+        self,
+        context: ContextLike = None,
+        refresh: bool = False,
+        mode: str = "exact",
+    ) -> Advice:
         """Start (or restart) the session at a context and return advice.
 
         ``refresh=True`` with no context recomputes the current context's
         advice against the server's newest data version — the follow-up
         to a :attr:`stale` flag raised by an ingest.
+
+        ``mode="interactive"`` serves sketch-ranked approximate advice
+        (the returned :class:`~repro.core.advisor.Advice` has
+        ``approximate=True`` and an ``error_bound``) while the server
+        refines it exactly in the background; collect the exact answers
+        with :meth:`refine`.
         """
+        params: Dict[str, Any] = {"context": context}
         if refresh:
-            return self.advisor.call(
-                "advise", session=self.name, context=context, refresh=True
-            )
-        return self.advisor.call("advise", session=self.name, context=context)
+            params["refresh"] = True
+        if mode != "exact":
+            params["mode"] = mode
+        return self.advisor.call("advise", session=self.name, **params)
+
+    def refine(self) -> Advice:
+        """Exact advice at the current context, replacing an approximate one."""
+        return self.advisor.call("refine", session=self.name)
 
     def drill(self, answer_index: int, segment_index: int) -> Advice:
         """Drill into one segment of one ranked answer."""

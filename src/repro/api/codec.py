@@ -228,6 +228,8 @@ def _encode_advice(advice: Advice) -> Dict[str, Any]:
         "trace": _encode_trace(advice.trace),
         "ranker_name": advice.ranker_name,
         "engine_operations": _encode_dict(advice.engine_operations),
+        "approximate": advice.approximate,
+        "error_bound": to_wire(advice.error_bound),
     }
 
 
@@ -349,12 +351,17 @@ def _decode_trace(payload: Dict[str, Any]) -> HBCutsTrace:
 
 
 def _decode_advice(payload: Dict[str, Any]) -> Advice:
+    # ``approximate``/``error_bound`` arrived with the sketch tier; they
+    # default rather than require so version-1 payloads written before
+    # the fields existed still decode (as exact advice).
     return Advice(
         context=from_wire(_field(payload, "context")),
         answers=[from_wire(answer) for answer in _field(payload, "answers")],
         trace=from_wire(_field(payload, "trace")),
         ranker_name=_field(payload, "ranker_name"),
         engine_operations=from_wire(_field(payload, "engine_operations")),
+        approximate=bool(payload.get("approximate", False)),
+        error_bound=from_wire(payload.get("error_bound")),
     )
 
 

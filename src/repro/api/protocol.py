@@ -51,9 +51,10 @@ API_VERSION = 1
 #: parameters each accepts (documentation + validation; see docs/api.md).
 OPERATIONS: Dict[str, Tuple[str, ...]] = {
     "open_session": ("table", "context", "max_answers", "replace"),
-    "advise": ("context", "current", "refresh"),
+    "advise": ("context", "current", "refresh", "mode"),
     "drill": ("answer_index", "segment_index"),
     "back": (),
+    "refine": (),
     "count": ("context", "table"),
     "describe": (),
     "stats": (),

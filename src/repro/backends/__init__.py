@@ -10,6 +10,9 @@ package owns that contract:
   shared worker pool behind partitioned parallel evaluation;
 * :mod:`repro.backends.parallel` — :class:`ParallelEngine`, fanning
   counts/medians across row-range partitions through the pool;
+* :mod:`repro.backends.approx` — :class:`ApproxEngine`, answering counts
+  and medians from mergeable per-shard sketches with explicit error
+  bounds (``memory?approx=...``);
 * :mod:`repro.backends.sqlite` — :class:`SQLiteBackend`, executing SDL
   through the :mod:`repro.storage.sql` glue against ``sqlite3``;
 * :mod:`repro.backends.registry` — :class:`BackendRegistry` and
@@ -31,6 +34,8 @@ __all__ = [
     "BackendWrapper",
     "ExecutorPool",
     "ParallelEngine",
+    "ApproxEngine",
+    "Estimate",
     "SQLiteBackend",
     "BackendSpec",
     "BackendRegistry",
@@ -41,6 +46,8 @@ __all__ = [
 
 _LAZY = {
     "ParallelEngine": "repro.backends.parallel",
+    "ApproxEngine": "repro.backends.approx",
+    "Estimate": "repro.backends.approx",
     "SQLiteBackend": "repro.backends.sqlite",
     "BackendSpec": "repro.backends.registry",
     "BackendRegistry": "repro.backends.registry",

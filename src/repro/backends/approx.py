@@ -1,0 +1,514 @@
+"""ApproxEngine: bounded-error answers from mergeable per-shard sketches.
+
+The interactive half of ROADMAP's raw-speed work: instead of scanning,
+:class:`ApproxEngine` answers ``count`` / ``median`` /
+``value_frequencies`` by **merging per-shard sketches**
+(:mod:`repro.storage.sketches`) built lazily over the wrapped engine's
+:class:`~repro.storage.partition.PartitionedTable`.  Every approximate
+answer carries an explicit error bound, surfaced two ways:
+
+* the rich API (:meth:`approx_count`, :meth:`approx_median`) returns
+  :class:`Estimate` objects — ``(estimate, error_bound,
+  approximate=True)``;
+* the :class:`~repro.backends.base.ExecutionBackend` protocol methods
+  return plain values (so HB-cuts runs unchanged) while the engine
+  tracks the worst bound it reported, drained by
+  :meth:`take_error_bound` — that is the figure an interactive
+  :class:`~repro.core.advisor.Advice` stamps on itself.
+
+Error semantics, precisely: estimates for a **single** predicate (one
+range, one value set) are within the reported bound *provably* — the
+sketches track their rank error exactly and the differential harness
+asserts containment.  Multi-predicate counts multiply marginal
+selectivities under an attribute-independence assumption (the reported
+bound is the propagated marginal interval, not a joint guarantee), which
+is why approximate advice is always backed by an exact refinement path.
+
+Isolation is a hard invariant: the engine keeps its merged summaries in
+a **private** version-keyed cache and never computes masks or touches the
+wrapped engine's :class:`~repro.storage.cache.ResultCache`, so a later
+exact run over the same engine is byte-identical to one that never saw
+the approximate tier (the refinement-parity differential test enforces
+this).
+
+Specs: ``memory?approx=1`` (default budget) or ``memory?approx=4096``
+(budget in retained items per sketch) resolve here through
+:func:`repro.backends.open_backend`, composing with ``partitions``,
+``workers`` and ``index``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.backends.base import BackendWrapper, ExecutionBackend
+from repro.errors import BackendError, EmptyColumnError
+from repro.sdl.predicates import (
+    ExclusionPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.sdl.query import SDLQuery
+from repro.storage.cache import ResultCache
+from repro.storage.column import BoolColumn, NumericColumn
+from repro.storage.partition import PartitionedTable
+from repro.storage.sketches import (
+    DEFAULT_SKETCH_BUDGET,
+    MergeableQuantileSketch,
+    NominalCountSketch,
+    TableSketches,
+)
+from repro.storage.types import DataType, coerce_value
+
+__all__ = ["Estimate", "ApproxEngine"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One approximate answer: the value, its bound, and the approx flag.
+
+    ``error_bound`` is a fraction — of the table's rows for counts and
+    frequencies, of the selection's rank span for medians — so bounds are
+    comparable across table sizes.
+    """
+
+    estimate: Any
+    error_bound: float
+    approximate: bool = True
+
+
+class ApproxEngine(BackendWrapper):
+    """A backend answering statistics from merged per-shard sketches.
+
+    Parameters
+    ----------
+    inner:
+        The engine to wrap.  Must be memory-backed (a
+        :class:`~repro.storage.engine.QueryEngine` or a wrapper around
+        one): the sketch tier hangs off its partitioned shard set.
+    budget:
+        Retained items per quantile sketch (error shrinks as the budget
+        grows; see :data:`~repro.storage.sketches.DEFAULT_SKETCH_BUDGET`).
+    cache:
+        A private version-keyed cache for merged table-level summaries.
+        Shared between siblings (the summaries are deterministic per data
+        version); **never** the wrapped engine's result cache.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        budget: int = DEFAULT_SKETCH_BUDGET,
+        cache: Optional[ResultCache] = None,
+    ):
+        if getattr(inner, "source", None) is None or not hasattr(
+            inner, "partitioned_table"
+        ):
+            raise BackendError(
+                f"the approx tier requires a memory-backed engine exposing "
+                f"partitioned shards; {type(inner).__name__} does not"
+            )
+        super().__init__(inner)
+        self._budget = max(2, int(budget))
+        self._sketches = cache if cache is not None else ResultCache(
+            capacity=128, name=f"approx:{inner.name}"
+        )
+        self._bound_lock = threading.Lock()
+        self._max_error = 0.0
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def budget(self) -> int:
+        """Retained items per quantile sketch."""
+        return self._budget
+
+    @property
+    def sketch_cache(self) -> ResultCache:
+        """The private cache holding merged table-level summaries."""
+        return self._sketches
+
+    def stats(self) -> Dict[str, Any]:
+        inner_stats = self.inner.stats()
+        return {
+            **inner_stats,
+            "backend": f"approx({inner_stats.get('backend', 'memory')})",
+            "approx": {
+                "budget": self._budget,
+                "sketch_cache": self._sketches.stats().snapshot(),
+            },
+        }
+
+    def sibling(self) -> "ApproxEngine":
+        """An approx engine over a sibling of the wrapped engine.
+
+        Shares the merged-summary cache (summaries are deterministic per
+        data version) while the sibling keeps private operation counters.
+        """
+        return ApproxEngine(
+            self.inner.sibling(), budget=self._budget, cache=self._sketches
+        )
+
+    # -- error-bound accounting -------------------------------------------------
+
+    def _note_error(self, fraction: float) -> None:
+        with self._bound_lock:
+            if fraction > self._max_error:
+                self._max_error = float(fraction)
+
+    def take_error_bound(self) -> float:
+        """The worst error bound reported since the last drain (and reset)."""
+        with self._bound_lock:
+            bound, self._max_error = self._max_error, 0.0
+        return bound
+
+    # -- sketch access ----------------------------------------------------------
+
+    def _state(self) -> Tuple[int, PartitionedTable]:
+        """The wrapped engine's live ``(version, shard set)``, atomically.
+
+        Uses the shared :class:`~repro.live.VersionedTable` memo, so the
+        sketches attached to a superseded shard set can never answer a
+        query against newer data.
+        """
+        source = self.inner.source
+        partitions = self.inner.partitions
+        version, snapshot = source.state()
+        sharded = source.partitioned(partitions)
+        if sharded.table is not snapshot:  # pragma: no cover - mutation race
+            sharded = PartitionedTable(snapshot, partitions)
+        return version, sharded
+
+    def _tier(self, sharded: PartitionedTable) -> TableSketches:
+        return sharded.sketches(self._budget)
+
+    def _quantile_summary(
+        self, attribute: str, version: int, tier: TableSketches
+    ) -> MergeableQuantileSketch:
+        key = f"sketch:quantile:{self._budget}:{attribute}"
+        return self._sketches.get_or_compute(
+            key, lambda: tier.merged_quantile(attribute), version=version
+        )
+
+    def _nominal_summary(
+        self, attribute: str, version: int, tier: TableSketches
+    ) -> NominalCountSketch:
+        key = f"sketch:nominal:{self._budget}:{attribute}"
+        return self._sketches.get_or_compute(
+            key, lambda: tier.merged_nominal(attribute), version=version
+        )
+
+    # -- selectivities ----------------------------------------------------------
+
+    def _normalise(self, column: Any, value: Any) -> Any:
+        """A predicate value in the column's ``value_counts`` domain.
+
+        Mirrors the encodings ``mask_set`` applies, raising the same
+        errors, so an unanswerable predicate fails identically here.
+        """
+        if isinstance(column, NumericColumn):
+            return column._decode_scalar(column._encode_bound(value))
+        if isinstance(column, BoolColumn):
+            return bool(coerce_value(value, DataType.BOOL))
+        return str(value)
+
+    def _selectivity(
+        self,
+        predicate: Predicate,
+        version: int,
+        sharded: PartitionedTable,
+        tier: TableSketches,
+    ) -> Tuple[float, float]:
+        """``(fraction, error_fraction)`` of rows the predicate selects.
+
+        Fractions are relative to the full table (missing values never
+        satisfy a constraint, and the sketches only summarise valid
+        rows, so no missing-value correction is needed).
+        """
+        rows = sharded.num_rows
+        if rows == 0:
+            return 0.0, 0.0
+        column = sharded.table.column(predicate.attribute)
+        if isinstance(predicate, RangePredicate) and isinstance(
+            column, NumericColumn
+        ):
+            sketch = self._quantile_summary(predicate.attribute, version, tier)
+            estimate, error = sketch.range_weight(
+                column._encode_bound(predicate.low),
+                column._encode_bound(predicate.high),
+                predicate.include_low,
+                predicate.include_high,
+            )
+            return estimate / rows, error / rows
+        nominal = self._nominal_summary(predicate.attribute, version, tier)
+        if isinstance(predicate, RangePredicate):
+            low, high = str(predicate.low), str(predicate.high)
+            estimate = sum(
+                count
+                for value, count in nominal.counts.items()
+                if self._within(value, low, high, predicate)
+            )
+            return estimate / rows, nominal.spilled_weight / rows
+        if isinstance(predicate, (SetPredicate, ExclusionPredicate)):
+            members = {self._normalise(column, v) for v in predicate.values}
+            selected = sum(nominal.estimate(value)[0] for value in members)
+            error = len(members) * nominal.max_dropped
+            if isinstance(predicate, SetPredicate):
+                return selected / rows, error / rows
+            return (nominal.total_weight - selected) / rows, error / rows
+        return 1.0, 0.0
+
+    @staticmethod
+    def _within(value: Any, low: str, high: str, predicate: RangePredicate) -> bool:
+        text = str(value)
+        if predicate.include_low:
+            if text < low:
+                return False
+        elif text <= low:
+            return False
+        if predicate.include_high:
+            if text > high:
+                return False
+        elif text >= high:
+            return False
+        return True
+
+    def _query_selectivity(
+        self,
+        query: Optional[SDLQuery],
+        version: int,
+        sharded: PartitionedTable,
+        tier: TableSketches,
+        skip_attribute: Optional[str] = None,
+    ) -> Tuple[float, float, float]:
+        """``(estimate, low, high)`` of the query's joint selectivity.
+
+        Marginal intervals multiply (the independence assumption); the
+        interval is exact for a single constrained predicate and a
+        propagated heuristic beyond that.
+        """
+        estimate = low = high = 1.0
+        if query is None:
+            return estimate, low, high
+        for predicate in query.predicates:
+            if not predicate.is_constrained:
+                continue
+            if predicate.attribute == skip_attribute:
+                continue
+            fraction, error = self._selectivity(predicate, version, sharded, tier)
+            estimate *= fraction
+            low *= max(0.0, fraction - error)
+            high *= min(1.0, fraction + error)
+        return estimate, low, high
+
+    # -- rich approximate answers ------------------------------------------------
+
+    def approx_count(self, query: SDLQuery) -> Estimate:
+        """``|R(Q)|`` as an :class:`Estimate` from merged sketches."""
+        version, sharded = self._state()
+        tier = self._tier(sharded)
+        rows = sharded.num_rows
+        fraction, low, high = self._query_selectivity(query, version, sharded, tier)
+        estimate = int(round(rows * min(1.0, max(0.0, fraction))))
+        bound = max(fraction - low, high - fraction)
+        return Estimate(estimate, min(1.0, bound))
+
+    def _range_on(
+        self, query: Optional[SDLQuery], attribute: str
+    ) -> Optional[RangePredicate]:
+        if query is None:
+            return None
+        for predicate in query.predicates:
+            if (
+                isinstance(predicate, RangePredicate)
+                and predicate.attribute == attribute
+            ):
+                return predicate
+        return None
+
+    def approx_median(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Estimate:
+        """Median of ``attribute`` from the merged quantile sketch.
+
+        The query's own range constraint on ``attribute`` restricts the
+        sketch; constraints on *other* attributes are ignored (the
+        marginal, independence-flavoured answer).  The bound is the rank
+        tolerance of the answered quantile.
+        """
+        version, sharded = self._state()
+        tier = self._tier(sharded)
+        column = sharded.table.column(attribute)
+        if isinstance(column, NumericColumn):
+            sketch = self._quantile_summary(attribute, version, tier)
+            own = self._range_on(query, attribute)
+            if own is not None:
+                sketch = sketch.restrict(
+                    column._encode_bound(own.low),
+                    column._encode_bound(own.high),
+                    own.include_low,
+                    own.include_high,
+                )
+            if sketch.total_weight == 0:
+                raise EmptyColumnError(
+                    f"median of empty selection on {attribute!r}"
+                )
+            value = column._decode_median(sketch.quantile(0.5))
+            return Estimate(value, sketch.rank_error_fraction)
+        nominal = self._nominal_summary(attribute, version, tier)
+        if nominal.total_weight == 0 or not nominal.counts:
+            raise EmptyColumnError(f"median of empty selection on {attribute!r}")
+        target = nominal.total_weight / 2
+        cumulative = 0
+        value = None
+        for value, count in sorted(nominal.counts.items(), key=lambda kv: str(kv[0])):
+            cumulative += count
+            if cumulative >= target:
+                break
+        bound = (
+            nominal.spilled_weight / nominal.total_weight
+            if nominal.total_weight
+            else 0.0
+        )
+        return Estimate(value, min(1.0, bound))
+
+    # -- ExecutionBackend protocol (approximate) ----------------------------------
+
+    def count(self, query: SDLQuery) -> int:
+        self.counter.add(count_calls=1)
+        answer = self.approx_count(query)
+        self._note_error(answer.error_bound)
+        return int(answer.estimate)
+
+    def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
+        numerator = self.count(query)
+        if context is None:
+            denominator = self.num_rows
+        else:
+            denominator = self.count(context)
+        if denominator == 0:
+            return 0.0
+        return numerator / denominator
+
+    def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
+        self.counter.add(median_calls=1)
+        answer = self.approx_median(attribute, query)
+        self._note_error(answer.error_bound)
+        return answer.estimate
+
+    def minmax(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Tuple[Any, Any]:
+        """Exact per-shard extrema, clipped to the query's own range.
+
+        Extrema merge exactly across shards (one scan each, memoized), so
+        the unconstrained answer matches the exact engine; a range
+        constraint on the attribute itself clips the interval, other
+        constraints are ignored.
+        """
+        self.counter.add(minmax_calls=1)
+        version, sharded = self._state()
+        tier = self._tier(sharded)
+        _, valid, minimum, maximum = tier.merged_stats(attribute)
+        if valid == 0:
+            raise EmptyColumnError(
+                f"minimum of empty selection on {attribute!r}"
+            )
+        own = self._range_on(query, attribute)
+        if own is not None:
+            column = sharded.table.column(attribute)
+            if isinstance(column, NumericColumn):
+                low = column._decode_scalar(column._encode_bound(own.low))
+                high = column._decode_scalar(column._encode_bound(own.high))
+                minimum = max(minimum, low)
+                maximum = min(maximum, high)
+                if minimum > maximum:
+                    raise EmptyColumnError(
+                        f"minimum of empty selection on {attribute!r}"
+                    )
+        return minimum, maximum
+
+    def value_frequencies(
+        self, attribute: str, query: Optional[SDLQuery] = None
+    ) -> Dict[Any, int]:
+        """Marginal value counts, scaled by the other attributes' selectivity."""
+        self.counter.add(frequency_calls=1)
+        version, sharded = self._state()
+        tier = self._tier(sharded)
+        nominal = self._nominal_summary(attribute, version, tier)
+        counts: Dict[Any, int] = dict(nominal.counts)
+        column = sharded.table.column(attribute)
+        own = None if query is None else [
+            predicate
+            for predicate in query.predicates
+            if predicate.is_constrained and predicate.attribute == attribute
+        ]
+        if own:
+            for predicate in own:
+                counts = {
+                    value: count
+                    for value, count in counts.items()
+                    if self._satisfies(column, value, predicate)
+                }
+        scale, low, high = self._query_selectivity(
+            query, version, sharded, tier, skip_attribute=attribute
+        )
+        spill = (
+            nominal.spilled_weight / sharded.num_rows if sharded.num_rows else 0.0
+        )
+        self._note_error(min(1.0, max(scale - low, high - scale) + spill))
+        if scale >= 1.0:
+            return counts
+        scaled = {
+            value: int(round(count * scale)) for value, count in counts.items()
+        }
+        return {value: count for value, count in scaled.items() if count > 0}
+
+    def _satisfies(self, column: Any, value: Any, predicate: Predicate) -> bool:
+        """Whether a retained sketch value satisfies its own-attribute predicate."""
+        if isinstance(predicate, RangePredicate):
+            if isinstance(column, NumericColumn):
+                low = column._decode_scalar(column._encode_bound(predicate.low))
+                high = column._decode_scalar(column._encode_bound(predicate.high))
+                if predicate.include_low:
+                    if value < low:
+                        return False
+                elif value <= low:
+                    return False
+                if predicate.include_high:
+                    if value > high:
+                        return False
+                elif value >= high:
+                    return False
+                return True
+            return self._within(value, str(predicate.low), str(predicate.high), predicate)
+        if isinstance(predicate, SetPredicate):
+            return value in {self._normalise(column, v) for v in predicate.values}
+        if isinstance(predicate, ExclusionPredicate):
+            return value not in {self._normalise(column, v) for v in predicate.values}
+        return True
+
+    def distinct_count(self, attribute: str, query: Optional[SDLQuery] = None) -> int:
+        return len(self.value_frequencies(attribute, query))
+
+    def count_batch(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
+        self.counter.add(batch_calls=1)
+        return tuple(self.count(query) for query in queries)
+
+    def median_batch(
+        self, attribute: str, queries: Sequence[Optional[SDLQuery]]
+    ) -> Tuple[Any, ...]:
+        self.counter.add(batch_calls=1)
+        return tuple(self.median(attribute, query) for query in queries)
+
+    def counts_for(self, queries: Sequence[SDLQuery]) -> Tuple[int, ...]:
+        return tuple(self.count(query) for query in queries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ApproxEngine(table={self.name!r}, rows={self.num_rows}, "
+            f"budget={self._budget})"
+        )

@@ -7,6 +7,8 @@ A backend *spec* is a compact URI-like string::
     memory?index=1&cache=512    engine options as query parameters
     memory?index=zonemap,bitmap,maskreuse   skipping-index tier (or index=all)
     memory?partitions=4&workers=4   ParallelEngine: sharded, pooled evaluation
+    memory?approx=1             ApproxEngine: sketch answers with error bounds
+    memory?approx=4096          … with a 4096-item retention budget per sketch
     sqlite                      load the table into an in-memory SQLite db
     sqlite?sample=0.25          … sampled, materialised inside SQLite
     sqlite:///path/to/db.db#t   open table ``t`` of an existing database
@@ -187,6 +189,36 @@ def _maybe_sampled(
     return SampledEngine(backend, fraction=fraction, seed=_spec_int(spec, "seed"))
 
 
+def _maybe_approx(
+    backend: ExecutionBackend, spec: BackendSpec
+) -> ExecutionBackend:
+    """Wrap a backend in an :class:`ApproxEngine` when ``approx=...`` is set.
+
+    ``approx=1`` / ``approx=true`` enables the sketch tier at its default
+    budget; ``approx=N`` (N > 1) sets the per-sketch retention budget.
+    Composable with ``partitions``/``workers``/``index``; combining with
+    ``sample=`` is rejected — both are statistical views and stacking
+    them would make the reported error bounds meaningless.
+    """
+    raw = spec.params.get("approx")
+    if raw is None or raw.strip().lower() in ("", "0", "false", "no", "off"):
+        return backend
+    if _spec_float(spec, "sample") is not None:
+        raise BackendError(
+            "backend parameters 'approx' and 'sample' cannot be combined"
+        )
+    from repro.backends.approx import ApproxEngine
+    from repro.storage.sketches import DEFAULT_SKETCH_BUDGET
+
+    try:
+        budget = int(raw)
+    except ValueError:
+        budget = DEFAULT_SKETCH_BUDGET
+    if budget <= 1:
+        budget = DEFAULT_SKETCH_BUDGET
+    return ApproxEngine(backend, budget=budget)
+
+
 def _resolve_parallel_params(
     spec: BackendSpec,
     partitions: Optional[int],
@@ -237,7 +269,7 @@ def _memory_factory(
         )
     else:
         engine = QueryEngine(table, **options)
-    return _maybe_sampled(engine, spec)
+    return _maybe_sampled(_maybe_approx(engine, spec), spec)
 
 
 def _sqlite_factory(

@@ -118,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_advisor_arguments(advise)
     advise.add_argument("--context", help="SDL query or SQL WHERE clause")
     advise.add_argument("--columns", nargs="*", help="columns forming the context")
+    advise.add_argument("--approximate", action="store_true",
+                        help="rank from the mergeable sketch tier instead of "
+                             "exact scans: answers arrive faster and carry an "
+                             "explicit error bound")
     advise.add_argument("--show-distribution", metavar="ATTR",
                         help="also plot this attribute's distribution per segment "
                              "of the best answer")
@@ -215,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("--refresh", action="store_true",
                       help="recompute the current context's advice against "
                            "the newest data version (advise)")
+    call.add_argument("--mode", choices=("exact", "interactive"), default=None,
+                      help="advise mode: interactive serves sketch-ranked "
+                           "approximate advice the refine op later replaces "
+                           "(advise)")
     call.add_argument("--timeout", type=float, default=30.0,
                       help="HTTP timeout in seconds")
     call.add_argument("--json", action="store_true", dest="raw_json",
@@ -311,8 +319,17 @@ def _command_demo(args: argparse.Namespace) -> int:
 def _command_advise(args: argparse.Namespace) -> int:
     table = _load_table(args)
     advisor = _make_advisor(table, args)
-    advice = advisor.advise(_resolve_context(args), max_answers=args.max_answers)
+    mode = "interactive" if getattr(args, "approximate", False) else "exact"
+    advice = advisor.advise(
+        _resolve_context(args), max_answers=args.max_answers, mode=mode
+    )
     print(render_advice(advice, style=args.style))
+    if advice.approximate:
+        note = "approximate advice (sketch tier)"
+        if advice.error_bound is not None:
+            note += f": estimates within ±{advice.error_bound:.1%} of exact"
+        print()
+        print(note + "; re-run without --approximate for exact numbers")
     probe = getattr(args, "show_distribution", None)
     if probe and advice.answers:
         print()
@@ -465,6 +482,7 @@ def _command_call(args: argparse.Namespace) -> int:
             ("rows", _parse_rows_json(args.rows_json)),
             ("delete", args.delete),
             ("refresh", True if args.refresh else None),
+            ("mode", args.mode),
         )
         if value is not None
     }

@@ -82,13 +82,22 @@ class RankedAnswer:
 
 @dataclass
 class Advice:
-    """Charles' full answer to one context query."""
+    """Charles' full answer to one context query.
+
+    ``approximate`` advice was ranked from merged sketch estimates
+    (:class:`~repro.backends.approx.ApproxEngine`); ``error_bound`` is
+    then the worst marginal error fraction any estimate reported during
+    the run.  Exact advice carries the defaults (``False`` / ``None``),
+    so pre-existing payloads decode unchanged.
+    """
 
     context: SDLQuery
     answers: List[RankedAnswer]
     trace: HBCutsTrace
     ranker_name: str = "entropy"
     engine_operations: Dict[str, int] = field(default_factory=dict)
+    approximate: bool = False
+    error_bound: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self.answers)
@@ -233,6 +242,10 @@ class Charles:
         # else whatever the backend itself runs on (e.g. a ParallelEngine's).
         self.pool = pool if pool is not None else getattr(self.engine, "pool", None)
         self._generator = HBCuts(self.config, pool=self.pool)
+        # Lazily built approximate tier for advise(mode="interactive");
+        # wraps a sibling so approximate runs keep private counters and
+        # never touch the exact engine's cache.
+        self._approx: Optional[ExecutionBackend] = None
 
     @property
     def table(self) -> Optional[Table]:
@@ -300,11 +313,52 @@ class Charles:
 
     # -- main entry points -------------------------------------------------------
 
+    def _advice_engine(self, mode: str) -> ExecutionBackend:
+        """The engine one advise run executes against.
+
+        ``exact`` uses the configured backend — unwrapped to its inner
+        engine when the backend itself is approximate (a
+        ``memory?approx=...`` spec), so refinement is always truly exact.
+        ``interactive`` routes through the sketch tier: the configured
+        backend if it already *is* approximate, else a lazily built
+        :class:`~repro.backends.approx.ApproxEngine` over a **sibling**
+        of the exact engine — private counters, private sketch cache,
+        zero traffic on the exact result cache, so a later exact run is
+        byte-identical to one that never went approximate.
+        """
+        if mode == "exact":
+            if hasattr(self.engine, "take_error_bound"):
+                inner = getattr(self.engine, "inner", None)
+                if inner is not None:
+                    return inner
+            return self.engine
+        if hasattr(self.engine, "take_error_bound"):
+            return self.engine
+        if self._approx is None:
+            from repro.backends.approx import ApproxEngine
+            from repro.errors import BackendError
+
+            sibling = getattr(self.engine, "sibling", None)
+            if sibling is None:
+                raise AdvisorError(
+                    "interactive advise requires a memory-backed engine "
+                    f"(got {type(self.engine).__name__})"
+                )
+            try:
+                self._approx = ApproxEngine(sibling())
+            except BackendError as exc:
+                raise AdvisorError(
+                    f"interactive advise is unavailable on this backend: "
+                    f"{exc.message}"
+                ) from exc
+        return self._approx
+
     def advise(
         self,
         context: ContextLike = None,
         max_answers: Optional[int] = 10,
         attributes: Optional[Sequence[str]] = None,
+        mode: str = "exact",
     ) -> Advice:
         """Answer a context query with ranked segmentations.
 
@@ -317,10 +371,23 @@ class Charles:
         attributes:
             Restrict exploration to these attributes instead of every
             attribute the context mentions.
+        mode:
+            ``"exact"`` (default) scans; ``"interactive"`` ranks from
+            merged sketches and stamps the advice ``approximate`` with
+            its worst reported ``error_bound`` — the fast first answer
+            an exact refinement then replaces.
         """
+        if mode not in ("exact", "interactive"):
+            raise AdvisorError(
+                f"unknown advise mode {mode!r}; expected 'exact' or 'interactive'"
+            )
         resolved = self.resolve_context(context)
-        operations_before = self.engine.counter.snapshot()
-        result: HBCutsResult = self._generator.run(self.engine, resolved, attributes)
+        engine = self._advice_engine(mode)
+        approximate = hasattr(engine, "take_error_bound")
+        if approximate:
+            engine.take_error_bound()  # drain bounds left by earlier runs
+        operations_before = engine.counter.snapshot()
+        result: HBCutsResult = self._generator.run(engine, resolved, attributes)
         ranked = self.ranker.rank(result.segmentations)
         if max_answers is not None:
             ranked = ranked[:max_answers]
@@ -333,7 +400,7 @@ class Charles:
             )
             for position, (segmentation, scores) in enumerate(ranked, start=1)
         ]
-        operations_after = self.engine.counter.snapshot()
+        operations_after = engine.counter.snapshot()
         operations = {
             key: operations_after[key] - operations_before.get(key, 0)
             for key in operations_after
@@ -344,6 +411,8 @@ class Charles:
             trace=result.trace,
             ranker_name=self.ranker.name,
             engine_operations=operations,
+            approximate=approximate,
+            error_bound=engine.take_error_bound() if approximate else None,
         )
 
     def segment(

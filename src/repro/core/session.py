@@ -16,8 +16,9 @@ the shared per-table result cache and the batched engine passes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SessionError
 from repro.sdl.formatter import format_segment_label
@@ -27,6 +28,41 @@ from repro.core.advisor import Advice, Charles, ContextLike
 __all__ = ["ExplorationStep", "ExplorationSession"]
 
 
+class _RefinementTask:
+    """One background exact-refinement computation.
+
+    Constructed by :meth:`ExplorationSession.advise` right after an
+    interactive (approximate) advice is produced: ``compute()`` — the
+    exact advise of the same context — starts immediately on a daemon
+    thread and publishes ``(advice, data_version)`` (or the raised error)
+    through an event.  :meth:`ExplorationSession.refine` waits on it;
+    a task whose step was refreshed or drilled away is simply dropped.
+    """
+
+    def __init__(self, compute: Callable[[], Tuple[Advice, Optional[int]]]):
+        self._compute = compute
+        self._done = threading.Event()
+        self.advice: Optional[Advice] = None
+        self.version: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        thread = threading.Thread(
+            target=self._run, name="charles-refine", daemon=True
+        )
+        thread.start()
+
+    def _run(self) -> None:
+        try:
+            self.advice, self.version = self._compute()
+        except BaseException as exc:  # published, re-raised by refine()
+            self.error = exc
+        finally:
+            self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the refinement finishes; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+
 @dataclass
 class ExplorationStep:
     """One level of the exploration stack.
@@ -34,6 +70,8 @@ class ExplorationStep:
     ``data_version`` records the engine's monotonic data version at the
     moment the step's advice was computed; comparing it with the current
     version is how the session detects stale advice after an ingest.
+    ``refinement`` holds the in-flight background exact recomputation of
+    an approximate advice (interactive mode), if any.
     """
 
     context: SDLQuery
@@ -43,6 +81,9 @@ class ExplorationStep:
     label: str = "(root)"
     cached_count: Optional[int] = None
     data_version: Optional[int] = None
+    refinement: Optional[_RefinementTask] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def row_count(self) -> Optional[int]:
@@ -64,8 +105,8 @@ class ExplorationSession:
     advise_fn:
         Optional override for producing advice from a context.  When set
         (the service layer sets it), :meth:`advise` calls
-        ``advise_fn(context, max_answers)`` instead of the advisor, so
-        advice can be served from a cache shared across sessions.
+        ``advise_fn(context, max_answers, mode)`` instead of the advisor,
+        so advice can be served from a cache shared across sessions.
     count_fn:
         Optional override for counting a context's rows.  The service
         layer points it at the table runtime's shared engine so
@@ -75,17 +116,17 @@ class ExplorationSession:
 
     advisor: Charles
     max_answers: int = 10
-    advise_fn: Optional[Callable[[SDLQuery, int], Advice]] = None
+    advise_fn: Optional[Callable[[SDLQuery, int, str], Advice]] = None
     count_fn: Optional[Callable[[SDLQuery], int]] = None
     _stack: List[ExplorationStep] = field(default_factory=list)
 
     # -- navigation -------------------------------------------------------------
 
-    def start(self, context: ContextLike = None) -> Advice:
+    def start(self, context: ContextLike = None, mode: str = "exact") -> Advice:
         """Begin (or restart) the session at the given context."""
         resolved = self.advisor.resolve_context(context)
         self._stack = [ExplorationStep(context=resolved)]
-        return self.advise()
+        return self.advise(mode=mode)
 
     @property
     def started(self) -> bool:
@@ -108,30 +149,85 @@ class ExplorationSession:
         """The current exploration context."""
         return self.current.context
 
-    def advise(self, refresh: bool = False) -> Advice:
+    def advise(self, refresh: bool = False, mode: str = "exact") -> Advice:
         """Ask Charles for segmentations of the current context (cached per step).
 
         With ``refresh=True`` the step's cached advice (and row count) is
         discarded and recomputed against the engine's **newest** data
         version — the way to bring a session up to date after an ingest
         marked its advice stale (see :meth:`is_stale`).
+
+        With ``mode="interactive"`` a fresh advice is ranked from the
+        sketch tier (``advice.approximate`` is set, with its reported
+        ``error_bound``) and an exact recomputation starts immediately in
+        the background; :meth:`refine` swaps it in when it lands.
         """
         step = self.current
         if refresh:
             step.advice = None
             step.cached_count = None
+            step.refinement = None
         if step.advice is None:
             # Capture the version *before* computing: if an ingest lands
             # mid-advise, the advice is tagged with the pre-ingest version
             # and correctly reports stale, instead of masquerading as
             # computed against data it never saw.
             version = self.data_version
-            if self.advise_fn is not None:
-                step.advice = self.advise_fn(step.context, self.max_answers)
-            else:
-                step.advice = self.advisor.advise(step.context, max_answers=self.max_answers)
+            step.advice = self._compute_advice(step.context, mode)
             step.data_version = version
+            if step.advice.approximate:
+                self._schedule_refinement(step)
         return step.advice
+
+    def _compute_advice(self, context: SDLQuery, mode: str) -> Advice:
+        if self.advise_fn is not None:
+            return self.advise_fn(context, self.max_answers, mode)
+        return self.advisor.advise(context, max_answers=self.max_answers, mode=mode)
+
+    def _schedule_refinement(self, step: ExplorationStep) -> None:
+        """Kick off the background exact advise replacing ``step``'s advice."""
+
+        def compute() -> Tuple[Advice, Optional[int]]:
+            version = self.data_version
+            return self._compute_advice(step.context, "exact"), version
+
+        step.refinement = _RefinementTask(compute)
+
+    def refine(self, timeout: Optional[float] = None) -> Advice:
+        """Exact advice for the current step, replacing an approximate one.
+
+        Returns immediately when the step's advice is already exact.
+        Otherwise waits for the background refinement scheduled by the
+        interactive advise (computing it inline if none is pending) and
+        swaps the exact advice into the step, so subsequent
+        :meth:`advise`/:meth:`drill` calls see exact numbers.  Raises
+        :class:`~repro.errors.SessionError` when ``timeout`` (seconds)
+        expires before refinement lands.
+        """
+        approximate = self.advise()
+        if not approximate.approximate:
+            return approximate
+        step = self.current
+        task = step.refinement
+        if task is not None:
+            if not task.wait(timeout):
+                raise SessionError(
+                    f"refinement did not finish within {timeout} seconds"
+                )
+            if task.error is not None:
+                step.refinement = None
+                raise task.error
+            exact, version = task.advice, task.version
+        else:
+            version = self.data_version
+            exact = self._compute_advice(step.context, "exact")
+        assert exact is not None
+        if step.advice is approximate:
+            step.advice = exact
+            step.data_version = version
+            step.cached_count = None
+        step.refinement = None
+        return exact
 
     # -- live data ----------------------------------------------------------------
 

@@ -430,9 +430,14 @@ class AdvisorService:
         config_key = repr(session.advisor.config)
         ranker_key = _ranker_cache_key(session.advisor.ranker)
 
-        def advise(context: SDLQuery, max_answers: int) -> Advice:
+        def advise(context: SDLQuery, max_answers: int, mode: str = "exact") -> Advice:
+            # Approximate advice caches under its own prefix: an
+            # interactive hit must never masquerade as exact (and vice
+            # versa), while the exact key format stays unchanged — a
+            # refinement populates exactly the entry a plain advise would.
+            prefix = "advice:approx:" if mode == "interactive" else "advice:"
             key = (
-                f"advice:{max_answers}:{ranker_key}:{config_key}:"
+                f"{prefix}{max_answers}:{ranker_key}:{config_key}:"
                 f"{query_signature(context)}"
             )
             # Tagging the entry with the data version it was computed at
@@ -441,7 +446,9 @@ class AdvisorService:
             # for data that no longer exists.
             return runtime.advice_cache.get_or_compute(
                 key,
-                lambda: session.advisor.advise(context, max_answers=max_answers),
+                lambda: session.advisor.advise(
+                    context, max_answers=max_answers, mode=mode
+                ),
                 version=runtime.data_version,
             )
 
@@ -454,15 +461,23 @@ class AdvisorService:
         session_name: str,
         context: ContextLike = None,
         refresh: bool = False,
+        mode: str = "exact",
     ) -> Advice:
         """(Re)start a session at a context and return the ranked answers.
 
         ``refresh=True`` with no context recomputes the current context's
         advice against the newest data version (clearing the stale flag)
-        without restarting the exploration.
+        without restarting the exploration.  ``mode="interactive"`` serves
+        sketch-ranked approximate advice and schedules its exact
+        refinement in the background (collect with :meth:`refine`).
         """
         self._tally()
-        return self.session(session_name).advise(context, refresh=refresh)
+        return self.session(session_name).advise(context, refresh=refresh, mode=mode)
+
+    def refine(self, session_name: str) -> Advice:
+        """Exact advice at a session's current context, replacing approximate."""
+        self._tally()
+        return self.session(session_name).refine()
 
     def drill(self, session_name: str, answer_index: int, segment_index: int) -> Advice:
         """Drill a session into one segment of one ranked answer."""
@@ -615,11 +630,21 @@ class AdvisorService:
             # Peek at the current context's advice without restarting the
             # exploration (RemoteSession.current_advice's path).
             return self.session(name).current_advice()
+        mode = request.params.get("mode", "exact")
+        if not isinstance(mode, str):
+            raise ProtocolError(
+                f"parameter 'mode' of 'advise' must be a string, "
+                f"got {type(mode).__name__}"
+            )
         return self.advise(
             name,
             request.context,
             refresh=bool(request.params.get("refresh", False)),
+            mode=mode,
         )
+
+    def _op_refine(self, request: Request) -> Any:
+        return self.refine(self._session_name(request))
 
     def _op_drill(self, request: Request) -> Any:
         return self.drill(

@@ -57,19 +57,39 @@ class ServiceSession:
 
     # -- the Figure 1 loop --------------------------------------------------
 
-    def advise(self, context: ContextLike = None, refresh: bool = False) -> Advice:
+    def advise(
+        self,
+        context: ContextLike = None,
+        refresh: bool = False,
+        mode: str = "exact",
+    ) -> Advice:
         """Start (or restart) the session at a context and return advice.
 
         With ``refresh=True`` and no ``context``, the advice of the
         *current* context is recomputed against the newest data version
         instead of restarting the exploration — the way to clear the
         stale flag after an ingest without losing the drill-down stack.
+
+        With ``mode="interactive"`` the advice is ranked from the sketch
+        tier (``approximate`` flag and ``error_bound`` set on the advice)
+        and an exact refinement starts in the background; collect it with
+        :meth:`refine`.
         """
         with self._lock:
             self.requests += 1
             if refresh and context is None and self.exploration.started:
-                return self.exploration.advise(refresh=True)
-            return self.exploration.start(context)
+                return self.exploration.advise(refresh=True, mode=mode)
+            return self.exploration.start(context, mode=mode)
+
+    def refine(self, timeout: Optional[float] = None) -> Advice:
+        """Exact advice at the current context, replacing an approximate one."""
+        with self._lock:
+            self.requests += 1
+            if not self.exploration.started:
+                raise SessionError(
+                    f"session {self.name!r} has no context yet; submit an advise first"
+                )
+            return self.exploration.refine(timeout=timeout)
 
     def drill(self, answer_index: int, segment_index: int) -> Advice:
         """Drill into one segment of one ranked answer."""

@@ -1,0 +1,516 @@
+"""Mergeable per-shard sketches for the approximate query tier.
+
+The paper frames Charles as a *latency-bound interactive* system: the
+analyst needs a ranked next step before their attention drifts, and the
+exact answer can catch up afterwards.  This module provides the summary
+structures that make the first answer cheap:
+
+* :class:`MergeableQuantileSketch` — a fixed-budget weighted summary of a
+  numeric (or date) column.  Unlike the P² estimator in
+  :mod:`repro.storage.streaming` it is **mergeable**: per-shard sketches
+  combine into one table-level sketch whose rank error is the *sum* of
+  the parts' tracked errors plus the compaction stride, so the merged
+  sketch still reports an honest bound.  Construction is vectorised
+  (one sort per shard column), which is what makes sketch-building
+  dramatically cheaper than repeated scan-based aggregation.
+* :class:`NominalCountSketch` — a capped value → count summary of a
+  nominal column with exact spill accounting: values beyond the cap are
+  dropped but their total mass and the largest dropped count are kept,
+  so per-value estimates carry a provable undercount bound.
+* :class:`TableSketches` — the lazy per-``(shard, attribute)`` registry
+  hanging off one :class:`~repro.storage.partition.PartitionedTable`,
+  exactly like :class:`~repro.storage.zonemap.SkippingIndexes`: version
+  keying is inherited from :meth:`repro.live.VersionedTable.partitioned`,
+  so ingest/delete invalidation is free.
+
+Determinism is a design requirement, not an accident: there is no
+randomness anywhere (stride compaction picks centred representatives),
+so the differential harness can assert *exact* containment of every
+estimate within its reported bound, reproducibly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.column import BoolColumn, NumericColumn, StringColumn
+
+__all__ = [
+    "DEFAULT_SKETCH_BUDGET",
+    "DEFAULT_NOMINAL_CAP",
+    "MergeableQuantileSketch",
+    "NominalCountSketch",
+    "TableSketches",
+]
+
+#: Default number of weighted items a quantile sketch retains.  512 items
+#: keep the rank error of a single-shard sketch under 0.2% of the rows
+#: while the whole sketch stays a few kilobytes.
+DEFAULT_SKETCH_BUDGET = 512
+
+#: Default number of distinct values a nominal count sketch materialises
+#: exactly — the same cap zone maps use for distinct sets.
+DEFAULT_NOMINAL_CAP = 256
+
+#: Deterministic ordering key for values of mixed types (mirrors the
+#: codec's set ordering, so capped retention is reproducible).
+_VALUE_ORDER = lambda item: (-item[1], str(type(item[0])), str(item[0]))  # noqa: E731
+
+
+class MergeableQuantileSketch:
+    """A fixed-budget weighted quantile summary with tracked rank error.
+
+    The sketch holds at most ``budget`` *(value, weight)* items, sorted by
+    value, summarising ``total_weight`` underlying rows in the column's
+    **encoded** domain (floats for numeric and date columns — the same
+    domain :meth:`NumericColumn.gather` yields).  ``rank_error`` is an
+    upper bound, maintained exactly, on how far the sketch's cumulative
+    weight at any threshold can sit from the true rank:
+
+    * building from ``n`` raw values with stride ``k = ceil(n/budget)``
+      keeps every ``k``-th sorted value (centred) at weight ``k`` — at
+      any threshold at most one stride block straddles it, so the error
+      is at most ``k``;
+    * merging concatenates the inputs (errors add) and, over budget,
+      re-compacts by cumulative-weight stride ``s = ceil(W/budget)``,
+      adding at most ``s`` more.
+
+    Everything is deterministic, so two sketches built from the same data
+    are identical and every reported bound is testable exactly.
+    """
+
+    __slots__ = ("budget", "values", "weights", "total_weight", "rank_error")
+
+    def __init__(
+        self,
+        budget: int,
+        values: np.ndarray,
+        weights: np.ndarray,
+        total_weight: int,
+        rank_error: int,
+    ):
+        self.budget = int(budget)
+        self.values = values
+        self.weights = weights
+        self.total_weight = int(total_weight)
+        self.rank_error = int(rank_error)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, budget: int = DEFAULT_SKETCH_BUDGET
+    ) -> "MergeableQuantileSketch":
+        """Summarise a raw (encoded) value array in one vectorised pass."""
+        budget = max(2, int(budget))
+        data = np.sort(np.asarray(values, dtype=np.float64))
+        n = int(data.size)
+        if n <= budget:
+            return cls(budget, data, np.ones(n, dtype=np.int64), n, 0)
+        stride = -(-n // budget)  # ceil
+        starts = np.arange(0, n, stride, dtype=np.int64)
+        stops = np.minimum(starts + stride, n)
+        centres = starts + (stops - starts - 1) // 2
+        return cls(
+            budget,
+            data[centres],
+            (stops - starts).astype(np.int64),
+            n,
+            stride,
+        )
+
+    @classmethod
+    def empty(cls, budget: int = DEFAULT_SKETCH_BUDGET) -> "MergeableQuantileSketch":
+        return cls(
+            max(2, int(budget)),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            0,
+            0,
+        )
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "MergeableQuantileSketch") -> "MergeableQuantileSketch":
+        """A new sketch summarising the union of both inputs' data.
+
+        Rank errors add; if the combined item count exceeds the (larger)
+        budget, a cumulative-weight compaction brings it back under,
+        adding its stride to the tracked error.
+        """
+        budget = max(self.budget, other.budget)
+        if other.total_weight == 0:
+            return MergeableQuantileSketch(
+                budget, self.values, self.weights, self.total_weight, self.rank_error
+            )
+        if self.total_weight == 0:
+            return MergeableQuantileSketch(
+                budget, other.values, other.weights, other.total_weight, other.rank_error
+            )
+        values = np.concatenate([self.values, other.values])
+        weights = np.concatenate([self.weights, other.weights])
+        order = np.argsort(values, kind="stable")
+        values, weights = values[order], weights[order]
+        total = self.total_weight + other.total_weight
+        error = self.rank_error + other.rank_error
+        merged = MergeableQuantileSketch(budget, values, weights, total, error)
+        if values.size > budget:
+            merged = merged._compacted()
+        return merged
+
+    def _compacted(self) -> "MergeableQuantileSketch":
+        """Re-compact to at most ``budget`` items by weight-stride selection."""
+        cumulative = np.cumsum(self.weights)
+        total = int(cumulative[-1])
+        stride = -(-total // self.budget)  # ceil
+        edges = np.minimum(
+            np.arange(1, self.budget + 1, dtype=np.int64) * stride, total
+        )
+        edges = np.unique(edges)
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), edges[:-1]])
+        new_weights = edges - starts
+        midpoints = starts + (new_weights + 1) // 2
+        indices = np.searchsorted(cumulative, midpoints, side="left")
+        return MergeableQuantileSketch(
+            self.budget,
+            self.values[indices],
+            new_weights,
+            total,
+            self.rank_error + stride,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def max_item_weight(self) -> int:
+        """Weight of the heaviest retained item (quantile discretisation)."""
+        if self.weights.size == 0:
+            return 0
+        return int(self.weights.max())
+
+    @property
+    def rank_error_fraction(self) -> float:
+        """Reported rank tolerance of a quantile answer, as a fraction.
+
+        Covers both the tracked compaction error and the discretisation of
+        landing on a whole retained item.  ``0.0`` for an empty sketch.
+        """
+        if self.total_weight == 0:
+            return 0.0
+        return min(1.0, (self.rank_error + self.max_item_weight) / self.total_weight)
+
+    def quantile(self, fraction: float) -> float:
+        """The (encoded) value whose rank is closest to ``fraction``.
+
+        The true rank of the returned value lies within
+        ``rank_error_fraction`` of the requested one.  Raises
+        :class:`ValueError` on an empty sketch — callers translate this
+        into the engine's empty-selection error.
+        """
+        if self.total_weight == 0:
+            raise ValueError("quantile of an empty sketch")
+        fraction = min(1.0, max(0.0, float(fraction)))
+        target = int(round(fraction * (self.total_weight - 1))) + 1
+        cumulative = np.cumsum(self.weights)
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        return float(self.values[min(index, self.values.size - 1)])
+
+    def weight_below(self, value: float, inclusive: bool) -> int:
+        """Estimated number of rows with value ``< value`` (or ``<=``)."""
+        side = "right" if inclusive else "left"
+        position = int(np.searchsorted(self.values, float(value), side=side))
+        if position == 0:
+            return 0
+        return int(np.cumsum(self.weights[:position])[-1])
+
+    def range_weight(
+        self,
+        low: float,
+        high: float,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Tuple[int, int]:
+        """``(estimate, error_bound)`` for rows with value in the interval.
+
+        Each endpoint's threshold rank carries at most ``rank_error +
+        max_item_weight`` of error, so the interval estimate is within
+        twice that of the true count — an exact, testable bound.
+        """
+        upper = self.weight_below(high, include_high)
+        lower = self.weight_below(low, not include_low)
+        estimate = max(0, upper - lower)
+        error = min(
+            self.total_weight, 2 * (self.rank_error + self.max_item_weight)
+        )
+        return estimate, error
+
+    def restrict(
+        self,
+        low: float,
+        high: float,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> "MergeableQuantileSketch":
+        """The sub-sketch of retained items inside the interval.
+
+        Used for conditioned medians (``median(a, Q)`` where ``Q``
+        constrains ``a`` itself).  The restriction keeps the parent's
+        tracked rank error: items near the cut boundary may misplace up
+        to that many rows.
+        """
+        data = self.values
+        low_mask = data >= low if include_low else data > low
+        high_mask = data <= high if include_high else data < high
+        keep = low_mask & high_mask
+        weights = self.weights[keep]
+        total = int(weights.sum()) if weights.size else 0
+        return MergeableQuantileSketch(
+            self.budget, data[keep], weights, total, self.rank_error
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MergeableQuantileSketch(items={self.values.size}, "
+            f"weight={self.total_weight}, rank_error={self.rank_error})"
+        )
+
+
+class NominalCountSketch:
+    """A capped value → count summary of a nominal column.
+
+    Keeps the ``cap`` most frequent (decoded) values exactly; the rest
+    are dropped but accounted: ``spilled_weight`` is their total mass and
+    ``max_dropped`` the largest single dropped count, so the estimate for
+    an absent value is ``0`` with undercount at most ``max_dropped``.
+    Retention order is deterministic (count descending, then a stable
+    textual key), so equal inputs produce equal sketches.
+    """
+
+    __slots__ = ("cap", "counts", "total_weight", "spilled_weight", "max_dropped")
+
+    def __init__(
+        self,
+        cap: int,
+        counts: Dict[Any, int],
+        total_weight: int,
+        spilled_weight: int = 0,
+        max_dropped: int = 0,
+    ):
+        self.cap = max(1, int(cap))
+        self.counts = counts
+        self.total_weight = int(total_weight)
+        self.spilled_weight = int(spilled_weight)
+        self.max_dropped = int(max_dropped)
+
+    @classmethod
+    def from_counts(
+        cls, counts: Dict[Any, int], cap: int = DEFAULT_NOMINAL_CAP
+    ) -> "NominalCountSketch":
+        """Summarise an exact value-count mapping (one shard's histogram)."""
+        total = sum(counts.values())
+        sketch = cls(cap, dict(counts), total)
+        return sketch._capped()
+
+    def _capped(self) -> "NominalCountSketch":
+        if len(self.counts) <= self.cap:
+            return self
+        ordered = sorted(self.counts.items(), key=_VALUE_ORDER)
+        kept = dict(ordered[: self.cap])
+        dropped = ordered[self.cap :]
+        spilled = self.spilled_weight + sum(count for _, count in dropped)
+        # The bounds ADD: a value may have lost mass before this cap (up
+        # to ``max_dropped``) and lose its surviving count here too.
+        max_dropped = self.max_dropped + max(count for _, count in dropped)
+        return NominalCountSketch(
+            self.cap, kept, self.total_weight, spilled, max_dropped
+        )
+
+    def merge(self, other: "NominalCountSketch") -> "NominalCountSketch":
+        """A new sketch over the union; spill bounds add before re-capping."""
+        combined = dict(self.counts)
+        for value, count in other.counts.items():
+            combined[value] = combined.get(value, 0) + count
+        merged = NominalCountSketch(
+            max(self.cap, other.cap),
+            combined,
+            self.total_weight + other.total_weight,
+            self.spilled_weight + other.spilled_weight,
+            self.max_dropped + other.max_dropped,
+        )
+        return merged._capped()
+
+    def estimate(self, value: Any) -> Tuple[int, int]:
+        """``(count, undercount_bound)`` for one value."""
+        count = self.counts.get(value)
+        if count is not None:
+            # A retained value may still have lost merged-away mass on
+            # shards where it fell under the cap.
+            return int(count), self.max_dropped
+        return 0, self.max_dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NominalCountSketch(values={len(self.counts)}, "
+            f"weight={self.total_weight}, spilled={self.spilled_weight})"
+        )
+
+
+class _ShardStats:
+    """Exact per-shard column extrema and validity tallies (one scan)."""
+
+    __slots__ = ("rows", "valid_rows", "minimum", "maximum")
+
+    def __init__(self, column: Any):
+        self.rows = len(column)
+        valid = column.valid_mask()
+        self.valid_rows = int(np.count_nonzero(valid))
+        self.minimum: Optional[Any] = None
+        self.maximum: Optional[Any] = None
+        if self.valid_rows:
+            self.minimum = column.minimum()
+            self.maximum = column.maximum()
+
+
+class TableSketches:
+    """The sketch tier of one :class:`PartitionedTable`.
+
+    Holds lazily built :class:`MergeableQuantileSketch` /
+    :class:`NominalCountSketch` instances per ``(shard, attribute)`` pair
+    (quantile sketches only for numeric/date columns, nominal sketches
+    for every type), plus exact per-shard extrema.  One instance is
+    shared by every engine over the same shard set (see
+    :meth:`repro.storage.partition.PartitionedTable.sketches`); laziness
+    means only queried columns ever pay the summarisation scan.
+
+    Thread safety mirrors :class:`~repro.storage.zonemap.SkippingIndexes`:
+    the registries are guarded by a lock, builds happen outside it, and a
+    racing double build resolves through ``setdefault`` (sketches are
+    deterministic functions of the immutable shard, so either copy is
+    correct).
+    """
+
+    def __init__(self, partitioned: Any, budget: int = DEFAULT_SKETCH_BUDGET):
+        self._partitioned = partitioned
+        self._shards: List[Any] = partitioned.shards
+        self._budget = max(2, int(budget))
+        self._lock = threading.Lock()
+        self._quantiles: Dict[Tuple[int, str], MergeableQuantileSketch] = {}
+        self._nominals: Dict[Tuple[int, str], NominalCountSketch] = {}
+        self._stats: Dict[Tuple[int, str], _ShardStats] = {}
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._shards)
+
+    @property
+    def budget(self) -> int:
+        return self._budget
+
+    # -- lazy structures -------------------------------------------------------
+
+    def quantile_sketch(
+        self, shard_index: int, attribute: str
+    ) -> Optional[MergeableQuantileSketch]:
+        """The (lazily built) quantile sketch of one shard column.
+
+        Only columns with a physical numeric encoding (numeric and date)
+        carry quantile sketches; nominal columns return ``None``.
+        """
+        column = self._shards[shard_index].column(attribute)
+        if not isinstance(column, NumericColumn):
+            return None
+        key = (shard_index, attribute)
+        with self._lock:
+            sketch = self._quantiles.get(key)
+        if sketch is not None:
+            return sketch
+        sketch = MergeableQuantileSketch.from_values(column.gather(), self._budget)
+        with self._lock:
+            return self._quantiles.setdefault(key, sketch)
+
+    def nominal_sketch(self, shard_index: int, attribute: str) -> NominalCountSketch:
+        """The (lazily built) value-count sketch of one shard column."""
+        key = (shard_index, attribute)
+        with self._lock:
+            sketch = self._nominals.get(key)
+        if sketch is not None:
+            return sketch
+        column = self._shards[shard_index].column(attribute)
+        sketch = NominalCountSketch.from_counts(column.value_counts())
+        with self._lock:
+            return self._nominals.setdefault(key, sketch)
+
+    def shard_stats(self, shard_index: int, attribute: str) -> _ShardStats:
+        """Exact extrema and validity tallies of one shard column."""
+        key = (shard_index, attribute)
+        with self._lock:
+            stats = self._stats.get(key)
+        if stats is not None:
+            return stats
+        stats = _ShardStats(self._shards[shard_index].column(attribute))
+        with self._lock:
+            return self._stats.setdefault(key, stats)
+
+    # -- merged, table-level summaries -----------------------------------------
+
+    def merged_quantile(self, attribute: str) -> Optional[MergeableQuantileSketch]:
+        """One table-level quantile sketch merged across every shard."""
+        merged: Optional[MergeableQuantileSketch] = None
+        for index in range(len(self._shards)):
+            sketch = self.quantile_sketch(index, attribute)
+            if sketch is None:
+                return None
+            merged = sketch if merged is None else merged.merge(sketch)
+        if merged is None:  # pragma: no cover - a table has >= 1 shard
+            merged = MergeableQuantileSketch.empty(self._budget)
+        return merged
+
+    def merged_nominal(self, attribute: str) -> NominalCountSketch:
+        """One table-level value-count sketch merged across every shard."""
+        merged: Optional[NominalCountSketch] = None
+        for index in range(len(self._shards)):
+            sketch = self.nominal_sketch(index, attribute)
+            merged = sketch if merged is None else merged.merge(sketch)
+        if merged is None:  # pragma: no cover - a table has >= 1 shard
+            merged = NominalCountSketch(DEFAULT_NOMINAL_CAP, {}, 0)
+        return merged
+
+    def merged_stats(self, attribute: str) -> Tuple[int, int, Any, Any]:
+        """``(rows, valid_rows, minimum, maximum)`` across every shard."""
+        rows = valid = 0
+        minimum: Any = None
+        maximum: Any = None
+        for index in range(len(self._shards)):
+            stats = self.shard_stats(index, attribute)
+            rows += stats.rows
+            valid += stats.valid_rows
+            if stats.minimum is not None:
+                minimum = (
+                    stats.minimum
+                    if minimum is None or stats.minimum < minimum
+                    else minimum
+                )
+                maximum = (
+                    stats.maximum
+                    if maximum is None or stats.maximum > maximum
+                    else maximum
+                )
+        return rows, valid, minimum, maximum
+
+    def is_nominal(self, attribute: str) -> bool:
+        """Whether the attribute's columns are dictionary-encoded nominals."""
+        return isinstance(
+            self._shards[0].column(attribute), (StringColumn, BoolColumn)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            quantiles, nominals = len(self._quantiles), len(self._nominals)
+        return (
+            f"TableSketches(partitions={self.num_partitions}, "
+            f"budget={self._budget}, quantile_sketches={quantiles}, "
+            f"nominal_sketches={nominals})"
+        )

@@ -14,15 +14,27 @@ quantile estimator:
   plus arbitrary extra quantiles;
 * :func:`streaming_median` — estimate a column median under an optional
   query without sorting, using the sketch.
+
+.. note::
+   P² markers are **not mergeable**: two independently built estimators
+   cannot be combined into one honest estimate of the union, so direct
+   ``P2QuantileEstimator`` use is deprecated for multi-shard paths.
+   :class:`StreamingMedianSketch` mirrors its stream into a
+   :class:`~repro.storage.sketches.MergeableQuantileSketch` and exposes
+   :meth:`StreamingMedianSketch.merge`, which answers from the merged
+   mirror with an advertised rank tolerance.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import EmptyColumnError, StorageError
 from repro.sdl.query import SDLQuery
 from repro.storage.engine import QueryEngine
+from repro.storage.sketches import DEFAULT_SKETCH_BUDGET, MergeableQuantileSketch
 from repro.storage.types import is_missing
 
 __all__ = ["P2QuantileEstimator", "StreamingMedianSketch", "streaming_median"]
@@ -166,23 +178,85 @@ class StreamingMedianSketch:
     appends through :meth:`repro.live.VersionedTable.append_batch` — via
     :meth:`update_batch`, so a production system can keep approximate
     medians current without ever rescanning the grown column.
+
+    Every observation is also mirrored into a buffered
+    :class:`~repro.storage.sketches.MergeableQuantileSketch`, which is
+    what :meth:`merge` combines: per-shard streaming sketches fold into
+    one union sketch whose estimates carry the advertised
+    :meth:`rank_tolerance` (the P² markers themselves are not mergeable
+    and are deprecated for multi-shard paths).  A merged sketch answers
+    every quantile from the mirror instead of the markers.
     """
 
-    def __init__(self, extra_quantiles: Sequence[float] = ()):
+    def __init__(
+        self,
+        extra_quantiles: Sequence[float] = (),
+        budget: int = DEFAULT_SKETCH_BUDGET,
+    ):
         self._estimators: Dict[float, P2QuantileEstimator] = {
             0.5: P2QuantileEstimator(0.5)
         }
         for quantile in extra_quantiles:
             if quantile not in self._estimators:
                 self._estimators[quantile] = P2QuantileEstimator(quantile)
+        self._budget = max(2, int(budget))
+        self._mirror = MergeableQuantileSketch.empty(self._budget)
+        self._pending: List[float] = []
+        #: After a merge, the markers no longer cover the whole stream;
+        #: estimates come from the mergeable mirror instead.
+        self._merged = False
 
     def update(self, value: float) -> None:
         for estimator in self._estimators.values():
             estimator.update(value)
+        self._pending.append(float(value))
+        if len(self._pending) >= max(1024, self._budget):
+            self._fold()
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.update(value)
+
+    def _fold(self) -> None:
+        """Absorb the pending buffer into the mergeable mirror."""
+        if self._pending:
+            batch = MergeableQuantileSketch.from_values(
+                np.asarray(self._pending, dtype=np.float64), self._budget
+            )
+            self._mirror = self._mirror.merge(batch)
+            self._pending = []
+
+    def mergeable(self) -> MergeableQuantileSketch:
+        """The mergeable mirror of everything consumed so far."""
+        self._fold()
+        return self._mirror
+
+    def merge(self, other: "StreamingMedianSketch") -> "StreamingMedianSketch":
+        """A new sketch summarising the union of both inputs' streams.
+
+        The union's estimates are served from the merged mergeable mirror
+        (P² markers cannot be combined), so :meth:`median` and
+        :meth:`quantile` on the result are approximate within the
+        result's :meth:`rank_tolerance` — and :meth:`quantile` accepts
+        *any* fraction, not just the construction-time set.  Further
+        :meth:`update` calls keep feeding the mirror.
+        """
+        merged = StreamingMedianSketch(
+            extra_quantiles=[q for q in self._estimators if q != 0.5],
+            budget=max(self._budget, other._budget),
+        )
+        merged._mirror = self.mergeable().merge(other.mergeable())
+        merged._merged = True
+        return merged
+
+    def rank_tolerance(self) -> float:
+        """Advertised rank-error fraction of mirror-served estimates.
+
+        The true rank of any reported quantile lies within this fraction
+        of the stream length — ``0.0`` while the stream is small enough
+        to be held exactly.
+        """
+        return self.mergeable().rank_error_fraction
 
     def update_batch(self, rows: Iterable[Dict[str, object]], attribute: str) -> int:
         """Absorb one append batch: feed ``attribute`` of every row.
@@ -205,20 +279,38 @@ class StreamingMedianSketch:
 
     @property
     def count(self) -> int:
+        if self._merged:
+            return self.mergeable().total_weight
         return self._estimators[0.5].count
+
+    def _mirror_quantile(self, q: float) -> float:
+        sketch = self.mergeable()
+        if sketch.total_weight == 0:
+            raise EmptyColumnError("the merged sketch has seen no observations")
+        return float(sketch.quantile(q))
 
     def median(self) -> float:
         """The current median estimate."""
+        if self._merged:
+            return self._mirror_quantile(0.5)
         return self._estimators[0.5].estimate()
 
     def quantile(self, q: float) -> float:
         """The estimate for a tracked quantile.
 
+        A merged sketch answers any ``q`` in (0, 1) from the mergeable
+        mirror; an unmerged one answers from its P² estimators.
+
         Raises
         ------
         StorageError
-            If ``q`` was not requested at construction time.
+            If ``q`` was not requested at construction time (unmerged
+            sketches) or lies outside (0, 1) (merged sketches).
         """
+        if self._merged:
+            if not 0.0 < q < 1.0:
+                raise StorageError(f"quantile must lie in (0, 1), got {q}")
+            return self._mirror_quantile(q)
         estimator = self._estimators.get(q)
         if estimator is None:
             raise StorageError(

@@ -1,0 +1,25 @@
+"""CHR004 true negatives on sketch receivers.
+
+Version-keyed sketch-cache traffic, plain-dict sketch memos and
+unrelated receiver names must all pass.
+"""
+
+from typing import Any, Dict
+
+
+class Engine:
+    def summary(self, key, build, version):
+        hit = self._sketches.get(key, version)  # version positional
+        self._sketches.put(key, build(), version=version)
+        return hit or self._sketches.get_or_compute(
+            key, build, version=version
+        )
+
+    def memo(self, sketches: Dict[str, Any], key, build):
+        # A plain dict of sketches is a memo, not a ResultCache.
+        found = sketches.get(key)
+        return found if found is not None else build()
+
+    def unrelated(self, sketchpad, key):
+        # Receiver names not matching the patterns are out of scope.
+        return sketchpad.get(key)

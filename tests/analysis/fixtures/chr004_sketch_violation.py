@@ -1,0 +1,8 @@
+"""CHR004 true positives on sketch receivers: version-less sketch-cache traffic."""
+
+
+class Engine:
+    def summary(self, sketches, key, build):
+        merged = self._sketches.get(key)  # line 6
+        self._sketches.put(key, build())  # line 7
+        return merged or sketches.get_or_compute(key, build)  # line 8

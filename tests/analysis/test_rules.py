@@ -85,6 +85,22 @@ class TestVersionedCache:
     def test_versioned_calls_and_plain_dicts_are_clean(self):
         assert run_rule("CHR004", FIXTURES / "chr004_clean.py") == []
 
+    def test_flags_versionless_sketch_cache_traffic(self):
+        findings = run_rule("CHR004", FIXTURES / "chr004_sketch_violation.py")
+        assert {f.rule_id for f in findings} == {"CHR004"}
+        assert lines(findings) == [6, 7, 8]
+
+    def test_versioned_sketch_calls_and_memos_are_clean(self):
+        assert run_rule("CHR004", FIXTURES / "chr004_sketch_clean.py") == []
+
+    def test_receivers_option_retargets_the_patterns(self):
+        findings = run_rule(
+            "CHR004",
+            FIXTURES / "chr004_sketch_violation.py",
+            options={"receivers": ["*_cache"]},
+        )
+        assert findings == []
+
     def test_suppression_is_honoured(self):
         assert run_rule("CHR004", FIXTURES / "chr004_suppressed.py") == []
 

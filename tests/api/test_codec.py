@@ -111,6 +111,73 @@ class TestPredicatesAndQueries:
         assert decoded.counts == (10, 7)
 
 
+class TestAdviceApproxFields:
+    """The ``approximate``/``error_bound`` advice fields ride the wire."""
+
+    @pytest.fixture(scope="class")
+    def advisor(self):
+        from repro.core.advisor import Charles
+        from repro.workloads import generate_voc
+
+        return Charles(generate_voc(rows=200, seed=5))
+
+    def test_exact_advice_round_trips_with_default_fields(self, advisor):
+        advice = advisor.advise(["type_of_boat", "tonnage"], max_answers=3)
+        assert advice.approximate is False and advice.error_bound is None
+        decoded = loads(dumps(advice))
+        assert decoded.approximate is False
+        assert decoded.error_bound is None
+        assert dumps(decoded) == dumps(advice)
+
+    def test_interactive_advice_round_trips_losslessly(self, advisor):
+        advice = advisor.advise(
+            ["type_of_boat", "tonnage"], max_answers=3, mode="interactive"
+        )
+        assert advice.approximate is True
+        assert advice.error_bound is not None
+        decoded = loads(dumps(advice))
+        assert decoded.approximate is True
+        assert decoded.error_bound == advice.error_bound
+        assert dumps(decoded) == dumps(advice)
+
+    def test_non_finite_error_bound_round_trips_via_float_tags(self, advisor):
+        import dataclasses
+
+        advice = advisor.advise(["type_of_boat"], max_answers=2)
+        for bound in (math.inf, -math.inf):
+            stamped = dataclasses.replace(
+                advice, approximate=True, error_bound=bound
+            )
+            assert to_wire(stamped)["error_bound"] == to_wire(bound)
+            decoded = loads(dumps(stamped))
+            assert decoded.error_bound == bound
+        stamped = dataclasses.replace(
+            advice, approximate=True, error_bound=math.nan
+        )
+        decoded = loads(dumps(stamped))
+        assert decoded.error_bound is not None
+        assert math.isnan(decoded.error_bound)
+
+    def test_payloads_without_the_fields_decode_as_exact(self, advisor):
+        # Version-1 advice written before the sketch tier existed carries
+        # neither field; it must still decode (backward compatibility
+        # within SCHEMA_VERSION).
+        advice = advisor.advise(["type_of_boat"], max_answers=2)
+        payload = to_wire(advice)
+        del payload["approximate"]
+        del payload["error_bound"]
+        legacy = from_wire(payload)
+        assert legacy.approximate is False
+        assert legacy.error_bound is None
+        assert legacy.answers == advice.answers
+
+    def test_schema_envelope_still_version_one(self, advisor):
+        advice = advisor.advise(["type_of_boat"], max_answers=2)
+        envelope = json.loads(dumps(advice))
+        assert envelope["schema"] == SCHEMA_VERSION
+        assert envelope["data"]["approximate"] is False
+
+
 class TestTextEnvelope:
     def test_dumps_wraps_schema_version(self):
         envelope = json.loads(dumps({"a": 1}))

@@ -114,6 +114,7 @@ class TestRequestEnvelope:
             "advise",
             "drill",
             "back",
+            "refine",
             "count",
             "describe",
             "stats",

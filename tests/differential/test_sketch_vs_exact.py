@@ -1,0 +1,206 @@
+"""Differential testing: the sketch tier's answers are *provably* close.
+
+Unlike the index harness (which demands bit-identical answers), the
+approximate tier is allowed to be wrong — but only within the error
+bound it reports alongside each answer.  That claim is falsifiable, and
+this suite falsifies it or passes:
+
+* every ``approx_count`` estimate sits within ``rows * bound`` of the
+  exact count, and malformed queries fail with the same exception type;
+* every unconstrained ``approx_median`` lands within the advertised rank
+  tolerance of the true median's rank (and empty columns raise the same
+  :class:`EmptyColumnError`);
+* interactive advice ranks substantially the same segmentations as the
+  exact path on the paper's VOC workload;
+* exact refinement of an interactive session is *byte-identical* on the
+  wire to a plain advise over the same backend configuration, across the
+  approx × index × partitions grid;
+* the sketch tier's traffic is fully accounted on its own counters and
+  never leaks into the exact engine's counters or result cache.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+import dataclasses
+
+from diff_strategies import COLUMNS, outcome, predicates_for, small_tables
+from repro.api.codec import dumps
+from repro.backends.approx import ApproxEngine
+from repro.core import Charles, ExplorationSession
+from repro.sdl import SDLQuery
+from repro.storage import QueryEngine
+from repro.workloads import generate_voc
+
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage", "built"]
+
+#: Small budgets force stride compaction even on 120-row tables, so the
+#: bound accounting is exercised, not just the exact small-sketch path.
+_BUDGET = 16
+
+
+@st.composite
+def single_predicate_queries(draw) -> SDLQuery:
+    # The count bound is provable for one constrained predicate; joint
+    # selectivities multiply marginals (a heuristic, not a bound).
+    attribute = draw(st.sampled_from(COLUMNS))
+    return SDLQuery([draw(predicates_for(attribute))])
+
+
+class TestCountContainment:
+    @given(table=small_tables(), query=single_predicate_queries())
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_within_reported_bound(self, table, query):
+        exact = outcome(QueryEngine(table).count, query)
+        approx = ApproxEngine(QueryEngine(table), budget=_BUDGET)
+        actual = outcome(approx.count, query)
+        assert exact[0] == actual[0], (
+            f"outcome kinds diverged on {query.to_sdl()!r}: "
+            f"{exact!r} != {actual!r}"
+        )
+        if exact[0] == "error":
+            assert exact[1] == actual[1]
+            return
+        estimate = approx.approx_count(query)
+        assert estimate.approximate is True
+        assert actual[1] == estimate.estimate
+        slack = table.num_rows * estimate.error_bound + 0.5
+        assert abs(exact[1] - estimate.estimate) <= slack, (
+            f"count estimate {estimate.estimate} ± {estimate.error_bound:.3f} "
+            f"misses exact {exact[1]} on {query.to_sdl()!r}"
+        )
+
+
+class TestMedianContainment:
+    @given(table=small_tables(), attribute=st.sampled_from(["num", "val"]))
+    @settings(max_examples=80, deadline=None)
+    def test_unconstrained_median_within_rank_tolerance(self, table, attribute):
+        exact = outcome(QueryEngine(table).median, attribute)
+        approx = ApproxEngine(QueryEngine(table), budget=_BUDGET)
+        actual = outcome(approx.median, attribute)
+        assert exact[0] == actual[0]
+        if exact[0] == "error":
+            # All-missing columns raise EmptyColumnError on both paths.
+            assert exact[1] == actual[1]
+            return
+        estimate = approx.approx_median(attribute)
+        data = np.sort(
+            np.asarray(
+                [
+                    value
+                    for value in table.column(attribute).values_list(None)
+                    if value is not None
+                ],
+                dtype=np.float64,
+            )
+        )
+        target = round(0.5 * (data.size - 1))
+        low = int(np.searchsorted(data, float(estimate.estimate), side="left"))
+        high = int(np.searchsorted(data, float(estimate.estimate), side="right")) - 1
+        distance = max(0, low - target, target - high)
+        assert distance <= estimate.error_bound * data.size, (
+            f"median estimate {estimate.estimate} sits {distance} ranks from "
+            f"target over {data.size} values, beyond the advertised "
+            f"{estimate.error_bound:.4f} tolerance"
+        )
+
+
+class TestAdviceOverlap:
+    def test_interactive_ranking_overlaps_exact(self):
+        advisor = Charles(generate_voc(rows=400, seed=3))
+        exact = advisor.advise(_CONTEXT, max_answers=6)
+        interactive = advisor.advise(_CONTEXT, max_answers=6, mode="interactive")
+        assert exact.approximate is False and exact.error_bound is None
+        assert interactive.approximate is True
+        assert interactive.error_bound is not None
+        assert 0.0 <= interactive.error_bound <= 1.0
+        exact_keys = [a.segmentation.cut_attributes for a in exact.answers]
+        approx_keys = [a.segmentation.cut_attributes for a in interactive.answers]
+        assert approx_keys, "interactive advise produced no answers"
+        overlap = sum(1 for key in approx_keys if key in exact_keys)
+        assert 2 * overlap >= len(approx_keys), (
+            f"sketch ranking {approx_keys} shares only {overlap} cut sets "
+            f"with the exact top ranking {exact_keys}"
+        )
+
+
+#: Extra backend parameters composed with ``approx=256`` (and mirrored
+#: without it for the plain baseline): the refinement contract must hold
+#: whatever indexes or partitioning ride underneath the sketch tier.
+_GRID = ("", "index=all", "index=all&partitions=3&workers=2")
+
+
+def _specs(base: str):
+    approx = "memory?approx=256" + (f"&{base}" if base else "")
+    plain = "memory" + (f"?{base}" if base else "")
+    return approx, plain
+
+
+def _wire_bytes(advice) -> str:
+    """The advice's wire text with the one wall-clock field zeroed.
+
+    ``runtime_seconds`` is a measured duration — the only advice field
+    that is not a pure function of the data and configuration.
+    """
+    trace = dataclasses.replace(advice.trace, runtime_seconds=0.0)
+    return dumps(dataclasses.replace(advice, trace=trace))
+
+
+class TestRefinementIdentity:
+    @pytest.mark.parametrize("base", _GRID)
+    def test_refined_advice_is_byte_identical_to_plain(self, base):
+        approx_spec, plain_spec = _specs(base)
+        context = ["type_of_boat", "tonnage", "departure_harbour"]
+        session = ExplorationSession(
+            Charles(generate_voc(rows=300, seed=7), backend=approx_spec),
+            max_answers=5,
+        )
+        first = session.start(context, mode="interactive")
+        assert first.approximate is True
+        refined = session.refine()
+        assert refined.approximate is False and refined.error_bound is None
+        plain = Charles(generate_voc(rows=300, seed=7), backend=plain_spec).advise(
+            context, max_answers=5
+        )
+        assert _wire_bytes(refined) == _wire_bytes(plain), (
+            f"refinement on {approx_spec!r} diverged from a plain advise "
+            f"on {plain_spec!r}"
+        )
+
+    def test_refinement_is_idempotent_and_replaces_the_step(self):
+        session = ExplorationSession(
+            Charles(generate_voc(rows=200, seed=13), backend="memory?approx=128"),
+            max_answers=4,
+        )
+        session.start(["type_of_boat", "tonnage"], mode="interactive")
+        refined = session.refine()
+        assert session.advise() is refined  # the step now serves exact advice
+        assert session.refine() is refined  # and refining again is a no-op
+
+
+class TestTrafficAccounting:
+    def test_interactive_advise_never_touches_the_exact_engine(self):
+        advisor = Charles(generate_voc(rows=300, seed=11))
+        exact_engine = advisor.engine
+        counters_before = exact_engine.counter.snapshot()
+        cache_before = exact_engine.cache.stats().snapshot()
+        advice = advisor.advise(["type_of_boat", "tonnage"], max_answers=4,
+                                mode="interactive")
+        assert advice.approximate is True
+        assert exact_engine.counter.snapshot() == counters_before
+        assert exact_engine.cache.stats().snapshot() == cache_before
+
+    def test_sketch_traffic_lands_on_the_advice_counters(self):
+        advisor = Charles(generate_voc(rows=300, seed=11))
+        exact = advisor.advise(["type_of_boat", "tonnage"], max_answers=4)
+        interactive = advisor.advise(["type_of_boat", "tonnage"], max_answers=4,
+                                     mode="interactive")
+        # The exact path evaluates selection masks; the sketch path never
+        # does — its counts/medians are answered from merged summaries.
+        assert exact.engine_operations.get("evaluations", 0) > 0
+        assert interactive.engine_operations.get("evaluations", 0) == 0
+        assert interactive.engine_operations.get("count_calls", 0) > 0

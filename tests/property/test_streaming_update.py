@@ -115,6 +115,55 @@ class TestToleranceAcrossAppends:
         exact = float(np.median(values))
         assert sketch.median() == pytest.approx(exact, rel=0.05, abs=1.0)
 
+class TestMergedSketchTolerance:
+    """Merged streaming sketches honour the advertised rank tolerance."""
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=400),
+            min_size=2,
+            max_size=5,
+        ),
+        st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_quantile_error_within_rank_tolerance(self, shards, q):
+        sketches = []
+        for shard in shards:
+            sketch = StreamingMedianSketch(budget=32)
+            sketch.update_batch(_rows(shard), "x")
+            sketches.append(sketch)
+        merged = sketches[0]
+        for sketch in sketches[1:]:
+            merged = merged.merge(sketch)
+        combined = np.sort(np.concatenate([np.asarray(s) for s in shards]))
+        assert merged.count == combined.size
+        estimate = merged.quantile(q)
+        # The estimate is always one of the observed values, and its rank
+        # sits within the advertised tolerance of the target rank.
+        target = round(q * (combined.size - 1))
+        low = np.searchsorted(combined, estimate, side="left")
+        high = np.searchsorted(combined, estimate, side="right") - 1
+        distance = max(0, int(low - target), int(target - high))
+        tolerance = merged.rank_tolerance() * combined.size
+        assert distance <= tolerance, (
+            f"quantile {q} estimate {estimate} sits {distance} ranks from "
+            f"target, beyond the advertised {tolerance:.1f}"
+        )
+
+    def test_merge_preserves_counts_and_accepts_further_updates(self):
+        left = StreamingMedianSketch()
+        right = StreamingMedianSketch()
+        left.update_batch(_rows([1.0, 2.0, 3.0]), "x")
+        right.update_batch(_rows([10.0, 20.0]), "x")
+        merged = left.merge(right)
+        assert merged.count == 5
+        assert 1.0 <= merged.median() <= 20.0
+        merged.update(30.0)
+        assert merged.count == 6
+
+
+class TestLiveTableTracking:
     def test_tracks_a_live_table_column_across_ingest(self):
         # VOC tonnage is multi-modal (one Gaussian per boat type): value
         # error is a poor metric in the density valley around the median,

@@ -1,0 +1,221 @@
+"""Unit tests for the mergeable sketch tier (:mod:`repro.storage.sketches`).
+
+The bound proofs: every estimate a sketch reports must sit within the
+error it advertises — exactly, since construction is deterministic —
+across builds, merges, compactions and restrictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.partition import PartitionedTable
+from repro.storage.sketches import (
+    DEFAULT_SKETCH_BUDGET,
+    MergeableQuantileSketch,
+    NominalCountSketch,
+)
+from repro.workloads import generate_voc
+
+_floats = st.floats(-1e9, 1e9, allow_nan=False)
+
+
+def _true_range_count(data, low, high, include_low, include_high):
+    lower = data >= low if include_low else data > low
+    upper = data <= high if include_high else data < high
+    return int(np.count_nonzero(lower & upper))
+
+
+class TestQuantileSketchBuild:
+    def test_small_input_is_held_exactly(self):
+        sketch = MergeableQuantileSketch.from_values(np.array([3.0, 1.0, 2.0]), 8)
+        assert sketch.rank_error == 0
+        assert sketch.total_weight == 3
+        assert list(sketch.values) == [1.0, 2.0, 3.0]
+        assert sketch.quantile(0.5) == 2.0
+
+    def test_large_input_compacts_under_budget(self):
+        sketch = MergeableQuantileSketch.from_values(np.arange(10_000.0), 64)
+        assert sketch.values.size <= 64
+        assert sketch.total_weight == 10_000
+        assert sketch.rank_error > 0
+        assert sketch.rank_error_fraction < 0.05
+
+    def test_identical_inputs_build_identical_sketches(self):
+        data = np.random.default_rng(3).normal(size=5000)
+        a = MergeableQuantileSketch.from_values(data, 128)
+        b = MergeableQuantileSketch.from_values(data.copy(), 128)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.weights, b.weights)
+        assert a.rank_error == b.rank_error
+
+    def test_empty_sketch_raises_on_quantile(self):
+        sketch = MergeableQuantileSketch.empty(16)
+        assert sketch.total_weight == 0
+        assert sketch.rank_error_fraction == 0.0
+        with pytest.raises(ValueError):
+            sketch.quantile(0.5)
+
+
+class TestQuantileSketchBounds:
+    @given(
+        st.lists(
+            st.lists(_floats, min_size=0, max_size=500),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_quantiles_within_advertised_rank_error(self, shards, budget):
+        data = np.sort(np.concatenate([np.asarray(s, dtype=float) for s in shards]))
+        merged = MergeableQuantileSketch.empty(budget)
+        for shard in shards:
+            merged = merged.merge(
+                MergeableQuantileSketch.from_values(np.asarray(shard), budget)
+            )
+        assert merged.total_weight == data.size
+        if data.size == 0:
+            return
+        tolerance = merged.rank_error_fraction * data.size
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            estimate = merged.quantile(q)
+            target = round(q * (data.size - 1))
+            low = np.searchsorted(data, estimate, side="left")
+            high = np.searchsorted(data, estimate, side="right") - 1
+            distance = max(0, int(low - target), int(target - high))
+            assert distance <= tolerance
+
+    @given(
+        st.lists(_floats, min_size=0, max_size=800),
+        st.integers(min_value=2, max_value=48),
+        _floats,
+        _floats,
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_weight_within_advertised_error(
+        self, values, budget, a, b, include_low, include_high
+    ):
+        low, high = min(a, b), max(a, b)
+        data = np.asarray(values, dtype=float)
+        sketch = MergeableQuantileSketch.from_values(data, budget)
+        estimate, error = sketch.range_weight(low, high, include_low, include_high)
+        true = _true_range_count(data, low, high, include_low, include_high)
+        assert abs(true - estimate) <= error
+
+    def test_merge_accumulates_error_honestly(self):
+        rng = np.random.default_rng(11)
+        parts = [rng.normal(size=3000) for _ in range(4)]
+        merged = MergeableQuantileSketch.empty(32)
+        for part in parts:
+            merged = merged.merge(MergeableQuantileSketch.from_values(part, 32))
+        data = np.sort(np.concatenate(parts))
+        estimate, error = merged.range_weight(-1.0, 1.0)
+        true = _true_range_count(data, -1.0, 1.0, True, True)
+        assert abs(true - estimate) <= error
+        assert error < data.size  # the bound stays informative
+
+    def test_restrict_keeps_weights_and_error(self):
+        sketch = MergeableQuantileSketch.from_values(np.arange(100.0), 16)
+        restricted = sketch.restrict(20.0, 60.0)
+        assert restricted.total_weight <= sketch.total_weight
+        assert restricted.rank_error == sketch.rank_error
+        assert all(20.0 <= v <= 60.0 for v in restricted.values)
+
+
+class TestNominalCountSketch:
+    def test_under_cap_is_exact(self):
+        sketch = NominalCountSketch.from_counts({"a": 5, "b": 3}, cap=8)
+        assert sketch.estimate("a") == (5, 0)
+        assert sketch.estimate("missing") == (0, 0)
+        assert sketch.spilled_weight == 0
+
+    def test_over_cap_spill_accounting(self):
+        counts = {f"v{i}": i + 1 for i in range(10)}  # v9 -> 10 ... v0 -> 1
+        sketch = NominalCountSketch.from_counts(counts, cap=4)
+        assert len(sketch.counts) == 4
+        # The four largest survive; the spilled mass is the rest, exactly.
+        assert set(sketch.counts) == {"v9", "v8", "v7", "v6"}
+        assert sketch.spilled_weight == sum(range(1, 7))
+        assert sketch.max_dropped == 6
+        count, undercount = sketch.estimate("v5")
+        assert count == 0 and undercount == 6
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from([f"k{i}" for i in range(12)]),
+                st.integers(min_value=1, max_value=50),
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_estimates_within_undercount_bound(self, shard_counts, cap):
+        merged = None
+        exact: dict = {}
+        for counts in shard_counts:
+            for key, count in counts.items():
+                exact[key] = exact.get(key, 0) + count
+            sketch = NominalCountSketch.from_counts(counts, cap=cap)
+            merged = sketch if merged is None else merged.merge(sketch)
+        assert merged is not None
+        assert merged.total_weight == sum(exact.values())
+        for key in list(exact) + ["absent"]:
+            estimate, undercount = merged.estimate(key)
+            true = exact.get(key, 0)
+            assert estimate <= true  # never overcounts
+            assert true - estimate <= undercount
+
+    def test_deterministic_retention_order(self):
+        counts = {"b": 2, "a": 2, "c": 2}
+        first = NominalCountSketch.from_counts(counts, cap=2)
+        second = NominalCountSketch.from_counts(dict(reversed(counts.items())), cap=2)
+        assert first.counts == second.counts
+
+
+class TestTableSketchesTier:
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        return PartitionedTable(generate_voc(rows=600, seed=9), partitions=4)
+
+    def test_memoised_per_budget_on_the_partitioned_table(self, sharded):
+        assert sharded.sketches(64) is sharded.sketches(64)
+        assert sharded.sketches(64) is not sharded.sketches(128)
+        assert sharded.sketches() is sharded.sketches(DEFAULT_SKETCH_BUDGET)
+
+    def test_quantile_sketches_only_for_numeric_columns(self, sharded):
+        tier = sharded.sketches(64)
+        assert tier.quantile_sketch(0, "tonnage") is not None
+        assert tier.quantile_sketch(0, "type_of_boat") is None
+        assert tier.merged_quantile("type_of_boat") is None
+        assert tier.is_nominal("type_of_boat")
+        assert not tier.is_nominal("tonnage")
+
+    def test_merged_stats_match_exact_extrema(self, sharded):
+        tier = sharded.sketches(64)
+        column = sharded.table.column("tonnage")
+        rows, valid, minimum, maximum = tier.merged_stats("tonnage")
+        assert rows == sharded.num_rows
+        assert minimum == column.minimum()
+        assert maximum == column.maximum()
+
+    def test_merged_nominal_matches_exact_value_counts_under_cap(self, sharded):
+        tier = sharded.sketches(64)
+        merged = tier.merged_nominal("type_of_boat")
+        assert merged.counts == sharded.table.column("type_of_boat").value_counts()
+        assert merged.spilled_weight == 0
+
+    def test_fresh_partitioned_table_gets_fresh_sketches(self):
+        table = generate_voc(rows=100, seed=1)
+        first = PartitionedTable(table, 2).sketches(32)
+        second = PartitionedTable(table, 2).sketches(32)
+        assert first is not second
