@@ -1,0 +1,111 @@
+"""E19 — cluster tier: does adding advisor nodes buy advise throughput?
+
+The cluster's pitch is horizontal scale for *serving*: every node holds
+a full deterministic copy of the tables, sessions shard across nodes by
+name, so concurrent analysts spread over the fleet instead of queueing
+on one process.  This benchmark measures aggregate advise throughput
+through the router front door at 1, 2 and 4 nodes — same table, same
+concurrent session mix, only the fleet size changes.
+
+Each measured request is a session ``advise`` (alternating a context
+restart with a ``refresh``), issued by one thread per session so the
+router sees genuinely concurrent traffic.  Node processes are real
+(spawned via ``NodeSupervisor``), so the scaling numbers include the
+full wire + routing overhead a deployment would pay.
+
+The 1 → 4 node scaling assertion only runs on measurement runs with
+real parallel headroom (≥ 4 CPUs): under ``--smoke`` or on starved
+runners the fleet multiplexes one core and the numbers are meaningless.
+Rows are recorded through :func:`conftest.record` for the ``--json-out``
+trajectory artifacts CI archives.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import is_smoke, print_table, record, scale
+
+from repro.api.client import RemoteAdvisor
+from repro.cluster import AdvisorCluster, TableSpec
+
+_ROWS = scale(4_000, 300)
+_SEED = 21
+_NODE_COUNTS = scale((1, 2, 4), (1, 2))
+_SESSIONS = scale(8, 2)
+_REQUESTS_PER_SESSION = scale(12, 2)
+_CONTEXTS = (
+    ["type_of_boat", "departure_harbour", "tonnage"],
+    ["master", "departure_harbour"],
+    ["type_of_boat", "tonnage"],
+)
+#: Scaling claims need real parallel headroom to be meaningful.
+_CAN_MEASURE_SPEEDUP = (os.cpu_count() or 1) >= 4
+
+
+def _drive_session(cluster_url: str, index: int) -> int:
+    """One analyst: open a session, advise repeatedly, count requests."""
+    client = RemoteAdvisor(cluster_url, timeout=60.0)
+    session = client.open_session(f"analyst-{index}")
+    completed = 0
+    for step in range(_REQUESTS_PER_SESSION):
+        if step % 2 == 0:
+            advice = session.advise(_CONTEXTS[(index + step) % len(_CONTEXTS)])
+        else:
+            advice = session.advise(refresh=True)
+        assert advice.answers
+        completed += 1
+    session.close()
+    return completed
+
+
+def _throughput(nodes: int) -> float:
+    spec = TableSpec.dataset("voc", rows=_ROWS, seed=_SEED)
+    replicas = 1 if nodes > 1 else 0
+    with AdvisorCluster([spec], nodes=nodes, replicas=replicas) as cluster:
+        with ThreadPoolExecutor(max_workers=_SESSIONS) as pool:
+            started = time.perf_counter()
+            totals = list(
+                pool.map(
+                    lambda index: _drive_session(cluster.url, index),
+                    range(_SESSIONS),
+                )
+            )
+            elapsed = time.perf_counter() - started
+    return sum(totals) / elapsed
+
+
+def test_e19_advise_throughput_scales_with_nodes(benchmark):
+    def run_all():
+        return {nodes: _throughput(nodes) for nodes in _NODE_COUNTS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base = results[_NODE_COUNTS[0]]
+    table_rows = []
+    for nodes, value in results.items():
+        record(
+            "e19",
+            "advise_per_second",
+            round(value, 2),
+            nodes=nodes,
+            sessions=_SESSIONS,
+            rows=_ROWS,
+            requests_per_session=_REQUESTS_PER_SESSION,
+        )
+        table_rows.append((nodes, f"{value:.1f}", f"{value / base:.2f}x"))
+    print_table(
+        "E19: advise throughput through the router",
+        ["nodes", "advise/s", "vs 1 node"],
+        table_rows,
+    )
+
+    if not is_smoke() and _CAN_MEASURE_SPEEDUP and 4 in results:
+        # Four nodes must beat one by a real margin; the exact factor is
+        # hardware-dependent, 1.5x is the floor worth shipping.
+        assert results[4] >= 1.5 * results[1], (
+            f"4-node throughput {results[4]:.1f}/s is not >= 1.5x "
+            f"the 1-node {results[1]:.1f}/s"
+        )

@@ -551,11 +551,15 @@ class WireSyncRule(ProjectRule):
       are the same set — nothing encodes that cannot decode, and vice
       versa;
     * the op table (``OPERATIONS``), its aliases, the service's ``_op_*``
-      handlers and the client's ``call("<op>")`` sites agree.
+      handlers and the client's ``call("<op>")`` sites agree;
+    * the cluster router's routing sets (``SESSION_OPS`` / ``TABLE_OPS``
+      / ``REPLICATED_OPS`` / ``FANOUT_OPS``) form an exact partition of
+      the op table — an operation the router cannot route, or routes two
+      ways, is a drift between protocol and forwarding.
     """
 
     rule_id = "CHR005"
-    summary = "wire sync (error codes, codec tables, op table vs handlers vs client)"
+    summary = "wire sync (error codes, codec tables, op table vs handlers vs client/router)"
     hint = "keep the parallel wire tables in lock-step; see docs/analysis.md#chr005"
 
     DEFAULTS = {
@@ -570,6 +574,13 @@ class WireSyncRule(ProjectRule):
         "service_module": "repro.service.service",
         "service_class": "AdvisorService",
         "client_module": "repro.api.client",
+        "router_module": "repro.cluster.router",
+        "routing_sets": (
+            "SESSION_OPS",
+            "TABLE_OPS",
+            "REPLICATED_OPS",
+            "FANOUT_OPS",
+        ),
     }
 
     def _opt(self, name: str) -> str:
@@ -796,6 +807,9 @@ class WireSyncRule(ProjectRule):
         client = modules.get(self._opt("client_module"))
         if client is not None:
             yield from self._check_client(client, operations, aliases)
+        router = modules.get(self._opt("router_module"))
+        if router is not None:
+            yield from self._check_router(router, operations, aliases)
 
     def _check_service(
         self,
@@ -873,6 +887,97 @@ class WireSyncRule(ProjectRule):
                     f"calls it — the client surface has drifted",
                     hint="add (or re-route) a RemoteAdvisor/RemoteSession method "
                     "through call('<op>', ...)",
+                )
+
+    @staticmethod
+    def _module_string_set(
+        module: ModuleSource, name: str
+    ) -> Optional[Dict[str, ast.AST]]:
+        """A module-level ``NAME = frozenset({"a", ...})`` as string → node.
+
+        Plain ``set``/tuple/list literals are accepted too; non-string
+        members are ignored (the checks below only reason about names).
+        """
+        for node in module.tree.body:
+            target: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = _terminal_name(node.targets[0])
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = _terminal_name(node.target)
+                value = node.value
+            if target != name:
+                continue
+            if (
+                isinstance(value, ast.Call)
+                and _terminal_name(value.func) in ("frozenset", "set")
+                and len(value.args) == 1
+            ):
+                value = value.args[0]
+            if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                return {
+                    element.value: element
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+        return None
+
+    def _check_router(
+        self,
+        router: ModuleSource,
+        operations: Mapping[str, ast.AST],
+        aliases: Mapping[str, str],
+    ) -> Iterator[Finding]:
+        """The router's routing sets must partition the op table exactly."""
+        set_names = [
+            str(name)
+            for name in self.option("routing_sets", self.DEFAULTS["routing_sets"])
+        ]
+        found: Dict[str, Dict[str, ast.AST]] = {}
+        for set_name in set_names:
+            members = self._module_string_set(router, set_name)
+            if members is not None:
+                found[set_name] = members
+        if not found:
+            return  # no routing sets in the module: nothing to sync against
+        claimed: Dict[str, str] = {}
+        for set_name in set_names:
+            for op, node in sorted(found.get(set_name, {}).items()):
+                if op in aliases:
+                    yield self.finding(
+                        router,
+                        node,
+                        f"routing set {set_name} lists alias {op!r}; route the "
+                        f"canonical operation {aliases[op]!r} (the router "
+                        f"canonicalises names before routing)",
+                    )
+                    continue
+                if op not in operations:
+                    yield self.finding(
+                        router,
+                        node,
+                        f"routing set {set_name} routes unknown operation {op!r}",
+                    )
+                    continue
+                if op in claimed:
+                    yield self.finding(
+                        router,
+                        node,
+                        f"operation {op!r} is classified by both {claimed[op]} "
+                        f"and {set_name} — routing must be a partition",
+                    )
+                else:
+                    claimed[op] = set_name
+        for op in sorted(operations):
+            if op not in claimed:
+                yield self.finding(
+                    router,
+                    1,
+                    f"operation {op!r} is in the op table but no routing set "
+                    f"classifies it — the router cannot route it",
+                    hint="add the operation to one of: " + ", ".join(set_names),
                 )
 
 

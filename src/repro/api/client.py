@@ -16,14 +16,16 @@ subclass, resolved through the stable wire error codes.
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.api.protocol import Request, Response, error_from_wire
 from repro.core.advisor import Advice, ContextLike
-from repro.errors import RemoteError
+from repro.errors import RemoteError, RemoteTransportError
 
 __all__ = ["RemoteAdvisor", "RemoteSession"]
 
@@ -37,6 +39,20 @@ class RemoteAdvisor:
         Base URL of the server, e.g. ``"http://127.0.0.1:8765"``.
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Extra transport attempts after a *connection-level* failure
+        (unreachable host, dropped connection, timeout).  HTTP error
+        responses are never retried — the server answered.  ``0`` (the
+        default) keeps the historical single-attempt behaviour.
+    backoff:
+        Base sleep in seconds between attempts; attempt ``n`` sleeps
+        ``backoff * 2**(n-1)`` (exponential).
+
+    After exhausting every attempt the client raises a typed
+    :class:`~repro.errors.RemoteTransportError` naming the attempt count
+    — never a raw socket exception.  The cluster router builds on
+    exactly this path for its node forwarding: that error class is its
+    "mark the node dead and fail over" signal.
 
     Examples
     --------
@@ -46,39 +62,82 @@ class RemoteAdvisor:
     >>> session.drill(0, 0)
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
 
     # -- transport -----------------------------------------------------------
 
-    def _http(self, method: str, path: str, body: Optional[bytes] = None) -> Any:
+    def _http_once(self, method: str, path: str, body: Optional[bytes]) -> Any:
         request = urllib.request.Request(
             f"{self.url}{path}",
             data=body,
             method=method,
             headers={"Content-Type": "application/json; charset=utf-8"},
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                text = reply.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            # Transport-level rejections (bad path, bad JSON) still carry
-            # an error envelope; surface its message and code.
-            try:
-                payload = json.loads(exc.read().decode("utf-8"))
-                error = payload.get("error") or {}
-                raise RemoteError(
-                    str(error.get("message") or exc), code=error.get("code")
-                ) from exc
-            except (ValueError, AttributeError):
-                raise RemoteError(f"HTTP {exc.code} from {self.url}{path}") from exc
-        except urllib.error.URLError as exc:
-            raise RemoteError(f"cannot reach {self.url}{path}: {exc.reason}") from exc
+        with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+            text = reply.read().decode("utf-8")
         try:
             return json.loads(text)
         except ValueError as exc:
             raise RemoteError(f"server returned invalid JSON: {exc}") from exc
+
+    def _http(self, method: str, path: str, body: Optional[bytes] = None) -> Any:
+        attempts = self.retries + 1
+        failure: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                return self._http_once(method, path, body)
+            except urllib.error.HTTPError as exc:
+                # The server answered: transport-level rejections (bad
+                # path, bad JSON) still carry an error envelope; surface
+                # its message and code without retrying.
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                    error = payload.get("error") or {}
+                    raise RemoteError(
+                        str(error.get("message") or exc), code=error.get("code")
+                    ) from exc
+                except (ValueError, AttributeError):
+                    raise RemoteError(f"HTTP {exc.code} from {self.url}{path}") from exc
+            except urllib.error.URLError as exc:
+                failure = exc
+            except (http.client.HTTPException, OSError) as exc:
+                # A node killed mid-exchange surfaces as RemoteDisconnected,
+                # ConnectionResetError or a bare timeout, depending on where
+                # the connection died; all are connection-level failures.
+                failure = exc
+        reason = getattr(failure, "reason", failure)
+        raise RemoteTransportError(
+            f"cannot reach {self.url}{path} after {attempts} attempt(s): {reason}"
+        ) from failure
+
+    def forward(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """POST one already-encoded request envelope; returns the raw reply.
+
+        The pass-through transport of the cluster router: the wire
+        payload is forwarded verbatim and the response envelope comes
+        back undecoded, so a forwarded exchange is byte-identical to a
+        direct one.  Connection-level failures raise
+        :class:`~repro.errors.RemoteError` exactly as :meth:`rpc` does.
+        """
+        body = json.dumps(dict(payload), ensure_ascii=False).encode("utf-8")
+        reply = self._http("POST", "/v1/rpc", body)
+        if not isinstance(reply, dict):
+            raise RemoteError(
+                f"server returned a non-envelope reply: {type(reply).__name__}"
+            )
+        return reply
 
     def rpc(self, request: Request) -> Response:
         """Send one request envelope; returns the decoded response envelope."""
@@ -101,6 +160,15 @@ class RemoteAdvisor:
     def health(self) -> Dict[str, Any]:
         """The server's liveness document (``GET /v1/health``)."""
         return self._http("GET", "/v1/health")
+
+    def cluster(self) -> Dict[str, Any]:
+        """The cluster topology document (``GET /v1/cluster``).
+
+        Served by the cluster router's front door: shard map, node
+        states, session placements and routing counters.  A plain
+        single-node server answers 404 (as a :class:`RemoteError`).
+        """
+        return self._http("GET", "/v1/cluster")
 
     def stats(self) -> Dict[str, Any]:
         """Service-wide statistics (the ``stats`` op).

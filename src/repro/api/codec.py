@@ -230,6 +230,7 @@ def _encode_advice(advice: Advice) -> Dict[str, Any]:
         "engine_operations": _encode_dict(advice.engine_operations),
         "approximate": advice.approximate,
         "error_bound": to_wire(advice.error_bound),
+        "degraded": advice.degraded,
     }
 
 
@@ -362,6 +363,7 @@ def _decode_advice(payload: Dict[str, Any]) -> Advice:
         engine_operations=from_wire(_field(payload, "engine_operations")),
         approximate=bool(payload.get("approximate", False)),
         error_bound=from_wire(payload.get("error_bound")),
+        degraded=bool(payload.get("degraded", False)),
     )
 
 

@@ -15,8 +15,16 @@ Endpoints:
   HTTP exchanges (status 200) carrying an error envelope; HTTP error
   statuses are reserved for transport problems (bad JSON → 400, wrong
   path → 404, wrong method → 405).
-* ``GET /v1/health`` — liveness probe with version and table info.
+* ``GET /v1/health`` — liveness probe with version, node identity
+  (``node_id``, pid, start time) and per-table ``data_version``, so a
+  cluster router can detect a stale replica from one cheap GET.
 * ``GET /v1/stats`` — the service-wide statistics document.
+
+The handler itself is transport plumbing only: it reads a
+:class:`HTTPFront` — anything with ``handle_rpc`` and ``get_document`` —
+which is how the cluster router's front door
+(:class:`repro.cluster.router.RouterHTTPServer`) serves the same protocol
+over the same handler without duplicating it.
 
 Usage::
 
@@ -32,9 +40,11 @@ or blocking, as the CLI's ``serve --http`` does::
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol
 
 from repro.api.codec import SCHEMA_VERSION, to_wire
 from repro.api.dispatcher import Dispatcher
@@ -43,17 +53,29 @@ from repro.api.protocol import API_VERSION, OPERATIONS
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.service.service import AdvisorService
 
-__all__ = ["AdvisorHTTPServer"]
+__all__ = ["AdvisorHTTPServer", "HTTPFront", "HTTPFrontServer"]
 
 #: Maximum accepted request body, a guard against runaway clients.
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
+class HTTPFront(Protocol):
+    """What the HTTP handler needs from the server behind it."""
+
+    def handle_rpc(self, payload: Any) -> Dict[str, Any]:
+        """Execute one JSON-safe request envelope; never raises."""
+        ...  # pragma: no cover - protocol declaration
+
+    def get_document(self, path: str) -> Optional[Dict[str, Any]]:
+        """The JSON document served at a GET path, or ``None`` for 404."""
+        ...  # pragma: no cover - protocol declaration
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """One HTTP exchange; the dispatcher does all protocol work."""
+    """One HTTP exchange; the front does all protocol work."""
 
     # Set by the server factory below.
-    dispatcher: Dispatcher = None  # type: ignore[assignment]
+    front: HTTPFront = None  # type: ignore[assignment]
     quiet: bool = True
 
     protocol_version = "HTTP/1.1"
@@ -87,31 +109,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
-        if path == "/v1/health":
-            service = self.dispatcher.service
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "api_version": API_VERSION,
-                    "schema": SCHEMA_VERSION,
-                    "operations": sorted(OPERATIONS),
-                    "tables": service.table_names,
-                    "sessions": len(service.session_names),
-                },
-            )
+        document = self.front.get_document(path)
+        if document is not None:
+            self._send_json(200, document)
             return
-        if path == "/v1/stats":
-            self._send_json(
-                200,
-                {
-                    "api_version": API_VERSION,
-                    "schema": SCHEMA_VERSION,
-                    "stats": to_wire(self.dispatcher.service.stats()),
-                },
-            )
-            return
-        self._error(404, "protocol", f"unknown path {path!r}; try /v1/rpc, /v1/health, /v1/stats")
+        self._error(
+            404, "protocol", f"unknown path {path!r}; try /v1/rpc, /v1/health, /v1/stats"
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
@@ -135,7 +139,7 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._error(400, "protocol_wire_format", f"request body is not valid JSON: {exc}")
             return
-        self._send_json(200, self.dispatcher.handle_wire(payload))
+        self._send_json(200, self.front.handle_rpc(payload))
 
     def do_PUT(self) -> None:  # noqa: N802 - http.server API
         self._error(405, "protocol", "method not allowed; POST /v1/rpc or GET /v1/health")
@@ -143,64 +147,57 @@ class _Handler(BaseHTTPRequestHandler):
     do_DELETE = do_PUT
 
 
-class AdvisorHTTPServer:
-    """One advisor service listening on a TCP port.
+class HTTPFrontServer:
+    """A threaded HTTP server bound to one :class:`HTTPFront`.
 
-    Parameters
-    ----------
-    service:
-        The :class:`~repro.service.AdvisorService` to expose.
-    host:
-        Bind address; loopback by default (this is a prototype server —
-        there is no authentication).
-    port:
-        TCP port; ``0`` picks an ephemeral free port (see :attr:`port`).
-    quiet:
-        Suppress per-request logging to stderr (default).
+    Owns the socket lifecycle (ephemeral ports, background serving,
+    shutdown, context management); subclasses implement the protocol
+    surface — :meth:`handle_rpc` and :meth:`get_document`.  Both the
+    single-node :class:`AdvisorHTTPServer` and the cluster router's
+    front door are instances.
     """
 
-    def __init__(
-        self,
-        service: "AdvisorService",
-        host: str = "127.0.0.1",
-        port: int = 0,
-        quiet: bool = True,
-    ) -> None:
-        self.dispatcher = Dispatcher(service)
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, quiet: bool = True) -> None:
         handler = type(
             "_BoundHandler",
             (_Handler,),
-            {"dispatcher": self.dispatcher, "quiet": quiet},
+            {"front": self, "quiet": quiet},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
-    @property
-    def service(self) -> "AdvisorService":
-        return self.dispatcher.service
+    # -- the front surface ---------------------------------------------------
+
+    def handle_rpc(self, payload: Any) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def get_document(self, path: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    # -- socket lifecycle ----------------------------------------------------
 
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        return str(self._httpd.server_address[0])
 
     @property
     def port(self) -> int:
         """The bound TCP port (the actual one when constructed with 0)."""
-        return self._httpd.server_address[1]
+        return int(self._httpd.server_address[1])
 
     @property
     def url(self) -> str:
         """Base URL clients should connect to."""
         return f"http://{self.host}:{self.port}"
 
-    def start(self) -> "AdvisorHTTPServer":
+    def start(self) -> "HTTPFrontServer":
         """Serve on a background daemon thread and return immediately."""
         if self._thread is not None:
             raise RuntimeError("the server is already running")
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
-            name=f"advisor-http:{self.port}",
+            name=f"{type(self).__name__}:{self.port}",
             daemon=True,
         )
         self._thread.start()
@@ -220,11 +217,90 @@ class AdvisorHTTPServer:
             self._thread = None
         self._httpd.server_close()
 
-    def __enter__(self) -> "AdvisorHTTPServer":
+    def __enter__(self) -> "HTTPFrontServer":
         return self.start()
 
     def __exit__(self, *exc_info: Any) -> None:
         self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"AdvisorHTTPServer(url={self.url!r})"
+        return f"{type(self).__name__}(url={self.url!r})"
+
+
+class AdvisorHTTPServer(HTTPFrontServer):
+    """One advisor service listening on a TCP port.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.AdvisorService` to expose.
+    host:
+        Bind address; loopback by default (this is a prototype server —
+        there is no authentication).
+    port:
+        TCP port; ``0`` picks an ephemeral free port (see :attr:`port`).
+    quiet:
+        Suppress per-request logging to stderr (default).
+    node_id:
+        Identity reported in ``/v1/health`` — the cluster supervisor
+        names its nodes so the router's probes can tell them apart.
+        Defaults to ``"pid:<pid>"`` for standalone servers.
+    """
+
+    def __init__(
+        self,
+        service: "AdvisorService",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+        node_id: Optional[str] = None,
+    ) -> None:
+        self.dispatcher = Dispatcher(service)
+        self.node_id = node_id if node_id is not None else f"pid:{os.getpid()}"
+        self.started_at = time.time()
+        super().__init__(host=host, port=port, quiet=quiet)
+
+    @property
+    def service(self) -> "AdvisorService":
+        return self.dispatcher.service
+
+    # -- the front surface ---------------------------------------------------
+
+    def handle_rpc(self, payload: Any) -> Dict[str, Any]:
+        return self.dispatcher.handle_wire(payload)
+
+    def get_document(self, path: str) -> Optional[Dict[str, Any]]:
+        if path == "/v1/health":
+            return self.health_document()
+        if path == "/v1/stats":
+            return {
+                "api_version": API_VERSION,
+                "schema": SCHEMA_VERSION,
+                "stats": to_wire(self.service.stats()),
+            }
+        return None
+
+    def health_document(self) -> Dict[str, Any]:
+        """The liveness document, including node identity and data versions.
+
+        ``node`` identifies this server process (``node_id``, pid, start
+        time) and ``data_versions`` maps every registered table to its
+        current monotonic data version — together they let a router
+        health probe detect a restarted process or a stale replica
+        without touching the RPC surface.
+        """
+        service = self.service
+        return {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "schema": SCHEMA_VERSION,
+            "operations": sorted(OPERATIONS),
+            "tables": service.table_names,
+            "sessions": len(service.session_names),
+            "node": {
+                "node_id": self.node_id,
+                "pid": os.getpid(),
+                "started_at": self.started_at,
+            },
+            "data_versions": service.data_versions(),
+        }

@@ -10,8 +10,12 @@ Sub-commands:
   ``--http PORT`` as a real HTTP server speaking the versioned wire
   protocol, with ``--simulate`` as an in-process multi-user workload
   replay reporting throughput, cache hit rates and batching statistics;
+* ``cluster``  — scale out: ``cluster serve`` spawns N advisor node
+  processes behind one sharding HTTP router with replication, failover
+  and graceful degradation (see ``docs/architecture.md``);
 * ``call``     — speak the wire protocol from the shell: one operation
-  against a running ``serve --http`` server;
+  against a running ``serve --http`` server (or a cluster router — the
+  front doors are protocol-identical);
 * ``ingest``   — mutate a served table live: append rows (inline JSON or
   a CSV file) and/or delete by a WHERE clause; open sessions see the
   change, their advice goes stale, and ``advise --refresh`` recomputes;
@@ -193,6 +197,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend spec for the table runtime "
                             "(memory, sqlite, ...)")
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run a multi-node advisor cluster behind a sharding router",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command")
+    cluster_serve = cluster_sub.add_parser(
+        "serve",
+        help="spawn N advisor node processes behind one HTTP router "
+             "(sessions shard across nodes; ingest replicates to all)",
+    )
+    add_source_arguments(cluster_serve)
+    cluster_serve.add_argument("--http", type=int, required=True, metavar="PORT",
+                               help="router front-door port "
+                                    "(0 = pick a free port)")
+    cluster_serve.add_argument("--host", default="127.0.0.1",
+                               help="bind address for router and nodes "
+                                    "(default: loopback)")
+    cluster_serve.add_argument("--nodes", type=int, default=2,
+                               help="advisor node processes to spawn")
+    cluster_serve.add_argument("--replicas", type=int, default=1,
+                               help="failover candidates per shard")
+    cluster_serve.add_argument("--shards", type=int, default=32,
+                               help="shards the session/table key space "
+                                    "is cut into")
+    cluster_serve.add_argument("--probe-interval", type=float, default=0.5,
+                               help="seconds between node health probes")
+    cluster_serve.add_argument("--workers", type=int, default=1,
+                               help="executor-pool threads per node")
+    cluster_serve.add_argument("--backend", default="memory",
+                               help="execution backend spec per node "
+                                    "(memory, sqlite, ...)")
+
     call = subparsers.add_parser(
         "call", help="execute one wire-protocol operation against a running server"
     )
@@ -225,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(advise)")
     call.add_argument("--timeout", type=float, default=30.0,
                       help="HTTP timeout in seconds")
+    call.add_argument("--retries", type=int, default=0,
+                      help="extra transport attempts after a connection-level "
+                           "failure (exponential backoff; HTTP errors are "
+                           "never retried)")
     call.add_argument("--json", action="store_true", dest="raw_json",
                       help="print the raw wire result as JSON instead of "
                            "a human-readable rendering")
@@ -247,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "to delete (appends apply first)")
     ingest.add_argument("--timeout", type=float, default=30.0,
                         help="HTTP timeout in seconds")
+    ingest.add_argument("--retries", type=int, default=0,
+                        help="extra transport attempts after a "
+                             "connection-level failure")
 
     subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
 
@@ -469,8 +512,59 @@ def _parse_rows_json(raw: Optional[str]):
     return rows
 
 
+def _cluster_specs(args: argparse.Namespace) -> List["TableSpec"]:
+    from repro.cluster import TableSpec
+
+    if getattr(args, "csv", None):
+        return [TableSpec.csv(args.csv)]
+    dataset = getattr(args, "dataset", None)
+    if dataset:
+        return [
+            TableSpec.dataset(
+                dataset, rows=getattr(args, "rows", None), seed=args.seed
+            )
+        ]
+    raise CharlesError("provide either --csv or --dataset")
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import AdvisorCluster
+
+    if getattr(args, "cluster_command", None) != "serve":
+        raise CharlesError("usage: charles cluster serve --nodes N --http PORT ...")
+    specs = _cluster_specs(args)
+    cluster = AdvisorCluster(
+        specs,
+        nodes=args.nodes,
+        replicas=args.replicas,
+        shards=args.shards,
+        host=args.host,
+        port=args.http,
+        probe_interval=args.probe_interval,
+        service_options={"backend": args.backend, "workers": args.workers},
+    )
+    cluster.start()
+    try:
+        assert cluster.server is not None and cluster.router is not None
+        print(f"cluster router listening on {cluster.url}")
+        for handle in cluster.handles():
+            print(f"  {handle.name} pid={handle.pid} {handle.url}")
+        print(f"  {len(specs)} table(s): "
+              f"{', '.join(spec.describe() for spec in specs)}; "
+              f"replicas={args.replicas}, shards={args.shards}")
+        print(f"  POST {cluster.url}/v1/rpc, GET {cluster.url}/v1/health, "
+              f"GET {cluster.url}/v1/cluster")
+        sys.stdout.flush()
+        cluster.server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("shutting down cluster")
+    finally:
+        cluster.stop()
+    return 0
+
+
 def _command_call(args: argparse.Namespace) -> int:
-    advisor = RemoteAdvisor(args.url, timeout=args.timeout)
+    advisor = RemoteAdvisor(args.url, timeout=args.timeout, retries=args.retries)
     params = {
         key: value
         for key, value in (
@@ -502,7 +596,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
         raise CharlesError(
             "nothing to ingest: provide --rows-json, --csv and/or --delete"
         )
-    advisor = RemoteAdvisor(args.url, timeout=args.timeout)
+    advisor = RemoteAdvisor(args.url, timeout=args.timeout, retries=args.retries)
     result = advisor.ingest(
         rows=rows or None, delete=args.delete, table=args.table
     )
@@ -533,6 +627,7 @@ _COMMANDS = {
     "profile": _command_profile,
     "segment": _command_segment,
     "serve": _command_serve,
+    "cluster": _command_cluster,
     "call": _command_call,
     "ingest": _command_ingest,
     "datasets": _command_datasets,

@@ -1,0 +1,48 @@
+"""The cluster tier: scale-out of the advisor service across processes.
+
+Charles (CIDR 2013) frames the advisor as a big-data service; this
+package is the scale-out story of the reproduction.  It keeps the wire
+protocol of :mod:`repro.api` untouched and adds, purely with the
+standard library:
+
+* :mod:`~repro.cluster.specs` — deterministic table recipes every node
+  loads identically;
+* :mod:`~repro.cluster.nodes` — a supervisor spawning N advisor server
+  *processes* (spawn start method, ephemeral ports, pipe handshake);
+* :mod:`~repro.cluster.shardmap` — the explicit consistent-hash
+  assignment of sessions and tables to nodes;
+* :mod:`~repro.cluster.health` — probes and the sticky node-state table;
+* :mod:`~repro.cluster.router` — the HTTP front door: verbatim envelope
+  forwarding, ingest replication, journal-based session resurrection,
+  typed degradation;
+* :mod:`~repro.cluster.deployment` — :class:`AdvisorCluster`, the
+  one-call supervisor+router bundle behind ``charles cluster serve``.
+
+The design contract, enforced by ``tests/cluster``: a client must not be
+able to tell the cluster from a single server — advice routed through
+the front door is byte-identical to a local session's — until nodes die,
+at which point answers stay typed (``DegradedError``, ``advice.degraded``)
+rather than hanging or leaking socket errors.
+"""
+
+from repro.cluster.deployment import AdvisorCluster
+from repro.cluster.health import HealthMonitor, NodeStatus
+from repro.cluster.nodes import NodeHandle, NodeSupervisor
+from repro.cluster.router import ClusterRouter, RouterHTTPServer, SessionJournal
+from repro.cluster.shardmap import ShardMap, session_key, table_key
+from repro.cluster.specs import TableSpec
+
+__all__ = [
+    "AdvisorCluster",
+    "ClusterRouter",
+    "HealthMonitor",
+    "NodeHandle",
+    "NodeStatus",
+    "NodeSupervisor",
+    "RouterHTTPServer",
+    "SessionJournal",
+    "ShardMap",
+    "TableSpec",
+    "session_key",
+    "table_key",
+]

@@ -1,0 +1,165 @@
+"""AdvisorCluster: supervisor + router + front door in one object.
+
+The one-call deployment the CLI, the tests and the benchmark all use::
+
+    specs = [TableSpec.dataset("voc", rows=500)]
+    with AdvisorCluster(specs, nodes=2, replicas=1) as cluster:
+        advisor = RemoteAdvisor(cluster.url)
+        session = advisor.open_session("alice")
+        ...
+        cluster.kill_node(0)          # failure injection
+        session.advise(refresh=True)  # fails over transparently
+
+``start()`` spawns the node processes, waits for their ports, builds the
+router over them, probes once so the node-state table starts accurate,
+and binds the HTTP front door.  ``stop()`` tears everything down in
+reverse.  The context manager form guarantees no node processes outlive
+the test that spawned them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.nodes import NodeHandle, NodeSupervisor
+from repro.cluster.router import ClusterRouter, RouterHTTPServer
+from repro.cluster.shardmap import DEFAULT_SHARDS
+from repro.cluster.specs import TableSpec
+from repro.errors import ClusterError
+
+__all__ = ["AdvisorCluster"]
+
+
+class AdvisorCluster:
+    """A local advisor cluster: N node processes behind one router.
+
+    Parameters
+    ----------
+    specs:
+        The tables every node serves (see :class:`TableSpec`).
+    nodes:
+        Node process count.
+    replicas:
+        Failover candidates per shard.
+    host, port:
+        Bind address of the router's front door (``0`` = ephemeral).
+    service_options:
+        Per-node :class:`~repro.service.AdvisorService` keyword
+        arguments (must be picklable).
+    probe_interval:
+        Router health-probe cadence in seconds.
+    timeout, retries:
+        Router → node transport knobs.
+    start_timeout:
+        Seconds to wait for all nodes to report their ports.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TableSpec],
+        nodes: int = 2,
+        replicas: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service_options: Optional[Mapping[str, Any]] = None,
+        probe_interval: float = 0.5,
+        timeout: float = 15.0,
+        retries: int = 1,
+        shards: int = DEFAULT_SHARDS,
+        start_timeout: float = 60.0,
+        quiet: bool = True,
+    ) -> None:
+        self.supervisor = NodeSupervisor(
+            specs,
+            nodes=nodes,
+            host=host,
+            service_options=service_options,
+            start_timeout=start_timeout,
+        )
+        self.replicas = int(replicas)
+        self.shards = int(shards)
+        self.host = host
+        self.port = int(port)
+        self.probe_interval = float(probe_interval)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.quiet = bool(quiet)
+        self.router: Optional[ClusterRouter] = None
+        self.server: Optional[RouterHTTPServer] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AdvisorCluster":
+        """Spawn the nodes, start the router, open the front door."""
+        if self.router is not None:
+            raise ClusterError("the cluster is already running")
+        self.supervisor.start()
+        try:
+            self.router = ClusterRouter(
+                self.supervisor.urls(),
+                replicas=self.replicas,
+                shards=self.shards,
+                timeout=self.timeout,
+                retries=self.retries,
+                probe_interval=self.probe_interval,
+            ).start()
+            self.server = RouterHTTPServer(
+                self.router, host=self.host, port=self.port, quiet=self.quiet
+            )
+            self.server.start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Tear down front door, router and every node process."""
+        server, self.server = self.server, None
+        router, self.router = self.router, None
+        if server is not None:
+            server.shutdown()
+        if router is not None:
+            router.close()
+        self.supervisor.stop()
+
+    def __enter__(self) -> "AdvisorCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- surface -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The front door's base URL (what clients connect to)."""
+        if self.server is None:
+            raise ClusterError("the cluster is not running")
+        return self.server.url
+
+    def handles(self) -> List[NodeHandle]:
+        return self.supervisor.handles()
+
+    def serving_node(self, session: str) -> Optional[int]:
+        """The node currently hosting a session (router placement)."""
+        if self.router is None:
+            raise ClusterError("the cluster is not running")
+        placements = self.router.cluster_document()["sessions"]
+        node_id = placements.get(session)
+        return int(node_id) if node_id is not None else None
+
+    def kill_node(self, node_id: int) -> NodeHandle:
+        """SIGKILL one node process — the failure-injection hook.
+
+        The router is *not* told: it must discover the death through a
+        failed forward or a health probe, exactly as it would in
+        production.
+        """
+        return self.supervisor.kill(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.server is not None else "stopped"
+        return (
+            f"AdvisorCluster(nodes={self.supervisor.nodes}, "
+            f"replicas={self.replicas}, {state})"
+        )

@@ -1,0 +1,235 @@
+"""The node supervisor: N advisor server processes on one machine.
+
+Each cluster node is a real OS process running one
+:class:`~repro.service.AdvisorService` behind one
+:class:`~repro.api.server.AdvisorHTTPServer` — process isolation is the
+point: killing a node with SIGKILL exercises exactly the failure the
+router's degradation machinery exists for, which a thread could never
+simulate faithfully.
+
+Processes are created with the **spawn** start method, never fork: the
+supervisor usually runs inside a threaded process (pytest, the router's
+HTTP server) and forking a threaded CPython process can deadlock in the
+child.  Spawn also guarantees each node builds its tables from the
+:class:`~repro.cluster.specs.TableSpec` recipes from scratch, the same
+way a node on another machine would.
+
+Each child binds an ephemeral port and reports it back over a pipe; the
+supervisor blocks until every node has checked in (or a timeout raises
+:class:`~repro.errors.ClusterError` naming the stragglers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.specs import TableSpec
+from repro.errors import ClusterError
+
+__all__ = ["NodeHandle", "NodeSupervisor"]
+
+
+def _node_main(
+    node_id: int,
+    host: str,
+    specs: Sequence[TableSpec],
+    service_options: Dict[str, Any],
+    conn: multiprocessing.connection.Connection,
+) -> None:
+    """Entry point of one node process (runs in the spawned child).
+
+    Builds the tables, starts the HTTP server on an ephemeral port,
+    reports ``("ok", port)`` (or ``("error", reason)``) over the pipe,
+    then serves until killed.
+    """
+    # Imported here, not at module top: the parent imports this module to
+    # pickle the entry point, and must not pay for the service stack.
+    from repro.api.server import AdvisorHTTPServer
+    from repro.service import AdvisorService
+
+    try:
+        tables = [spec.load() for spec in specs]
+        service = AdvisorService(tables, **service_options)
+        server = AdvisorHTTPServer(
+            service, host=host, port=0, node_id=f"node-{node_id}"
+        )
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        raise
+    conn.send(("ok", server.port))
+    conn.close()
+    server.serve_forever()
+
+
+@dataclass
+class NodeHandle:
+    """The supervisor's view of one running node process."""
+
+    node_id: int
+    process: multiprocessing.process.BaseProcess
+    host: str
+    port: int = 0
+    killed: bool = field(default=False)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def name(self) -> str:
+        return f"node-{self.node_id}"
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "name": self.name,
+            "url": self.url,
+            "pid": self.pid,
+            "alive": self.alive(),
+            "killed": self.killed,
+        }
+
+
+class NodeSupervisor:
+    """Spawns, tracks and kills the advisor node processes of one cluster.
+
+    Parameters
+    ----------
+    specs:
+        The tables every node serves — each node loads its *own* copy
+        deterministically (see :mod:`repro.cluster.specs`).
+    nodes:
+        How many node processes to spawn.
+    host:
+        Bind address for every node (loopback by default).
+    service_options:
+        Extra keyword arguments for each node's
+        :class:`~repro.service.AdvisorService` (``workers``,
+        ``backend``, ...); must be picklable.
+    start_timeout:
+        Seconds to wait for all nodes to report their ports.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TableSpec],
+        nodes: int = 2,
+        host: str = "127.0.0.1",
+        service_options: Optional[Mapping[str, Any]] = None,
+        start_timeout: float = 60.0,
+    ) -> None:
+        if nodes < 1:
+            raise ClusterError(f"a cluster needs at least one node, got {nodes}")
+        if not specs:
+            raise ClusterError("a cluster needs at least one table spec")
+        self.specs = tuple(specs)
+        self.nodes = int(nodes)
+        self.host = host
+        self.service_options = dict(service_options or {})
+        self.start_timeout = float(start_timeout)
+        self._handles: Dict[int, NodeHandle] = {}
+
+    def start(self) -> List[NodeHandle]:
+        """Spawn every node and block until all have reported a port."""
+        if self._handles:
+            raise ClusterError("the supervisor has already started its nodes")
+        context = multiprocessing.get_context("spawn")
+        pending: Dict[int, multiprocessing.connection.Connection] = {}
+        for node_id in range(self.nodes):
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_node_main,
+                args=(
+                    node_id,
+                    self.host,
+                    self.specs,
+                    self.service_options,
+                    child_conn,
+                ),
+                name=f"advisor-node-{node_id}",
+                daemon=True,  # nodes die with the supervisor, never linger
+            )
+            process.start()
+            child_conn.close()  # the child holds the write end now
+            pending[node_id] = parent_conn
+            self._handles[node_id] = NodeHandle(
+                node_id=node_id, process=process, host=self.host
+            )
+        deadline = time.monotonic() + self.start_timeout
+        try:
+            for node_id, conn in pending.items():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(timeout=remaining):
+                    raise ClusterError(
+                        f"node {node_id} did not report a port within "
+                        f"{self.start_timeout:.0f}s"
+                    )
+                status, value = conn.recv()
+                if status != "ok":
+                    raise ClusterError(f"node {node_id} failed to start: {value}")
+                self._handles[node_id].port = int(value)
+        except ClusterError:
+            self.stop()
+            raise
+        finally:
+            for conn in pending.values():
+                conn.close()
+        return self.handles()
+
+    def handles(self) -> List[NodeHandle]:
+        return [self._handles[node_id] for node_id in sorted(self._handles)]
+
+    def handle(self, node_id: int) -> NodeHandle:
+        try:
+            return self._handles[node_id]
+        except KeyError:
+            raise ClusterError(f"no such node: {node_id}") from None
+
+    def urls(self) -> Dict[int, str]:
+        """node id → base URL, the router's bootstrap input."""
+        return {handle.node_id: handle.url for handle in self.handles()}
+
+    def kill(self, node_id: int) -> NodeHandle:
+        """SIGKILL one node — the failure-injection hook for tests and CI.
+
+        The process gets no chance to flush or say goodbye, exactly like
+        a crashed machine.  The router discovers the death through its
+        next forward or health probe.
+        """
+        handle = self.handle(node_id)
+        handle.process.kill()
+        handle.process.join(timeout=10.0)
+        handle.killed = True
+        return handle
+
+    def stop(self) -> None:
+        """Terminate every node process and reap it."""
+        for handle in self._handles.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self._handles.values():
+            handle.process.join(timeout=10.0)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+
+    def __enter__(self) -> "NodeSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,108 @@
+"""Table specifications: how a cluster node knows what data to serve.
+
+A cluster spawns N advisor server *processes*; each must build its own
+copy of the served tables.  Shipping live :class:`~repro.storage.table.Table`
+objects across a process boundary would be slow and version-fragile, so
+the supervisor ships a :class:`TableSpec` instead — a tiny picklable
+recipe (a built-in synthetic dataset with its row count and seed, or a
+CSV path) that every node loads *deterministically*: two nodes given the
+same spec hold bit-identical tables, which is what makes router-vs-local
+advice parity possible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ClusterError
+from repro.storage.table import Table
+
+__all__ = ["TableSpec", "dataset_names"]
+
+
+def _generators() -> Dict[str, Callable[..., Table]]:
+    # Imported lazily: workloads pulls in numpy-heavy generators and the
+    # spec module itself must stay cheap to import in every node process.
+    from repro.workloads import generate_astronomy, generate_voc, generate_weblog
+
+    return {
+        "voc": generate_voc,
+        "astronomy": generate_astronomy,
+        "weblog": generate_weblog,
+    }
+
+
+#: Default row counts per built-in dataset (mirrors the CLI's defaults).
+_DEFAULT_ROWS = {"voc": 5000, "astronomy": 8000, "weblog": 10000}
+
+
+def dataset_names() -> tuple:
+    """The built-in synthetic datasets a :class:`TableSpec` can name."""
+    return tuple(sorted(_DEFAULT_ROWS))
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A deterministic, picklable recipe for one served table.
+
+    Parameters
+    ----------
+    kind:
+        ``"dataset"`` (a built-in synthetic generator) or ``"csv"``.
+    name:
+        Dataset name for ``kind="dataset"`` (``voc``, ``astronomy``,
+        ``weblog``).
+    rows:
+        Row count for built-in datasets (``None`` = the dataset default).
+    seed:
+        Random seed for built-in datasets; the same seed yields the same
+        bytes in every process.
+    path:
+        CSV file path for ``kind="csv"``.
+    """
+
+    kind: str
+    name: str = ""
+    rows: Optional[int] = None
+    seed: int = 42
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dataset", "csv"):
+            raise ClusterError(
+                f"unknown table spec kind {self.kind!r}; expected 'dataset' or 'csv'"
+            )
+        if self.kind == "dataset" and self.name not in _DEFAULT_ROWS:
+            raise ClusterError(
+                f"unknown built-in dataset {self.name!r}; "
+                f"available: {', '.join(dataset_names())}"
+            )
+        if self.kind == "csv" and not self.path:
+            raise ClusterError("a csv table spec requires a 'path'")
+
+    @classmethod
+    def dataset(cls, name: str, rows: Optional[int] = None, seed: int = 42) -> "TableSpec":
+        """A spec for one built-in synthetic dataset."""
+        return cls(kind="dataset", name=name, rows=rows, seed=seed)
+
+    @classmethod
+    def csv(cls, path: str) -> "TableSpec":
+        """A spec loading a CSV file from a path every node can read."""
+        return cls(kind="csv", path=path)
+
+    def load(self) -> Table:
+        """Build the table this spec describes (deterministic per spec)."""
+        if self.kind == "csv":
+            from repro.storage.csv_loader import load_csv
+
+            assert self.path is not None  # __post_init__ guarantees it
+            return load_csv(self.path)
+        generator = _generators()[self.name]
+        rows = self.rows if self.rows is not None else _DEFAULT_ROWS[self.name]
+        return generator(rows=rows, seed=self.seed)
+
+    def describe(self) -> str:
+        if self.kind == "csv":
+            return f"csv:{self.path}"
+        return f"dataset:{self.name}(rows={self.rows}, seed={self.seed})"

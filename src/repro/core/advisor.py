@@ -89,6 +89,11 @@ class Advice:
     then the worst marginal error fraction any estimate reported during
     the run.  Exact advice carries the defaults (``False`` / ``None``),
     so pre-existing payloads decode unchanged.
+
+    ``degraded`` advice was served by a cluster node whose table copy is
+    known to lag the newest data version (a failover target that missed
+    an ingest while dead): the answers are internally consistent but may
+    predate the latest mutations.  Local advisors never set it.
     """
 
     context: SDLQuery
@@ -98,6 +103,7 @@ class Advice:
     engine_operations: Dict[str, int] = field(default_factory=dict)
     approximate: bool = False
     error_bound: Optional[float] = None
+    degraded: bool = False
 
     def __len__(self) -> int:
         return len(self.answers)

@@ -237,6 +237,30 @@ class WireFormatError(ProtocolError):
     code = "protocol_wire_format"
 
 
+class ClusterError(CharlesError):
+    """Base class for errors raised by the cluster tier (:mod:`repro.cluster`).
+
+    Covers node-supervision failures (a node process that never reports
+    its port), malformed shard maps and router-side forwarding problems
+    that are not plain transport errors.
+    """
+
+    code = "cluster"
+
+
+class DegradedError(ClusterError):
+    """Raised when neither a shard's owner nor any replica can answer.
+
+    The structured "we are degraded, not hanging" signal: the router
+    raises it (and ships it over the wire with this stable code) when a
+    request's owning node is dead and every failover candidate is dead
+    too, instead of letting the client see a raw socket error or an
+    indefinite stall.
+    """
+
+    code = "cluster_degraded"
+
+
 class RemoteError(CharlesError):
     """A server-side error reconstructed by a remote client.
 
@@ -251,6 +275,21 @@ class RemoteError(CharlesError):
         super().__init__(message)
         if code is not None:
             self.code = code
+
+
+class RemoteTransportError(RemoteError):
+    """A connection-level failure: the server never answered.
+
+    Raised by :class:`~repro.api.client.RemoteAdvisor` after exhausting
+    its transport retries (unreachable host, dropped connection, socket
+    timeout).  Distinct from a plain :class:`RemoteError` — which means
+    the server *answered* with an error — because the cluster router
+    treats the two very differently: an unreachable node is marked dead
+    and the request fails over to a replica, while an answered error is
+    passed through to the client untouched.
+    """
+
+    code = "remote_unreachable"
 
 
 def iter_error_classes() -> Iterator[Type[CharlesError]]:

@@ -341,6 +341,17 @@ class AdvisorService:
         """The shared executor pool (``None`` when running sequentially)."""
         return self._pool
 
+    def data_versions(self) -> Dict[str, Optional[int]]:
+        """Current data version per registered table (``None`` = unversioned).
+
+        The cheap staleness fingerprint the HTTP health document exposes:
+        a cluster router compares these across nodes to spot a replica
+        that missed an ingest.
+        """
+        with self._lock:
+            runtimes = list(self._tables.items())
+        return {name: runtime.data_version for name, runtime in runtimes}
+
     def _runtime(self, table: Optional[str]) -> _TableRuntime:
         with self._lock:
             if table is not None:
@@ -396,10 +407,24 @@ class AdvisorService:
                 raise SessionError(
                     f"session {name!r} already exists; close it or pass replace=True"
                 )
+            previous = self._sessions.get(name)
             self._sessions[name] = session
         if context is not None:
             self._tally()
-            session.advise(context)
+            try:
+                session.advise(context)
+            except Exception:
+                # Atomic open: a failed initial advise must not leave a
+                # half-open session behind (nor silently drop a session
+                # that replace=True displaced) — the cluster router's
+                # journal relies on "error reply => no state change".
+                with self._lock:
+                    if self._sessions.get(name) is session:
+                        if previous is not None:
+                            self._sessions[name] = previous
+                        else:
+                            self._sessions.pop(name, None)
+                raise
         return session
 
     def session(self, name: str) -> ServiceSession:

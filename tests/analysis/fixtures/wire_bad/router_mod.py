@@ -1,0 +1,10 @@
+"""CHR005 fixture: routing sets that drift from the op table every way.
+
+``teleport`` is not an operation, ``advise`` is routed twice, ``explore``
+is an alias (the router sees canonical names only), and ``drill`` /
+``orphan`` are operations no set classifies.
+"""
+
+SESSION_OPS = frozenset({"advise", "teleport"})
+TABLE_OPS = frozenset({"advise", "explore"})
+FANOUT_OPS = frozenset({"stats"})

@@ -1,0 +1,4 @@
+"""CHR005 fixture (clean): routing sets partition the op table exactly."""
+
+SESSION_OPS = frozenset({"advise", "drill"})
+FANOUT_OPS = frozenset({"stats"})

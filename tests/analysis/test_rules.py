@@ -114,6 +114,7 @@ class TestWireSync:
         "service_module": "service_mod",
         "service_class": "Service",
         "client_module": "client_mod",
+        "router_module": "router_mod",
     }
 
     def test_bad_wire_project_surfaces_every_drift(self):
@@ -136,8 +137,16 @@ class TestWireSync:
         # client: unknown op, op unreachable from the client
         assert "unknown operation 'vanish'" in messages
         assert "'orphan' is in the op table but no client method" in messages
-        # 2 error-code + 3 codec + 2 alias + 2 service + 2 client findings
-        assert len(findings) == 11
+        # router: unknown op, double classification, alias in a routing
+        # set, and two operations no routing set classifies
+        assert "routes unknown operation 'teleport'" in messages
+        assert "classified by both SESSION_OPS and TABLE_OPS" in messages
+        assert "routing set TABLE_OPS lists alias 'explore'" in messages
+        assert "'drill' is in the op table but no routing set" in messages
+        assert "'orphan' is in the op table but no routing set" in messages
+        # 2 error-code + 3 codec + 2 alias + 2 service + 2 client
+        # + 5 router findings
+        assert len(findings) == 16
 
     def test_good_wire_project_is_clean(self):
         assert run_rule("CHR005", FIXTURES / "wire_good", self.OPTIONS) == []

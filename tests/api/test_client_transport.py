@@ -1,0 +1,124 @@
+"""Transport knobs of :class:`RemoteAdvisor` and the degraded wire bit.
+
+The cluster router leans on two client-layer contracts proven here:
+
+* connection-level failures surface as :class:`RemoteTransportError`
+  (wire code ``remote_unreachable``) after the configured retry budget —
+  that exact exception class is the router's "mark the node dead and
+  fail over" signal, so it must never be raised for a server that
+  *answered* with an error;
+* ``Advice.degraded`` survives the codec round-trip, and payloads from
+  pre-cluster servers (no ``degraded`` key) decode to ``False``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.api.client import RemoteAdvisor
+import json
+
+from repro.api.codec import SCHEMA_VERSION, from_wire, loads, to_wire
+
+
+def dumps_payload(payload):
+    """Wrap an already-encoded payload in the schema envelope."""
+    return json.dumps({"schema": SCHEMA_VERSION, "data": payload}, sort_keys=True)
+from repro.errors import RemoteError, RemoteTransportError
+from repro.service import AdvisorService
+from repro.workloads import generate_voc
+
+
+class TestTransportErrors:
+    def test_unreachable_server_raises_transport_error(self):
+        client = RemoteAdvisor("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(RemoteTransportError) as excinfo:
+            client.health()
+        assert excinfo.value.code == "remote_unreachable"
+        # Transport failures are still RemoteErrors: callers that predate
+        # the split keep catching them.
+        assert isinstance(excinfo.value, RemoteError)
+
+    def test_error_message_counts_the_attempts(self):
+        client = RemoteAdvisor("http://127.0.0.1:9", timeout=0.5, retries=2)
+        with pytest.raises(RemoteTransportError) as excinfo:
+            client.health()
+        assert "after 3 attempt(s)" in str(excinfo.value)
+
+    def test_zero_retries_is_a_single_attempt(self):
+        client = RemoteAdvisor("http://127.0.0.1:9", timeout=0.5, retries=0)
+        with pytest.raises(RemoteTransportError) as excinfo:
+            client.health()
+        assert "after 1 attempt(s)" in str(excinfo.value)
+
+    def test_backoff_spaces_the_attempts(self):
+        client = RemoteAdvisor(
+            "http://127.0.0.1:9", timeout=0.5, retries=2, backoff=0.1
+        )
+        started = time.monotonic()
+        with pytest.raises(RemoteTransportError):
+            client.health()
+        # Two sleeps between three attempts: 0.1 + 0.2 (doubling).
+        assert time.monotonic() - started >= 0.2
+
+    def test_http_error_replies_are_never_retried(self):
+        # A server that *answers* — even with a 500 — is not a transport
+        # failure: no retry, no RemoteTransportError.
+        hits = []
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                hits.append(self.path)
+                body = b'{"error": {"code": "boom", "message": "no"}}'
+                self.send_response(500)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # keep the test output quiet
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = RemoteAdvisor(
+                f"http://127.0.0.1:{httpd.server_port}", timeout=5.0, retries=3
+            )
+            with pytest.raises(RemoteError) as excinfo:
+                client.health()
+            assert not isinstance(excinfo.value, RemoteTransportError)
+            assert len(hits) == 1
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestDegradedWireBit:
+    @pytest.fixture(scope="class")
+    def advice(self):
+        service = AdvisorService(generate_voc(rows=80, seed=3), batch_window=0.0)
+        return service.open_session("probe").advise(["type_of_boat", "tonnage"])
+
+    def test_degraded_round_trips_both_ways(self, advice):
+        for flag in (False, True):
+            flagged = dataclasses.replace(advice, degraded=flag)
+            assert from_wire(to_wire(flagged)).degraded is flag
+
+    def test_legacy_payload_without_the_key_decodes_false(self, advice):
+        payload = to_wire(advice)
+        del payload["degraded"]
+        assert from_wire(payload).degraded is False
+
+    def test_router_flagging_pattern_survives_serialisation(self, advice):
+        # The router mutates the *wire* payload (result["degraded"] =
+        # True) rather than the dataclass; prove that path decodes.
+        payload = to_wire(advice)
+        payload["degraded"] = True
+        assert loads(dumps_payload(payload)).degraded is True

@@ -124,6 +124,17 @@ class TestHTTPEndpoints:
         assert health["tables"] == ["voc"]
         assert "advise" in health["operations"]
 
+    def test_health_document_identifies_the_node(self, client, server):
+        # The cluster router's health probes key off these fields: node
+        # identity (restart detection) and per-table data versions
+        # (stale-replica detection).
+        health = client.health()
+        assert health["node"]["node_id"] == server.node_id
+        assert health["node"]["pid"] > 0
+        assert health["node"]["started_at"] > 0
+        assert health["data_versions"].keys() == {"voc"}
+        assert isinstance(health["data_versions"]["voc"], int)
+
     def test_stats_document(self, client):
         stats = client.stats()
         assert "voc" in stats["tables"]

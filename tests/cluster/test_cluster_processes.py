@@ -1,0 +1,113 @@
+"""The real thing: spawned node processes, SIGKILL, graceful degradation.
+
+``test_router_threaded.py`` proves the router's logic against in-process
+nodes; this module proves the full stack — ``NodeSupervisor`` spawning
+advisor processes, the router discovering a SIGKILLed node through its
+transport errors, journal resurrection on a replica, and the typed
+``DegradedError`` (never a hang or a raw socket error) once no replica
+is left.
+
+Process spawning is expensive, so tables are small and each scenario
+starts exactly one cluster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api.client import RemoteAdvisor
+from repro.api.codec import dumps
+from repro.cluster import AdvisorCluster, TableSpec
+from repro.errors import DegradedError
+from repro.service import AdvisorService
+from repro.workloads import generate_voc
+
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
+_ROWS, _SEED = 300, 5
+_SPEC = TableSpec.dataset("voc", rows=_ROWS, seed=_SEED)
+
+
+def _answers_wire(advice):
+    return dumps({"context": advice.context, "answers": advice.answers})
+
+
+def _local_service():
+    return AdvisorService(generate_voc(rows=_ROWS, seed=_SEED), batch_window=0.0)
+
+
+def _run_exploration(session):
+    """advise → drill → back on a session; returns the three advices."""
+    return [session.advise(_CONTEXT), session.drill(0, 0), session.back()]
+
+
+@pytest.mark.parametrize("nodes,replicas", [(1, 0), (2, 1), (3, 1)])
+def test_router_matches_local_service_across_grid(nodes, replicas):
+    # The acceptance bar of the cluster tier: advice through the router
+    # is byte-identical to a single local session, for every cluster
+    # shape — including after an ingest broadcast.
+    local_service = _local_service()
+    with AdvisorCluster([_SPEC], nodes=nodes, replicas=replicas) as cluster:
+        client = RemoteAdvisor(cluster.url, timeout=30.0)
+        local = local_service.open_session("alice")
+        remote = client.open_session("alice")
+        local_steps = _run_exploration(local)
+        remote_steps = _run_exploration(remote)
+        for step, (mine, theirs) in enumerate(zip(local_steps, remote_steps)):
+            assert _answers_wire(mine) == _answers_wire(theirs), (
+                f"step {step} diverged on {nodes} node(s)"
+            )
+
+        local_summary = local_service.ingest(delete="tonnage < 150")
+        remote_summary = client.ingest(delete="tonnage < 150")
+        assert remote_summary["deleted"] == local_summary["deleted"]
+        assert remote_summary["cluster"]["applied_on"] == list(range(nodes))
+        assert _answers_wire(local.advise(refresh=True)) == _answers_wire(
+            remote.advise(refresh=True)
+        )
+
+
+def test_sigkilled_owner_fails_over_then_cluster_degrades():
+    local_service = _local_service()
+    with AdvisorCluster([_SPEC], nodes=2, replicas=1, probe_interval=0.3) as cluster:
+        client = RemoteAdvisor(cluster.url, timeout=30.0)
+        local = local_service.open_session("alice")
+        remote = client.open_session("alice")
+        assert _answers_wire(local.advise(_CONTEXT)) == _answers_wire(
+            remote.advise(_CONTEXT)
+        )
+        assert _answers_wire(local.drill(0, 0)) == _answers_wire(remote.drill(0, 0))
+
+        owner = cluster.serving_node("alice")
+        assert owner is not None
+        handle = cluster.kill_node(owner)  # SIGKILL, router not informed
+        assert not handle.alive()
+
+        # The next request must fail over to the replica and resurrect
+        # the session from the router's journal — same bytes, bounded
+        # time, no manual re-open.
+        started = time.monotonic()
+        local_after = local.back()
+        remote_after = remote.back()
+        assert time.monotonic() - started < 60.0
+        assert _answers_wire(local_after) == _answers_wire(remote_after)
+
+        document = client.cluster()
+        assert document["router"]["counters"]["resurrections"] == 1
+        assert document["nodes"][str(owner)]["state"] == "dead"
+
+        # Kill the survivor: the router must answer with the typed
+        # degraded error, not hang and not leak a socket error.
+        survivor = cluster.serving_node("alice")
+        assert survivor is not None and survivor != owner
+        cluster.kill_node(survivor)
+        started = time.monotonic()
+        with pytest.raises(DegradedError) as excinfo:
+            remote.advise(refresh=True)
+        assert time.monotonic() - started < 60.0
+        assert excinfo.value.code == "cluster_degraded"
+        assert "all dead" in str(excinfo.value)
+
+        # The front door itself is still answering.
+        assert client.health()["status"] == "down"

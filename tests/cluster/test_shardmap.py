@@ -1,0 +1,99 @@
+"""Routing determinism units for the cluster shard map.
+
+The router's correctness rests on one property: every router process,
+restarted at any time, maps the same key to the same ordered node list.
+These tests pin that mapping — including a hard-coded sha1 expectation,
+so an accidental switch to Python's randomised ``hash()`` fails loudly.
+"""
+
+import pytest
+
+from repro.cluster.shardmap import DEFAULT_SHARDS, ShardMap, session_key, table_key
+from repro.errors import ClusterError
+
+
+class TestKeyDerivation:
+    def test_session_and_table_keys_never_collide(self):
+        # Distinct namespaces: a session named like a table routes
+        # independently of that table's sessionless traffic.
+        assert session_key("voc") != table_key("voc")
+
+    def test_table_key_treats_none_as_default_table(self):
+        assert table_key(None) == table_key("")
+
+
+class TestDeterminism:
+    def test_routing_is_stable_across_instances(self):
+        first = ShardMap([0, 1, 2], replicas=1)
+        second = ShardMap([2, 0, 1], replicas=1)  # order must not matter
+        for name in ("alice", "bob", "carol", "dave"):
+            key = session_key(name)
+            assert first.route(key) == second.route(key)
+
+    def test_pinned_sha1_expectations(self):
+        # Hard-coded outputs of the sha1-based shard function.  If these
+        # move, every deployed router disagrees with every restarted one:
+        # that is a wire-protocol break, not a refactor.
+        shard_map = ShardMap([0, 1, 2], replicas=1)
+        assert shard_map.shard_of(session_key("alice")) == 2
+        assert shard_map.shard_of(session_key("bob")) == 13
+        assert shard_map.shard_of(table_key("voc")) == 21
+        assert shard_map.route(session_key("alice")) == (2, 0)
+        assert shard_map.route(session_key("bob")) == (1, 2)
+
+    def test_owner_is_first_of_route(self):
+        shard_map = ShardMap([0, 1, 2, 3], replicas=2)
+        for name in ("alice", "bob", "carol"):
+            key = session_key(name)
+            route = shard_map.route(key)
+            assert shard_map.owner(key) == route[0]
+            assert len(route) == 3  # owner + 2 replicas
+            assert len(set(route)) == 3  # all distinct nodes
+
+
+class TestAssignment:
+    def test_every_shard_has_owner_plus_replicas(self):
+        shard_map = ShardMap([0, 1, 2], replicas=1, shards=16)
+        assignment = shard_map.assignment
+        assert sorted(assignment) == list(range(16))
+        for nodes in assignment.values():
+            assert len(nodes) == 2
+            assert len(set(nodes)) == 2
+
+    def test_ownership_spreads_over_all_nodes(self):
+        shard_map = ShardMap([0, 1, 2, 3], replicas=1)
+        owned = {node: shard_map.shards_owned_by(node) for node in range(4)}
+        # Rotation assignment: every node owns DEFAULT_SHARDS / n shards.
+        assert all(len(shards) == DEFAULT_SHARDS // 4 for shards in owned.values())
+        flattened = sorted(shard for shards in owned.values() for shard in shards)
+        assert flattened == list(range(DEFAULT_SHARDS))
+
+    def test_replicas_clamp_to_node_count(self):
+        # Asking for more copies than peers exist degrades gracefully to
+        # "every node holds it" rather than erroring.
+        shard_map = ShardMap([0, 1], replicas=5)
+        assert shard_map.replicas == 1
+        single = ShardMap([7], replicas=3)
+        assert single.replicas == 0
+        assert single.route(session_key("alice")) == (7,)
+
+    def test_document_round_trips_the_assignment(self):
+        shard_map = ShardMap([0, 1], replicas=1, shards=8)
+        document = shard_map.to_document()
+        assert document["shards"] == 8
+        assert document["replicas"] == 1
+        assert len(document["assignment"]) == 8
+
+
+class TestValidation:
+    def test_empty_node_list_is_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardMap([])
+
+    def test_duplicate_node_ids_are_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardMap([0, 1, 1])
+
+    def test_nonpositive_shard_count_is_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardMap([0, 1], shards=0)

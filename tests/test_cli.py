@@ -305,7 +305,7 @@ class TestCallCommand:
              "--timeout", "0.5"]
         )
         assert exit_code == 2
-        assert "[remote]" in capsys.readouterr().err
+        assert "[remote_unreachable]" in capsys.readouterr().err
 
 
 class TestIngestCommand:
