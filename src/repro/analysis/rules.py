@@ -555,7 +555,12 @@ class WireSyncRule(ProjectRule):
     * the cluster router's routing sets (``SESSION_OPS`` / ``TABLE_OPS``
       / ``REPLICATED_OPS`` / ``FANOUT_OPS``) form an exact partition of
       the op table — an operation the router cannot route, or routes two
-      ways, is a drift between protocol and forwarding.
+      ways, is a drift between protocol and forwarding;
+    * every declared envelope extension (``ENVELOPE_EXTENSIONS`` — the
+      optional cross-cutting envelope fields, e.g. ``trace``) is carried
+      by both envelope classes: present in their ``__slots__`` and named
+      in both ``to_wire`` and ``from_wire``, so an extension can never be
+      silently dropped on one side of the wire.
     """
 
     rule_id = "CHR005"
@@ -571,6 +576,8 @@ class WireSyncRule(ProjectRule):
         "protocol_module": "repro.api.protocol",
         "operations_name": "OPERATIONS",
         "aliases_name": "OPERATION_ALIASES",
+        "extensions_name": "ENVELOPE_EXTENSIONS",
+        "envelope_classes": ("Request", "Response"),
         "service_module": "repro.service.service",
         "service_class": "AdvisorService",
         "client_module": "repro.api.client",
@@ -590,6 +597,7 @@ class WireSyncRule(ProjectRule):
         yield from self._check_error_codes(modules)
         yield from self._check_codec_tables(modules)
         yield from self._check_operations(modules)
+        yield from self._check_envelope_extensions(modules)
 
     # -- error codes ---------------------------------------------------------
 
@@ -979,6 +987,101 @@ class WireSyncRule(ProjectRule):
                     f"classifies it — the router cannot route it",
                     hint="add the operation to one of: " + ", ".join(set_names),
                 )
+
+    # -- envelope extensions ---------------------------------------------------
+
+    def _check_envelope_extensions(
+        self, modules: Mapping[str, ModuleSource]
+    ) -> Iterator[Finding]:
+        """Declared envelope extensions must ride both envelope codecs.
+
+        Stands down when the protocol module declares no
+        ``ENVELOPE_EXTENSIONS`` table (older protocol layouts).
+        """
+        protocol = modules.get(self._opt("protocol_module"))
+        if protocol is None:
+            return
+        extensions = self._module_string_set(protocol, self._opt("extensions_name"))
+        if extensions is None:
+            return
+        class_names = [
+            str(name)
+            for name in self.option(
+                "envelope_classes", self.DEFAULTS["envelope_classes"]
+            )
+        ]
+        for class_name in class_names:
+            class_node = next(
+                (
+                    node
+                    for node in protocol.tree.body
+                    if isinstance(node, ast.ClassDef) and node.name == class_name
+                ),
+                None,
+            )
+            if class_node is None:
+                continue
+            slots = self._class_string_slots(class_node)
+            methods: Dict[str, ast.AST] = {
+                item.name: item
+                for item in class_node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for extension, node in sorted(extensions.items()):
+                if slots is not None and extension not in slots:
+                    yield self.finding(
+                        protocol,
+                        class_node,
+                        f"envelope extension {extension!r} is declared but "
+                        f"{class_name} has no {extension!r} slot",
+                        hint=f"add {extension!r} to {class_name}.__slots__ "
+                        f"and carry it through the codec",
+                    )
+                for method_name in ("to_wire", "from_wire"):
+                    method = methods.get(method_name)
+                    if method is None:
+                        continue
+                    if not self._mentions_string(method, extension):
+                        yield self.finding(
+                            protocol,
+                            method,
+                            f"envelope extension {extension!r} is declared but "
+                            f"{class_name}.{method_name} never names it — the "
+                            f"field would be dropped on this side of the wire",
+                            hint=f"emit/read the {extension!r} key in "
+                            f"{method_name}",
+                        )
+
+    @staticmethod
+    def _class_string_slots(node: ast.ClassDef) -> Optional[Set[str]]:
+        """The class's ``__slots__`` string members, ``None`` if undeclared."""
+        for item in node.body:
+            value: Optional[ast.expr] = None
+            if isinstance(item, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in item.targets
+            ):
+                value = item.value
+            elif (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id == "__slots__"
+            ):
+                value = item.value
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                return {
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+        return None
+
+    @staticmethod
+    def _mentions_string(node: ast.AST, text: str) -> bool:
+        return any(
+            isinstance(child, ast.Constant) and child.value == text
+            for child in ast.walk(node)
+        )
 
 
 # -- CHR006: codec determinism -------------------------------------------------

@@ -47,6 +47,13 @@ class RemoteAdvisor:
     backoff:
         Base sleep in seconds between attempts; attempt ``n`` sleeps
         ``backoff * 2**(n-1)`` (exponential).
+    trace:
+        Ask the server to trace every request sent through this client.
+        Each response's span tree is kept on :attr:`last_trace` (also on
+        the decoded :class:`~repro.api.protocol.Response` envelope), so
+        after any call the full server-side breakdown — through a cluster
+        router down to individual engine operations — is one attribute
+        away.
 
     After exhausting every attempt the client raises a typed
     :class:`~repro.errors.RemoteTransportError` naming the attempt count
@@ -68,11 +75,15 @@ class RemoteAdvisor:
         timeout: float = 30.0,
         retries: int = 0,
         backoff: float = 0.05,
+        trace: bool = False,
     ) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
+        self.trace = bool(trace)
+        #: Span tree of the most recent traced call (``None`` otherwise).
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     # -- transport -----------------------------------------------------------
 
@@ -140,9 +151,19 @@ class RemoteAdvisor:
         return reply
 
     def rpc(self, request: Request) -> Response:
-        """Send one request envelope; returns the decoded response envelope."""
+        """Send one request envelope; returns the decoded response envelope.
+
+        With the client constructed ``trace=True``, an untraced request
+        gains an empty trace context (asking the server to open a trace)
+        and the response's span tree lands on :attr:`last_trace`.
+        """
+        if self.trace and request.trace is None:
+            request.trace = {}
         body = json.dumps(request.to_wire(), ensure_ascii=False).encode("utf-8")
-        return Response.from_wire(self._http("POST", "/v1/rpc", body))
+        response = Response.from_wire(self._http("POST", "/v1/rpc", body))
+        if response.trace is not None:
+            self.last_trace = response.trace
+        return response
 
     def call(self, op: str, session: str = "", **params: Any) -> Any:
         """Execute one operation and return its decoded result.
@@ -178,6 +199,47 @@ class RemoteAdvisor:
         back to their real types.
         """
         return self.call("stats")
+
+    def slow_ops(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The server's slow-op log (the ``slow_ops`` op).
+
+        Against a cluster router this fans out to every live node and
+        returns the merged worst-first log; entries made while tracing
+        was on carry their full span trees.
+        """
+        params: Dict[str, Any] = {}
+        if limit is not None:
+            params["limit"] = limit
+        result = self.call("slow_ops", **params)
+        return dict(result) if isinstance(result, Mapping) else {}
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The mergeable metrics document (``GET /v1/metrics.json``)."""
+        reply = self._http("GET", "/v1/metrics.json")
+        if not isinstance(reply, Mapping):
+            raise RemoteError(
+                f"server returned a non-object metrics reply: {type(reply).__name__}"
+            )
+        metrics = reply.get("metrics")
+        return dict(metrics) if isinstance(metrics, Mapping) else {}
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /v1/metrics``).
+
+        The one endpoint that is not JSON, so it bypasses the JSON
+        transport helper; connection failures raise the same typed
+        :class:`~repro.errors.RemoteTransportError`.
+        """
+        request = urllib.request.Request(f"{self.url}/v1/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return str(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise RemoteError(f"HTTP {exc.code} from {self.url}/v1/metrics") from exc
+        except (urllib.error.URLError, http.client.HTTPException, OSError) as exc:
+            raise RemoteTransportError(
+                f"cannot reach {self.url}/v1/metrics: {getattr(exc, 'reason', exc)}"
+            ) from exc
 
     @property
     def table_names(self) -> List[str]:

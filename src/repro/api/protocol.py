@@ -37,6 +37,7 @@ from repro.errors import ProtocolError, WireFormatError, error_code_registry
 
 __all__ = [
     "API_VERSION",
+    "ENVELOPE_EXTENSIONS",
     "OPERATIONS",
     "Request",
     "Response",
@@ -59,8 +60,17 @@ OPERATIONS: Dict[str, Tuple[str, ...]] = {
     "describe": (),
     "stats": (),
     "ingest": ("table", "rows", "delete"),
+    "slow_ops": ("limit",),
     "close_session": (),
 }
+
+#: Optional envelope fields carried outside ``params`` on *both* the
+#: request and the response.  Extensions are absent from legacy payloads
+#: (decoding tolerates the missing key) and omitted from the wire form
+#: when unset, so adding one is backward- and forward-compatible within
+#: an ``API_VERSION``.  The CHR005 wire-sync lint keeps this tuple, the
+#: envelope ``__slots__`` and both codecs' field lists aligned.
+ENVELOPE_EXTENSIONS: Tuple[str, ...] = ("trace",)
 
 #: Accepted spellings of each operation (legacy in-process names).
 OPERATION_ALIASES: Dict[str, str] = {
@@ -69,6 +79,19 @@ OPERATION_ALIASES: Dict[str, str] = {
 }
 
 _COUNTER = itertools.count(1)
+
+
+def _validated_trace(
+    trace: Optional[Mapping[str, Any]], envelope: str
+) -> Optional[Dict[str, Any]]:
+    """Check an envelope ``trace`` extension (``None`` or a JSON object)."""
+    if trace is None:
+        return None
+    if not isinstance(trace, Mapping):
+        raise WireFormatError(
+            f"{envelope} trace must be an object, got {type(trace).__name__}"
+        )
+    return dict(trace)
 
 
 def next_request_id() -> str:
@@ -109,9 +132,15 @@ class Request:
         generated when omitted).
     api_version:
         Protocol version the client speaks; defaults to this library's.
+    trace:
+        Optional trace context (an envelope extension).  ``{}`` asks the
+        server to trace this request; a router forwards
+        ``{"trace_id": ..., "parent_id": ...}`` so the owning node joins
+        the distributed trace.  ``None`` (the default, and what legacy
+        payloads decode to) means untraced.
     """
 
-    __slots__ = ("op", "session", "params", "request_id", "api_version")
+    __slots__ = ("op", "session", "params", "request_id", "api_version", "trace")
 
     def __init__(
         self,
@@ -120,6 +149,7 @@ class Request:
         params: Optional[Mapping[str, Any]] = None,
         request_id: Optional[str] = None,
         api_version: int = API_VERSION,
+        trace: Optional[Dict[str, Any]] = None,
         **legacy: Any,
     ) -> None:
         self.op = canonical_op(op)
@@ -134,6 +164,7 @@ class Request:
         self.params = merged
         self.request_id = request_id if request_id is not None else next_request_id()
         self.api_version = int(api_version)
+        self.trace = _validated_trace(trace, "request")
 
     # -- legacy field accessors (the pre-wire ServiceRequest surface) -------
 
@@ -156,8 +187,8 @@ class Request:
     # -- wire form -----------------------------------------------------------
 
     def to_wire(self) -> Dict[str, Any]:
-        """The JSON-safe request envelope."""
-        return {
+        """The JSON-safe request envelope (``trace`` only when set)."""
+        payload: Dict[str, Any] = {
             "api_version": self.api_version,
             "schema": SCHEMA_VERSION,
             "op": self.op,
@@ -165,6 +196,9 @@ class Request:
             "request_id": self.request_id,
             "params": {key: to_wire(value) for key, value in self.params.items()},
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, Any]) -> "Request":
@@ -205,6 +239,7 @@ class Request:
             params={key: from_wire(value) for key, value in params.items()},
             request_id=str(payload.get("request_id", "")),
             api_version=api_version,
+            trace=_validated_trace(payload.get("trace"), "request"),
         )
 
     # -- value semantics ------------------------------------------------------
@@ -216,6 +251,7 @@ class Request:
             sorted(self.params.items(), key=lambda item: item[0]),
             self.request_id,
             self.api_version,
+            None if self.trace is None else sorted(self.trace.items()),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -253,6 +289,10 @@ class Response:
         :class:`~repro.errors.CharlesError` hierarchy; ``None`` on success.
     elapsed_seconds:
         Server-side wall-clock time spent executing the operation.
+    trace:
+        Span tree document of the server-side execution (an envelope
+        extension) — present only when the request asked for tracing;
+        ``None`` otherwise and on legacy payloads.
     """
 
     __slots__ = (
@@ -264,6 +304,7 @@ class Response:
         "error_code",
         "request_id",
         "elapsed_seconds",
+        "trace",
     )
 
     def __init__(
@@ -276,6 +317,7 @@ class Response:
         error_code: Optional[str] = None,
         request_id: str = "",
         elapsed_seconds: float = 0.0,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.ok = bool(ok)
         self.op = op
@@ -285,10 +327,11 @@ class Response:
         self.error_code = error_code
         self.request_id = request_id
         self.elapsed_seconds = float(elapsed_seconds)
+        self.trace = _validated_trace(trace, "response")
 
     def to_wire(self) -> Dict[str, Any]:
-        """The JSON-safe response envelope (result codec-encoded)."""
-        return {
+        """The JSON-safe response envelope (``trace`` only when set)."""
+        payload: Dict[str, Any] = {
             "api_version": API_VERSION,
             "schema": SCHEMA_VERSION,
             "ok": self.ok,
@@ -303,6 +346,9 @@ class Response:
                 else {"code": self.error_code, "message": self.error}
             ),
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, Any]) -> "Response":
@@ -334,6 +380,7 @@ class Response:
             error_code=code,
             request_id=str(payload.get("request_id", "")),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            trace=_validated_trace(payload.get("trace"), "response"),
         )
 
     def _key(self) -> Tuple[Any, ...]:
@@ -346,6 +393,7 @@ class Response:
             self.error_code,
             self.request_id,
             self.elapsed_seconds,
+            self.trace,
         )
 
     def __eq__(self, other: object) -> bool:

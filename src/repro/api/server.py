@@ -41,8 +41,10 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol
 
@@ -70,6 +72,15 @@ class HTTPFront(Protocol):
         """The JSON document served at a GET path, or ``None`` for 404."""
         ...  # pragma: no cover - protocol declaration
 
+    def get_plain(self, path: str) -> Optional[str]:
+        """The ``text/plain`` body served at a GET path, or ``None``.
+
+        Checked before :meth:`get_document` — this is how
+        ``GET /v1/metrics`` serves Prometheus text exposition while every
+        other endpoint stays JSON.
+        """
+        ...  # pragma: no cover - protocol declaration
+
 
 class _Handler(BaseHTTPRequestHandler):
     """One HTTP exchange; the front does all protocol work."""
@@ -94,6 +105,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _error(self, status: int, code: str, message: str) -> None:
         self._send_json(
             status,
@@ -105,11 +124,50 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _log_failure(
+        self, kind: str, path: str, exc: BaseException, payload: Any = None
+    ) -> None:
+        """One structured stderr line per unexpected 500.
+
+        Carries the request's op, request_id and — when the envelope asked
+        for tracing — its trace_id, so a 500 in a log aggregator joins up
+        with the client-side trace instead of vanishing into a generic
+        error envelope.
+        """
+        record: Dict[str, Any] = {
+            "event": "http_internal_error",
+            "time": time.time(),
+            "kind": kind,
+            "path": path,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+        if isinstance(payload, dict):
+            record["op"] = payload.get("op")
+            record["request_id"] = payload.get("request_id")
+            trace = payload.get("trace")
+            if isinstance(trace, dict):
+                record["trace_id"] = trace.get("trace_id")
+        print(
+            json.dumps(record, ensure_ascii=False, sort_keys=True),
+            file=sys.stderr,
+            flush=True,
+        )
+
     # -- endpoints -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
-        document = self.front.get_document(path)
+        try:
+            text = self.front.get_plain(path)
+            if text is not None:
+                self._send_text(200, text)
+                return
+            document = self.front.get_document(path)
+        except Exception as exc:
+            self._log_failure("get", path, exc)
+            self._error(500, "internal", "internal server error; see server log")
+            return
         if document is not None:
             self._send_json(200, document)
             return
@@ -139,7 +197,16 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._error(400, "protocol_wire_format", f"request body is not valid JSON: {exc}")
             return
-        self._send_json(200, self.front.handle_rpc(payload))
+        try:
+            reply = self.front.handle_rpc(payload)
+        except Exception as exc:
+            # handle_rpc contracts to never raise — anything landing here
+            # is a genuine server bug, worth a structured log line with
+            # the request's trace context before the generic 500.
+            self._log_failure("rpc", path, exc, payload=payload)
+            self._error(500, "internal", "internal server error; see server log")
+            return
+        self._send_json(200, reply)
 
     def do_PUT(self) -> None:  # noqa: N802 - http.server API
         self._error(405, "protocol", "method not allowed; POST /v1/rpc or GET /v1/health")
@@ -174,6 +241,10 @@ class HTTPFrontServer:
 
     def get_document(self, path: str) -> Optional[Dict[str, Any]]:
         raise NotImplementedError
+
+    def get_plain(self, path: str) -> Optional[str]:
+        """Plain-text GET surface; fronts without one serve JSON only."""
+        return None
 
     # -- socket lifecycle ----------------------------------------------------
 
@@ -278,6 +349,19 @@ class AdvisorHTTPServer(HTTPFrontServer):
                 "schema": SCHEMA_VERSION,
                 "stats": to_wire(self.service.stats()),
             }
+        if path == "/v1/metrics.json":
+            # The mergeable document form — what the cluster router
+            # scrapes from each node before merging sketches.
+            return {
+                "api_version": API_VERSION,
+                "schema": SCHEMA_VERSION,
+                "metrics": self.service.metrics_document(),
+            }
+        return None
+
+    def get_plain(self, path: str) -> Optional[str]:
+        if path == "/v1/metrics":
+            return self.service.metrics.render_prometheus()
         return None
 
     def health_document(self) -> Dict[str, Any]:

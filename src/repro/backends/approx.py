@@ -40,11 +40,13 @@ Specs: ``memory?approx=1`` (default budget) or ``memory?approx=4096``
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.backends.base import BackendWrapper, ExecutionBackend
 from repro.errors import BackendError, EmptyColumnError
+from repro.obs.trace import current_span
 from repro.sdl.predicates import (
     ExclusionPredicate,
     Predicate,
@@ -378,9 +380,22 @@ class ApproxEngine(BackendWrapper):
     # -- ExecutionBackend protocol (approximate) ----------------------------------
 
     def count(self, query: SDLQuery) -> int:
+        parent = current_span()
+        if parent is None:
+            self.counter.add(count_calls=1)
+            answer = self.approx_count(query)
+            self._note_error(answer.error_bound)
+            return int(answer.estimate)
+        started = time.perf_counter()
         self.counter.add(count_calls=1)
         answer = self.approx_count(query)
         self._note_error(answer.error_bound)
+        parent.record(
+            "approx.count",
+            time.perf_counter() - started,
+            approximate=True,
+            error_bound=answer.error_bound,
+        )
         return int(answer.estimate)
 
     def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
@@ -394,9 +409,23 @@ class ApproxEngine(BackendWrapper):
         return numerator / denominator
 
     def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
+        parent = current_span()
+        if parent is None:
+            self.counter.add(median_calls=1)
+            answer = self.approx_median(attribute, query)
+            self._note_error(answer.error_bound)
+            return answer.estimate
+        started = time.perf_counter()
         self.counter.add(median_calls=1)
         answer = self.approx_median(attribute, query)
         self._note_error(answer.error_bound)
+        parent.record(
+            "approx.median",
+            time.perf_counter() - started,
+            approximate=True,
+            error_bound=answer.error_bound,
+            attribute=attribute,
+        )
         return answer.estimate
 
     def minmax(

@@ -259,12 +259,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="advise mode: interactive serves sketch-ranked "
                            "approximate advice the refine op later replaces "
                            "(advise)")
+    call.add_argument("--limit", type=int, default=None,
+                      help="max entries per operation (slow_ops)")
     call.add_argument("--timeout", type=float, default=30.0,
                       help="HTTP timeout in seconds")
     call.add_argument("--retries", type=int, default=0,
                       help="extra transport attempts after a connection-level "
                            "failure (exponential backoff; HTTP errors are "
                            "never retried)")
+    call.add_argument("--trace", action="store_true",
+                      help="request an end-to-end trace and print the "
+                           "span tree (router and engine timings) after "
+                           "the result")
     call.add_argument("--json", action="store_true", dest="raw_json",
                       help="print the raw wire result as JSON instead of "
                            "a human-readable rendering")
@@ -564,7 +570,9 @@ def _command_cluster(args: argparse.Namespace) -> int:
 
 
 def _command_call(args: argparse.Namespace) -> int:
-    advisor = RemoteAdvisor(args.url, timeout=args.timeout, retries=args.retries)
+    advisor = RemoteAdvisor(
+        args.url, timeout=args.timeout, retries=args.retries, trace=args.trace
+    )
     params = {
         key: value
         for key, value in (
@@ -577,6 +585,7 @@ def _command_call(args: argparse.Namespace) -> int:
             ("delete", args.delete),
             ("refresh", True if args.refresh else None),
             ("mode", args.mode),
+            ("limit", args.limit),
         )
         if value is not None
     }
@@ -585,6 +594,14 @@ def _command_call(args: argparse.Namespace) -> int:
         print(json.dumps(to_wire(result), indent=2, ensure_ascii=False, sort_keys=True))
     else:
         print(_render_call_result(result))
+    if args.trace:
+        from repro.obs import format_span_tree
+
+        if advisor.last_trace is not None:
+            print("trace:")
+            print(format_span_tree(advisor.last_trace))
+        else:
+            print("trace: (server returned no trace)")
     return 0
 
 

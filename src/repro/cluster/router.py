@@ -59,6 +59,8 @@ from repro.errors import (
     RemoteError,
     RemoteTransportError,
 )
+from repro.obs import MetricsRegistry, SlowOpLog, current_span, start_trace
+from repro.obs.metrics import render_document
 
 __all__ = [
     "SESSION_OPS",
@@ -90,7 +92,7 @@ TABLE_OPS = frozenset({"count"})
 REPLICATED_OPS = frozenset({"ingest"})
 
 #: Operations fanned out to every live node and aggregated.
-FANOUT_OPS = frozenset({"stats"})
+FANOUT_OPS = frozenset({"stats", "slow_ops"})
 
 #: Operations whose successful result is an advice object — the ones the
 #: router inspects for the in-band ``degraded`` staleness flag.
@@ -280,6 +282,20 @@ class ClusterRouter:
             return lock
 
     @staticmethod
+    def _adopt_reply_trace(reply: Dict[str, Any]) -> None:
+        """Move a node reply's span tree under the router's ambient span.
+
+        Fan-out and replication build fresh aggregate envelopes, so a
+        node's ``trace`` would otherwise be dropped with the rest of its
+        envelope; adopting it here keeps every contacted node's subtree
+        in the assembled trace.  No-op when the request is untraced.
+        """
+        node_trace = reply.pop("trace", None)
+        parent = current_span()
+        if parent is not None and isinstance(node_trace, Mapping):
+            parent.adopt(dict(node_trace))
+
+    @staticmethod
     def _error_envelope(
         op: str, session: str, request_id: str, error: CharlesError
     ) -> Dict[str, Any]:
@@ -300,7 +316,35 @@ class ClusterRouter:
         The envelope is *not* decoded here — only ``op``, ``session`` and
         the table name are read; the body travels to the owning node
         verbatim so the node's answer is byte-identical to a direct call.
+        A request carrying a ``trace`` extension gets a router-side root
+        span; the trace context is re-stamped onto the forwarded envelope
+        so the owning node's spans join the same trace, and the node's
+        span tree (returned in the reply's ``trace``) is adopted as a
+        child — the client receives one assembled tree under one
+        ``trace_id`` spanning router and shard.
         """
+        trace = payload.get("trace") if isinstance(payload, Mapping) else None
+        if not isinstance(trace, Mapping):
+            return self._route(payload)
+        op = str(payload.get("op", "")) or "request"
+        root = start_trace(
+            f"router.{op}",
+            trace_id=trace.get("trace_id"),
+            parent_id=trace.get("parent_id"),
+            op=op,
+        )
+        forwarded = dict(payload)
+        forwarded["trace"] = {"trace_id": root.trace_id, "parent_id": root.span_id}
+        with root:
+            reply = self._route(forwarded)
+        node_trace = reply.pop("trace", None)
+        if isinstance(node_trace, Mapping):
+            root.adopt(dict(node_trace))
+        reply["trace"] = root.to_document()
+        return reply
+
+    def _route(self, payload: Any) -> Dict[str, Any]:
+        """The untraced routing body behind :meth:`handle_wire`."""
         if not isinstance(payload, Mapping):
             error = ClusterError(
                 f"request envelope must be an object, got {type(payload).__name__}"
@@ -516,6 +560,7 @@ class ClusterRouter:
                     self._monitor.mark_dead(node_id)
                     self._bump("node_failures")
                     continue
+                self._adopt_reply_trace(reply)
                 if primary_reply is None:
                     if not reply.get("ok"):
                         # The owner rejected the mutation (validation):
@@ -568,7 +613,7 @@ class ClusterRouter:
     def _handle_fanout(
         self, op: str, session: str, request_id: str, payload: Mapping[str, Any]
     ) -> Dict[str, Any]:
-        """Ask every live node and aggregate (the ``stats`` op)."""
+        """Ask every live node and aggregate (``stats`` and ``slow_ops``)."""
         replies: Dict[int, Dict[str, Any]] = {}
         for node_id in self._shard_map.node_ids:
             if not self._monitor.is_live(node_id):
@@ -582,23 +627,22 @@ class ClusterRouter:
             except RemoteError:
                 continue
             if reply.get("ok"):
+                self._adopt_reply_trace(reply)
                 replies[node_id] = reply
         self._bump("forwards")
         if not replies:
             self._bump("degraded_requests")
             error = DegradedError(f"no live node answered the {op!r} fan-out")
             return self._error_envelope(op, session, request_id, error)
-        total = 0
         elapsed = 0.0
-        nodes_doc: Dict[str, Any] = {}
-        for node_id, reply in sorted(replies.items()):
-            result = reply.get("result")
-            nodes_doc[str(node_id)] = result
-            if isinstance(result, dict) and isinstance(result.get("requests"), int):
-                total += result["requests"]
+        for reply in replies.values():
             value = reply.get("elapsed_seconds")
             if isinstance(value, (int, float)):
                 elapsed += float(value)
+        if op == "slow_ops":
+            result = self._aggregate_slow_ops(payload, replies)
+        else:
+            result = self._aggregate_stats(replies)
         return {
             "api_version": API_VERSION,
             "schema": SCHEMA_VERSION,
@@ -607,13 +651,44 @@ class ClusterRouter:
             "session": session,
             "request_id": request_id,
             "elapsed_seconds": elapsed,
-            "result": {
-                "requests": total,
-                "nodes": nodes_doc,
-                "router": self.counters(),
-            },
+            "result": result,
             "error": None,
         }
+
+    def _aggregate_stats(
+        self, replies: Mapping[int, Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        total = 0
+        nodes_doc: Dict[str, Any] = {}
+        for node_id, reply in sorted(replies.items()):
+            result = reply.get("result")
+            nodes_doc[str(node_id)] = result
+            if isinstance(result, dict) and isinstance(result.get("requests"), int):
+                total += result["requests"]
+        return {
+            "requests": total,
+            "nodes": nodes_doc,
+            "router": self.counters(),
+        }
+
+    @staticmethod
+    def _aggregate_slow_ops(
+        payload: Mapping[str, Any], replies: Mapping[int, Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Re-rank the union of every node's worst spans per operation."""
+        params = payload.get("params")
+        params = params if isinstance(params, Mapping) else {}
+        limit = params.get("limit")
+        if not isinstance(limit, int) or isinstance(limit, bool):
+            limit = None
+        documents = [
+            reply["result"]
+            for _, reply in sorted(replies.items())
+            if isinstance(reply.get("result"), Mapping)
+        ]
+        merged = SlowOpLog.merge_documents(documents, limit=limit)
+        merged["nodes"] = sorted(replies)
+        return merged
 
     # -- GET documents -------------------------------------------------------
 
@@ -651,6 +726,52 @@ class ClusterRouter:
             "schema": SCHEMA_VERSION,
             "stats": envelope.get("result"),
         }
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """Cluster-wide metrics: every live node's document, merged.
+
+        Counters and gauges sum across nodes; latency histograms merge
+        their quantile sketches, so the router's ``/v1/metrics`` serves
+        cluster p50/p95/p99 lines with an honest rank bound.  The
+        router's own forwarding counters ride along as
+        ``router_<name>_total`` rows.
+        """
+        documents: List[Dict[str, Any]] = []
+        for node_id in self._shard_map.node_ids:
+            if not self._monitor.is_live(node_id):
+                continue
+            try:
+                documents.append(self._clients[node_id].metrics_document())
+            except RemoteTransportError:
+                self._monitor.mark_dead(node_id)
+                self._bump("node_failures")
+            except RemoteError:
+                continue
+        merged = MetricsRegistry.merge_documents(documents)
+        for name, value in sorted(self.counters().items()):
+            merged["counters"].append(
+                {
+                    "name": f"router_{name}_total",
+                    "labels": {},
+                    "help": f"Router {name.replace('_', ' ')} count.",
+                    "value": value,
+                }
+            )
+        merged["nodes"] = len(documents)
+        return merged
+
+    def metrics_text(self) -> str:
+        """The merged cluster metrics in Prometheus text format."""
+        return render_document(self.metrics_document())
+
+    def slow_ops_document(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The merged cluster slow-op log (``GET``-side convenience)."""
+        params: Dict[str, Any] = {} if limit is None else {"limit": limit}
+        envelope = self._handle_fanout(
+            "slow_ops", "", next_request_id(), _envelope("slow_ops", "", params)
+        )
+        result = envelope.get("result")
+        return result if isinstance(result, dict) else {"per_op": 0, "ops": {}}
 
     def cluster_document(self) -> Dict[str, Any]:
         """Topology and routing state (``GET /v1/cluster``)."""
@@ -703,4 +824,15 @@ class RouterHTTPServer(HTTPFrontServer):
             return self.router.stats_document()
         if path == "/v1/cluster":
             return self.router.cluster_document()
+        if path == "/v1/metrics.json":
+            return {
+                "api_version": API_VERSION,
+                "schema": SCHEMA_VERSION,
+                "metrics": self.router.metrics_document(),
+            }
+        return None
+
+    def get_plain(self, path: str) -> Optional[str]:
+        if path == "/v1/metrics":
+            return self.router.metrics_text()
         return None

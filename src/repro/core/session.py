@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SessionError
+from repro.obs.trace import span
 from repro.sdl.formatter import format_segment_label
 from repro.sdl.query import SDLQuery
 from repro.core.advisor import Advice, Charles, ContextLike
@@ -162,22 +163,31 @@ class ExplorationSession:
         ``error_bound``) and an exact recomputation starts immediately in
         the background; :meth:`refine` swaps it in when it lands.
         """
-        step = self.current
-        if refresh:
-            step.advice = None
-            step.cached_count = None
-            step.refinement = None
-        if step.advice is None:
-            # Capture the version *before* computing: if an ingest lands
-            # mid-advise, the advice is tagged with the pre-ingest version
-            # and correctly reports stale, instead of masquerading as
-            # computed against data it never saw.
-            version = self.data_version
-            step.advice = self._compute_advice(step.context, mode)
-            step.data_version = version
-            if step.advice.approximate:
-                self._schedule_refinement(step)
-        return step.advice
+        with span("session.advise", mode=mode, refresh=refresh) as current:
+            step = self.current
+            if refresh:
+                step.advice = None
+                step.cached_count = None
+                step.refinement = None
+            if step.advice is None:
+                # Capture the version *before* computing: if an ingest lands
+                # mid-advise, the advice is tagged with the pre-ingest version
+                # and correctly reports stale, instead of masquerading as
+                # computed against data it never saw.
+                version = self.data_version
+                step.advice = self._compute_advice(step.context, mode)
+                step.data_version = version
+                if step.advice.approximate:
+                    self._schedule_refinement(step)
+            elif current:
+                current.annotate(cached=True)
+            if current:
+                current.annotate(
+                    answers=len(step.advice.answers),
+                    approximate=bool(step.advice.approximate),
+                    depth=self.depth,
+                )
+            return step.advice
 
     def _compute_advice(self, context: SDLQuery, mode: str) -> Advice:
         if self.advise_fn is not None:
@@ -204,30 +214,31 @@ class ExplorationSession:
         :class:`~repro.errors.SessionError` when ``timeout`` (seconds)
         expires before refinement lands.
         """
-        approximate = self.advise()
-        if not approximate.approximate:
-            return approximate
-        step = self.current
-        task = step.refinement
-        if task is not None:
-            if not task.wait(timeout):
-                raise SessionError(
-                    f"refinement did not finish within {timeout} seconds"
-                )
-            if task.error is not None:
-                step.refinement = None
-                raise task.error
-            exact, version = task.advice, task.version
-        else:
-            version = self.data_version
-            exact = self._compute_advice(step.context, "exact")
-        assert exact is not None
-        if step.advice is approximate:
-            step.advice = exact
-            step.data_version = version
-            step.cached_count = None
-        step.refinement = None
-        return exact
+        with span("session.refine"):
+            approximate = self.advise()
+            if not approximate.approximate:
+                return approximate
+            step = self.current
+            task = step.refinement
+            if task is not None:
+                if not task.wait(timeout):
+                    raise SessionError(
+                        f"refinement did not finish within {timeout} seconds"
+                    )
+                if task.error is not None:
+                    step.refinement = None
+                    raise task.error
+                exact, version = task.advice, task.version
+            else:
+                version = self.data_version
+                exact = self._compute_advice(step.context, "exact")
+            assert exact is not None
+            if step.advice is approximate:
+                step.advice = exact
+                step.data_version = version
+                step.cached_count = None
+            step.refinement = None
+            return exact
 
     # -- live data ----------------------------------------------------------------
 
@@ -265,43 +276,47 @@ class ExplorationSession:
         segment_index:
             0-based index of the segment within that answer's segmentation.
         """
-        advice = self.advise()
-        if not 0 <= answer_index < len(advice.answers):
-            raise SessionError(
-                f"answer index {answer_index} out of range "
-                f"(the advice has {len(advice.answers)} answers)"
-            )
-        answer = advice.answers[answer_index]
-        segmentation = answer.segmentation
-        if not 0 <= segment_index < segmentation.depth:
-            raise SessionError(
-                f"segment index {segment_index} out of range "
-                f"(the segmentation has {segmentation.depth} segments)"
-            )
-        step = self.current
-        step.chosen_answer = answer_index
-        step.chosen_segment = segment_index
-        segment = segmentation.segments[segment_index]
-        label = format_segment_label(segment.query, segmentation.context)
-        # Hand the mask-reuse tier its breadcrumb: the new context refines
-        # the current one, so its selection vector is the parent's ANDed
-        # with the segment's extra predicate (engines without the feature
-        # simply have no hint_parent).
-        hint = getattr(self.advisor.engine, "hint_parent", None)
-        if hint is not None:
-            hint(segment.query, step.context)
-        self._stack.append(ExplorationStep(context=segment.query, label=label))
-        return self.advise()
+        with span(
+            "session.drill", answer_index=answer_index, segment_index=segment_index
+        ):
+            advice = self.advise()
+            if not 0 <= answer_index < len(advice.answers):
+                raise SessionError(
+                    f"answer index {answer_index} out of range "
+                    f"(the advice has {len(advice.answers)} answers)"
+                )
+            answer = advice.answers[answer_index]
+            segmentation = answer.segmentation
+            if not 0 <= segment_index < segmentation.depth:
+                raise SessionError(
+                    f"segment index {segment_index} out of range "
+                    f"(the segmentation has {segmentation.depth} segments)"
+                )
+            step = self.current
+            step.chosen_answer = answer_index
+            step.chosen_segment = segment_index
+            segment = segmentation.segments[segment_index]
+            label = format_segment_label(segment.query, segmentation.context)
+            # Hand the mask-reuse tier its breadcrumb: the new context refines
+            # the current one, so its selection vector is the parent's ANDed
+            # with the segment's extra predicate (engines without the feature
+            # simply have no hint_parent).
+            hint = getattr(self.advisor.engine, "hint_parent", None)
+            if hint is not None:
+                hint(segment.query, step.context)
+            self._stack.append(ExplorationStep(context=segment.query, label=label))
+            return self.advise()
 
     def back(self) -> SDLQuery:
         """Pop one level off the exploration stack and return the restored context."""
-        if len(self._stack) <= 1:
-            raise SessionError("already at the root of the exploration")
-        self._stack.pop()
-        step = self.current
-        step.chosen_answer = None
-        step.chosen_segment = None
-        return step.context
+        with span("session.back"):
+            if len(self._stack) <= 1:
+                raise SessionError("already at the root of the exploration")
+            self._stack.pop()
+            step = self.current
+            step.chosen_answer = None
+            step.chosen_segment = None
+            return step.context
 
     # -- reporting ---------------------------------------------------------------
 

@@ -56,6 +56,7 @@ from repro.errors import (
     SessionError,
     UnknownOperationError,
 )
+from repro.obs import MetricsRegistry, SlowOpLog, start_trace
 from repro.sdl.formatter import query_signature
 from repro.sdl.query import SDLQuery
 from repro.service.batching import BatchCoordinator, BatchedEngine
@@ -154,6 +155,7 @@ class _TableRuntime:
         partitions: int = 1,
         workers: int = 1,
         pool: Optional[Any] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.name = name
         self.table = table
@@ -169,6 +171,70 @@ class _TableRuntime:
         self._backend = open_backend(backend_spec, table, **context)
         self.engine = BatchedEngine(self._backend)
         self.coordinator = BatchCoordinator(self.engine, window_seconds=batch_window)
+        if metrics is not None:
+            self._register_metrics(metrics)
+
+    def _register_metrics(self, metrics: MetricsRegistry) -> None:
+        """Export this runtime's live stats as registry views.
+
+        Views read the structures that already own the numbers (cache
+        stats, the primary engine's :class:`OperationCounter`), so there
+        is no double bookkeeping; the engine additionally gets a metrics
+        *sink* — reached duck-typed through whatever wrapper stack the
+        backend spec built — feeding per-operation latency histograms.
+        """
+        for kind, cache in (("results", self.cache), ("advice", self.advice_cache)):
+            labels = {"table": self.name, "cache": kind}
+            metrics.gauge(
+                "cache_entries",
+                "Entries currently held by a result cache.",
+                labels=labels,
+                fn=lambda c=cache: c.stats().entries,
+            )
+            metrics.gauge(
+                "cache_approx_bytes",
+                "Approximate bytes held by a result cache.",
+                labels=labels,
+                fn=lambda c=cache: c.stats().approx_bytes,
+            )
+            for tally in ("hits", "misses", "evictions", "invalidations"):
+                metrics.counter(
+                    f"cache_{tally}_total",
+                    f"Result-cache {tally} since service start.",
+                    labels=labels,
+                    fn=lambda c=cache, t=tally: getattr(c.stats(), t),
+                )
+        for tally in (
+            "count_calls",
+            "median_calls",
+            "cache_hits",
+            "aggregate_hits",
+            "batch_calls",
+            "skipped_partitions",
+        ):
+            metrics.counter(
+                f"engine_{tally}_total",
+                "Primary-engine operation tally.",
+                labels={"table": self.name},
+                fn=lambda t=tally: getattr(self.engine.counter, t),
+            )
+        histograms = {
+            op: metrics.histogram(
+                "engine_op_seconds",
+                "Engine aggregate operation latency in seconds.",
+                labels={"table": self.name, "op": op},
+            )
+            for op in ("count", "median")
+        }
+
+        def sink(op: str, seconds: float) -> None:
+            histogram = histograms.get(op)
+            if histogram is not None:
+                histogram.observe(seconds)
+
+        attach = getattr(self._backend, "set_metrics_sink", None)
+        if attach is not None:
+            attach(sink)
 
     def _spawn_backend(self) -> ExecutionBackend:
         """A per-session view of the primary backend (private counters)."""
@@ -286,6 +352,31 @@ class AdvisorService:
             self._partitions = max(1, int(partitions or 1))
             self._pool = None
         self._requests = 0
+        # Observability: one registry and one slow-op log per service.
+        # Service-level numbers are *views* over state the service already
+        # keeps (unlocked reads of a tally are fine for a scrape).
+        self.metrics = MetricsRegistry()
+        self.slow_ops_log = SlowOpLog()
+        self.metrics.counter(
+            "requests_total",
+            "Requests accepted by the advisor service.",
+            fn=lambda: self._requests,
+        )
+        self.metrics.gauge(
+            "sessions_open",
+            "Currently open exploration sessions.",
+            fn=lambda: len(self._sessions),
+        )
+        self.metrics.gauge(
+            "tables_registered",
+            "Tables registered with the service.",
+            fn=lambda: len(self._tables),
+        )
+        self.metrics.gauge(
+            "pool_workers",
+            "Workers in the shared executor pool (0 = sequential).",
+            fn=lambda: self._workers if self._pool is not None else 0,
+        )
         if tables is None:
             return
         if isinstance(tables, Table):
@@ -328,6 +419,7 @@ class AdvisorService:
                 partitions=self._partitions,
                 workers=self._workers,
                 pool=self._pool,
+                metrics=self.metrics,
             )
         return resolved
 
@@ -697,6 +789,17 @@ class AdvisorService:
     def _op_stats(self, request: Request) -> Any:
         return self.stats()
 
+    def _op_slow_ops(self, request: Request) -> Any:
+        limit = request.params.get("limit")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int)
+        ):
+            raise ProtocolError(
+                f"parameter 'limit' of 'slow_ops' must be an integer, "
+                f"got {type(limit).__name__}"
+            )
+        return self.slow_ops(limit)
+
     def _op_close_session(self, request: Request) -> Any:
         return self.close_session(self._session_name(request))
 
@@ -724,7 +827,52 @@ class AdvisorService:
         come back as failed responses carrying the raising class's stable
         :attr:`~repro.errors.CharlesError.code` — the same envelope the
         HTTP server puts on the wire.
+
+        A request carrying a ``trace`` extension runs under a span root
+        (``{}`` opens a fresh trace; ``{"trace_id", "parent_id"}`` joins
+        a router-issued one) and the response carries the finished span
+        tree.  Every request — traced or not — feeds the per-operation
+        latency histogram and is offered to the slow-op log.
         """
+        started = time.perf_counter()
+        trace_request = request.trace
+        trace_document: Optional[Dict[str, Any]] = None
+        if trace_request is None:
+            response = self._submit(request)
+        else:
+            root = start_trace(
+                f"service.{request.op}",
+                trace_id=trace_request.get("trace_id"),
+                parent_id=trace_request.get("parent_id"),
+                op=request.op,
+                session=request.session,
+            )
+            with root:
+                response = self._submit(request)
+            if not response.ok and response.error is not None:
+                # _submit converts raised CharlesErrors into failed
+                # envelopes before the span exit sees them; reflect the
+                # failure on the root so the trace shows it too.
+                code = response.error_code or "error"
+                root.error = f"{code}: {response.error}"
+            trace_document = root.to_document()
+            response.trace = trace_document
+        elapsed = time.perf_counter() - started
+        self.metrics.histogram(
+            "request_seconds",
+            "Service request latency in seconds, by operation.",
+            labels={"op": request.op},
+        ).observe(elapsed)
+        self.slow_ops_log.record(
+            request.op,
+            elapsed,
+            session=request.session or None,
+            request_id=request.request_id,
+            trace=trace_document,
+        )
+        return response
+
+    def _submit(self, request: Request) -> Response:
         started = time.perf_counter()
         try:
             result = self._execute(request)
@@ -837,6 +985,14 @@ class AdvisorService:
         return executed
 
     # -- reporting ----------------------------------------------------------
+
+    def slow_ops(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The slow-op log document (the ``slow_ops`` wire operation)."""
+        return self.slow_ops_log.document(limit)
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The mergeable metrics document (``GET /v1/metrics.json``)."""
+        return self.metrics.to_document()
 
     def stats(self) -> Dict[str, Any]:
         """Service-wide statistics: caches, batching, pool, sessions, requests."""

@@ -48,6 +48,7 @@ a single integer comparison per operation.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -66,6 +67,7 @@ from typing import (
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs.trace import current_span, tracing_active
 from repro.sdl.formatter import query_signature
 from repro.sdl.predicates import NoConstraint
 from repro.sdl.query import SDLQuery
@@ -480,6 +482,10 @@ class QueryEngine:
             version, snapshot, self._source.partitioned(self._partitions)
         )
         self._pool = pool
+        # Optional observability sink: a callable ``(op, seconds)`` fed by
+        # count/median when attached (see set_metrics_sink).  ``None``
+        # keeps the aggregate entry points on their original fast path.
+        self._metrics_sink: Optional[Callable[[str, float], Any]] = None
 
     # -- live data -------------------------------------------------------------
 
@@ -595,7 +601,7 @@ class QueryEngine:
         :class:`~repro.live.VersionedTable` source means every sibling
         observes ingested batches and deletions immediately.
         """
-        return QueryEngine(
+        clone = QueryEngine(
             self._source,
             cache=self._cache,
             use_index=self._features,
@@ -603,6 +609,22 @@ class QueryEngine:
             partitions=self._partitions,
             pool=self._pool,
         )
+        # Session siblings inherit the table runtime's metrics sink, so
+        # every session's aggregate latencies land in the same per-table
+        # histograms.
+        clone._metrics_sink = self._metrics_sink
+        return clone
+
+    def set_metrics_sink(self, sink: Optional[Callable[[str, float], Any]]) -> None:
+        """Attach a latency sink called as ``sink(op, seconds)`` per aggregate.
+
+        The service layer reaches this duck-typed through whatever backend
+        wrapper stack it opened (wrappers delegate unknown attributes to
+        their inner engine), so the storage layer stays import-free of the
+        observability package's registry.
+        """
+        with self._state_lock:
+            self._metrics_sink = sink
 
     def sample(self, fraction: float, seed: Optional[int] = None) -> "QueryEngine":
         """An engine over a uniform sample of the table (same engine options)."""
@@ -849,15 +871,62 @@ class QueryEngine:
 
     def count(self, query: SDLQuery) -> int:
         """``|R(Q)|``: number of rows selected by the query."""
+        if self._metrics_sink is None and not tracing_active():
+            # The unobserved fast path — kept byte-for-byte so disabled
+            # observability costs exactly one attribute read and one
+            # module-global check (the E20 overhead guard measures this).
+            self.counter.add(count_calls=1)
+            state = self._refresh()
+            key = "count::" + query_signature(query)
+            cached = self._aggregate_get(key, state.version)
+            if cached is not None:
+                return cached
+            value = self._count_uncached(query)
+            self._aggregate_put(key, value, state.version)
+            return value
+        started = time.perf_counter()
+        skipped_before = self.counter.skipped_partitions
         self.counter.add(count_calls=1)
         state = self._refresh()
         key = "count::" + query_signature(query)
         cached = self._aggregate_get(key, state.version)
         if cached is not None:
+            self._observe("count", started, state, cache_hit=True)
             return cached
         value = self._count_uncached(query)
         self._aggregate_put(key, value, state.version)
+        self._observe(
+            "count",
+            started,
+            state,
+            cache_hit=False,
+            skipped_partitions=self.counter.skipped_partitions - skipped_before,
+        )
         return value
+
+    def _observe(
+        self, op: str, started: float, state: _LiveState, **attributes: Any
+    ) -> None:
+        """Report one finished aggregate to the sink and the ambient span.
+
+        Runs *after* the measured region: the sink call is one histogram
+        append, and the span child is attached retroactively
+        (:meth:`~repro.obs.trace.Span.record`), so nothing observability-
+        related executes inside the timed operation.
+        """
+        elapsed = time.perf_counter() - started
+        sink = self._metrics_sink
+        if sink is not None:
+            sink(op, elapsed)
+        parent = current_span()
+        if parent is not None:
+            parent.record(
+                f"engine.{op}",
+                elapsed,
+                partitions=state.partitioned.num_partitions,
+                index=",".join(sorted(self._features)) or "none",
+                **attributes,
+            )
 
     def cover(self, query: SDLQuery, context: Optional[SDLQuery] = None) -> float:
         """The cover ``C(Q)``.
@@ -901,6 +970,21 @@ class QueryEngine:
 
     def median(self, attribute: str, query: Optional[SDLQuery] = None) -> Any:
         """Arithmetic median of ``attribute`` over the query's result set."""
+        if self._metrics_sink is None and not tracing_active():
+            # Unobserved fast path, byte-for-byte (see count()).
+            self.counter.add(median_calls=1)
+            state = self._refresh()
+            unconstrained = query is None or not query.constrained_attributes
+            key = "median:{}:{}".format(
+                attribute, "" if unconstrained else query_signature(query)
+            )
+            cached = self._aggregate_get(key, state.version)
+            if cached is not None:
+                return cached
+            value = self._median_uncached(attribute, query)
+            self._aggregate_put(key, value, state.version)
+            return value
+        started = time.perf_counter()
         self.counter.add(median_calls=1)
         state = self._refresh()
         unconstrained = query is None or not query.constrained_attributes
@@ -909,9 +993,11 @@ class QueryEngine:
         )
         cached = self._aggregate_get(key, state.version)
         if cached is not None:
+            self._observe("median", started, state, cache_hit=True, attribute=attribute)
             return cached
         value = self._median_uncached(attribute, query)
         self._aggregate_put(key, value, state.version)
+        self._observe("median", started, state, cache_hit=False, attribute=attribute)
         return value
 
     def minmax(self, attribute: str, query: Optional[SDLQuery] = None) -> Tuple[Any, Any]:

@@ -91,7 +91,7 @@ class MergeableQuantileSketch:
         weights: np.ndarray,
         total_weight: int,
         rank_error: int,
-    ):
+    ) -> None:
         self.budget = int(budget)
         self.values = values
         self.weights = weights

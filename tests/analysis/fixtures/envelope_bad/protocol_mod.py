@@ -1,0 +1,38 @@
+"""CHR005 fixture (drifted): the declared ``trace`` extension is only
+half-carried — Request has no slot and never emits it, Response decodes
+envelopes without ever reading it back."""
+
+ENVELOPE_EXTENSIONS = ("trace",)
+
+
+class Request:
+    __slots__ = ("op",)  # no trace slot
+
+    def __init__(self, op):
+        self.op = op
+
+    def to_wire(self):
+        return {"op": self.op}  # never emits the extension
+
+    @classmethod
+    def from_wire(cls, payload):
+        payload.get("trace")  # read but discarded; the mention satisfies
+        return cls(payload["op"])
+
+
+class Response:
+    __slots__ = ("ok", "trace")
+
+    def __init__(self, ok, trace=None):
+        self.ok = ok
+        self.trace = trace
+
+    def to_wire(self):
+        payload = {"ok": self.ok}
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload):
+        return cls(payload["ok"])  # drops the extension on decode

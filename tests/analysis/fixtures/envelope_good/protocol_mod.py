@@ -1,0 +1,40 @@
+"""CHR005 fixture (clean): the declared envelope extension rides both
+envelope classes — slot, ``to_wire`` and ``from_wire`` all carry it."""
+
+ENVELOPE_EXTENSIONS = ("trace",)
+
+
+class Request:
+    __slots__ = ("op", "trace")
+
+    def __init__(self, op, trace=None):
+        self.op = op
+        self.trace = trace
+
+    def to_wire(self):
+        payload = {"op": self.op}
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload):
+        return cls(payload["op"], trace=payload.get("trace"))
+
+
+class Response:
+    __slots__ = ("ok", "trace")
+
+    def __init__(self, ok, trace=None):
+        self.ok = ok
+        self.trace = trace
+
+    def to_wire(self):
+        payload = {"ok": self.ok}
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload):
+        return cls(payload["ok"], trace=payload.get("trace"))

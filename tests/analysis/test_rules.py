@@ -161,6 +161,33 @@ class TestWireSync:
         assert findings == []
 
 
+class TestEnvelopeExtensions:
+    OPTIONS = {"protocol_module": "protocol_mod"}
+
+    def test_half_carried_extension_surfaces_on_each_side(self):
+        findings = run_rule("CHR005", FIXTURES / "envelope_bad", self.OPTIONS)
+        assert {f.rule_id for f in findings} == {"CHR005"}
+        messages = "\n".join(f.message for f in findings)
+        assert "Request has no 'trace' slot" in messages
+        assert "Request.to_wire never names it" in messages
+        assert "Response.from_wire never names it" in messages
+        # missing slot + silent to_wire (Request) + silent from_wire (Response)
+        assert len(findings) == 3
+
+    def test_fully_carried_extension_is_clean(self):
+        assert run_rule("CHR005", FIXTURES / "envelope_good", self.OPTIONS) == []
+
+    def test_stands_down_without_a_declared_extension_table(self):
+        # The wire_good protocol declares no ENVELOPE_EXTENSIONS at all —
+        # older protocol layouts must not be forced to grow one.
+        findings = run_rule(
+            "CHR005",
+            FIXTURES / "wire_good" / "protocol_mod.py",
+            self.OPTIONS,
+        )
+        assert findings == []
+
+
 class TestCodecDeterminism:
     OPTIONS = {"module": "chr006_violation"}
 

@@ -1,0 +1,261 @@
+"""End-to-end observability tests: trace envelopes, span assembly on a
+single node, ``/v1/metrics`` exposition and the slow-op log surface."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.client import RemoteAdvisor
+from repro.api.protocol import ENVELOPE_EXTENSIONS, Request, Response
+from repro.api.server import AdvisorHTTPServer
+from repro.errors import ProtocolError, WireFormatError
+from repro.service import AdvisorService
+from repro.workloads import generate_voc
+
+_CONTEXT = ["type_of_boat", "departure_harbour", "tonnage"]
+_ROWS, _SEED = 600, 23
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = AdvisorService(generate_voc(rows=_ROWS, seed=_SEED), batch_window=0.0)
+    with AdvisorHTTPServer(service, port=0) as running:
+        yield running
+
+
+def _span_names(document, into=None):
+    names = [] if into is None else into
+    names.append(document.get("name"))
+    for child in document.get("children", []) or []:
+        _span_names(child, names)
+    return names
+
+
+def _trace_ids(document, into=None):
+    ids = set() if into is None else into
+    ids.add(document.get("trace_id"))
+    for child in document.get("children", []) or []:
+        _trace_ids(child, ids)
+    return ids
+
+
+class TestTraceEnvelope:
+    def test_trace_is_a_declared_envelope_extension(self):
+        assert "trace" in ENVELOPE_EXTENSIONS
+
+    def test_request_trace_round_trips(self):
+        request = Request(op="advise", session="s", trace={"trace_id": "t-1"})
+        payload = request.to_wire()
+        assert payload["trace"] == {"trace_id": "t-1"}
+        decoded = Request.from_wire(payload)
+        assert decoded.trace == {"trace_id": "t-1"}
+        assert decoded == request
+
+    def test_untraced_request_omits_the_field(self):
+        payload = Request(op="stats").to_wire()
+        assert "trace" not in payload
+
+    def test_legacy_payload_without_trace_decodes_untraced(self):
+        payload = Request(op="stats").to_wire()
+        payload.pop("trace", None)
+        assert Request.from_wire(payload).trace is None
+
+    def test_malformed_trace_is_rejected_on_both_envelopes(self):
+        with pytest.raises(WireFormatError):
+            Request(op="stats", trace="not an object")
+        payload = Request(op="stats").to_wire()
+        payload["trace"] = ["nope"]
+        with pytest.raises(WireFormatError):
+            Request.from_wire(payload)
+        with pytest.raises(WireFormatError):
+            Response(ok=True, op="stats", trace=42)
+
+    def test_response_trace_round_trips(self):
+        response = Response(
+            ok=True, op="advise", result=None,
+            trace={"name": "service.advise", "trace_id": "t"},
+        )
+        decoded = Response.from_wire(response.to_wire())
+        assert decoded.trace == {"name": "service.advise", "trace_id": "t"}
+
+
+class TestServiceTracing:
+    @pytest.fixture()
+    def service(self):
+        return AdvisorService(generate_voc(rows=_ROWS, seed=_SEED), batch_window=0.0)
+
+    def test_untraced_request_returns_no_trace(self, service):
+        response = service.submit(Request(op="stats"))
+        assert response.ok
+        assert response.trace is None
+
+    def test_traced_advise_assembles_the_span_tree(self, service):
+        service.submit(
+            Request(op="open_session", session="probe", table="voc")
+        )
+        response = service.submit(
+            Request(op="advise", session="probe", context=_CONTEXT, trace={})
+        )
+        assert response.ok
+        tree = response.trace
+        assert tree is not None
+        assert tree["name"] == "service.advise"
+        names = _span_names(tree)
+        assert "session.advise" in names
+        assert any(name.startswith("engine.") for name in names if name)
+        assert len(_trace_ids(tree)) == 1  # one trace id for the whole tree
+        assert tree["attributes"]["op"] == "advise"
+
+    def test_traced_request_joins_a_distributed_trace(self, service):
+        response = service.submit(
+            Request(
+                op="stats",
+                trace={"trace_id": "t-router", "parent_id": "s-router"},
+            )
+        )
+        assert response.trace["trace_id"] == "t-router"
+        assert response.trace["parent_id"] == "s-router"
+
+    def test_failed_requests_still_carry_their_trace(self, service):
+        response = service.submit(
+            Request(op="advise", session="ghost", trace={})
+        )
+        assert not response.ok
+        assert response.trace is not None
+        assert response.trace["error"]
+
+    def test_slow_op_log_records_every_request(self, service):
+        service.submit(Request(op="stats"))
+        document = service.slow_ops()
+        assert "stats" in document["ops"]
+        (entry, *_) = document["ops"]["stats"]
+        assert entry["seconds"] >= 0.0
+
+    def test_slow_op_entries_keep_the_trace(self, service):
+        service.submit(Request(op="stats", trace={}))
+        entries = service.slow_ops()["ops"]["stats"]
+        assert any("trace" in entry for entry in entries)
+
+    def test_slow_ops_limit_is_validated(self, service):
+        for bad_limit in ("three", True):
+            response = service.submit(Request(op="slow_ops", limit=bad_limit))
+            assert not response.ok
+            assert response.error_code == ProtocolError.code
+
+    def test_metrics_document_covers_requests_and_engine_ops(self, service):
+        service.submit(Request(op="open_session", session="m", table="voc"))
+        service.submit(Request(op="advise", session="m", context=_CONTEXT))
+        document = service.metrics_document()
+        counter_names = {row["name"] for row in document["counters"]}
+        gauge_names = {row["name"] for row in document["gauges"]}
+        histogram_names = {row["name"] for row in document["histograms"]}
+        assert "requests_total" in counter_names
+        assert "engine_count_calls_total" in counter_names
+        assert "cache_hits_total" in counter_names
+        assert "cache_entries" in gauge_names
+        assert "sessions_open" in gauge_names
+        assert "request_seconds" in histogram_names
+        request_rows = [
+            row for row in document["histograms"] if row["name"] == "request_seconds"
+        ]
+        assert {row["labels"]["op"] for row in request_rows} >= {"advise"}
+
+    def test_cache_gauges_track_the_result_cache(self, service):
+        service.submit(Request(op="open_session", session="g", table="voc"))
+        service.submit(Request(op="advise", session="g", context=_CONTEXT))
+        document = service.metrics_document()
+        entries = {
+            (row["labels"].get("cache"), row["name"]): row["value"]
+            for row in document["gauges"]
+            if row["name"] in ("cache_entries", "cache_approx_bytes")
+        }
+        assert entries[("results", "cache_entries")] >= 0
+        assert entries[("advice", "cache_entries")] >= 1
+
+
+class TestMetricsEndpoints:
+    def test_plain_metrics_is_prometheus_text(self, server):
+        client = RemoteAdvisor(server.url)
+        client.open_session("scrape", context=_CONTEXT).close()
+        text = client.metrics_text()
+        assert "# TYPE charles_requests_total counter" in text
+        assert 'quantile="0.5"' in text
+        assert "charles_request_seconds" in text
+
+    def test_plain_metrics_content_type(self, server):
+        with urllib.request.urlopen(f"{server.url}/v1/metrics") as reply:
+            assert reply.headers["Content-Type"].startswith("text/plain")
+            assert b"charles_requests_total" in reply.read()
+
+    def test_json_metrics_document(self, server):
+        client = RemoteAdvisor(server.url)
+        document = client.metrics_document()
+        assert {"counters", "gauges", "histograms"} <= document.keys()
+
+    def test_remote_slow_ops(self, server):
+        client = RemoteAdvisor(server.url)
+        client.open_session("slow", context=_CONTEXT).close()
+        document = client.slow_ops(limit=2)
+        assert document["per_op"] == 2
+        assert "open_session" in document["ops"]
+
+
+class TestRemoteTracing:
+    def test_traced_client_captures_the_last_trace(self, server):
+        client = RemoteAdvisor(server.url, trace=True)
+        session = client.open_session("traced", context=_CONTEXT)
+        session.advise(_CONTEXT)
+        assert client.last_trace is not None
+        names = _span_names(client.last_trace)
+        assert names[0] == "service.advise"
+        assert "session.advise" in names
+        session.close()
+
+    def test_untraced_client_captures_nothing(self, server):
+        client = RemoteAdvisor(server.url)
+        client.open_session("plain", context=_CONTEXT).close()
+        assert client.last_trace is None
+
+
+class TestInternalErrorLogging:
+    def test_unexpected_rpc_failure_logs_structured_record(self, capsys):
+        class ExplodingService:
+            def submit(self, request):  # pragma: no cover - fails first
+                raise RuntimeError("wired wrong")
+
+            def health_document(self):
+                return {}
+
+            metrics = None
+
+        service = AdvisorService(generate_voc(rows=60, seed=1), batch_window=0.0)
+        with AdvisorHTTPServer(service, port=0) as running:
+            original = running.handle_rpc
+            running.handle_rpc = ExplodingService().submit
+            try:
+                payload = Request(
+                    op="stats", trace={"trace_id": "t-dbg"}
+                ).to_wire()
+                request = urllib.request.Request(
+                    f"{running.url}/v1/rpc",
+                    data=json.dumps(payload).encode(),
+                    method="POST",
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request)
+                assert excinfo.value.code == 500
+                body = json.loads(excinfo.value.read())
+                assert body["error"]["code"] == "internal"
+            finally:
+                running.handle_rpc = original
+        err = capsys.readouterr().err
+        record = json.loads(err.strip().splitlines()[-1])
+        assert record["event"] == "http_internal_error"
+        assert record["error"] == "RuntimeError: wired wrong"
+        assert record["op"] == "stats"
+        assert record["trace_id"] == "t-dbg"
+        assert "RuntimeError" in record["traceback"]

@@ -119,6 +119,7 @@ class TestRequestEnvelope:
             "describe",
             "stats",
             "ingest",
+            "slow_ops",
             "close_session",
         }
 

@@ -1,0 +1,113 @@
+"""Unit tests for the span-tree tracing core."""
+
+import pytest
+
+from repro.obs.trace import (
+    NO_SPAN,
+    Span,
+    current_span,
+    format_span_tree,
+    span,
+    start_trace,
+    tracing_active,
+)
+
+
+class TestInactivePath:
+    def test_span_is_the_noop_singleton_outside_a_trace(self):
+        assert span("anything") is NO_SPAN
+        assert not NO_SPAN
+        assert current_span() is None
+        assert not tracing_active()
+
+    def test_noop_span_absorbs_the_full_api(self):
+        with span("outer") as node:
+            assert node is NO_SPAN
+            node.annotate(ignored=True)
+            assert node.child("x") is NO_SPAN
+            assert node.record("x", 0.5) is NO_SPAN
+            node.adopt({"name": "remote"})
+            assert node.finish() is NO_SPAN
+
+
+class TestSpanTree:
+    def test_nested_spans_share_one_trace_id(self):
+        root = start_trace("service.advise", op="advise")
+        with root:
+            assert tracing_active()
+            assert current_span() is root
+            with span("session.advise", mode="exact") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                assert current_span() is child
+                grandchild = span("engine.count")
+                grandchild.finish()
+            assert current_span() is root
+        assert current_span() is None
+        document = root.to_document()
+        assert document["trace_id"] == root.trace_id
+        (session_doc,) = document["children"]
+        assert session_doc["name"] == "session.advise"
+        assert session_doc["attributes"] == {"mode": "exact"}
+        (engine_doc,) = session_doc["children"]
+        assert engine_doc["name"] == "engine.count"
+
+    def test_join_an_existing_distributed_trace(self):
+        root = start_trace("node.advise", trace_id="t-router", parent_id="s-router")
+        assert root.trace_id == "t-router"
+        assert root.parent_id == "s-router"
+
+    def test_retroactive_record_backdates_the_leaf(self):
+        root = start_trace("root")
+        leaf = root.record("engine.count", 0.25, partitions=3, cache_hit=True)
+        assert leaf.duration_seconds == 0.25
+        assert leaf.started_at <= root.to_document()["started_at"] + 1.0
+        document = root.to_document()
+        (leaf_doc,) = document["children"]
+        assert leaf_doc["attributes"] == {"partitions": 3, "cache_hit": True}
+        assert leaf_doc["duration_seconds"] == 0.25
+
+    def test_adopted_remote_documents_pass_through_verbatim(self):
+        root = start_trace("router.advise")
+        remote = {"name": "service.advise", "trace_id": root.trace_id, "children": []}
+        root.adopt(remote)
+        document = root.to_document()
+        assert document["children"][0]["name"] == "service.advise"
+
+    def test_exceptions_are_recorded_and_reraised(self):
+        root = start_trace("root")
+        with pytest.raises(ValueError):
+            with root:
+                raise ValueError("boom")
+        assert root.error == "ValueError: boom"
+        assert root.duration_seconds is not None
+        assert "error" in root.to_document()
+
+    def test_finish_is_idempotent(self):
+        node = Span("x")
+        first = node.finish().duration_seconds
+        assert node.finish().duration_seconds == first
+
+    def test_empty_sections_are_omitted_from_the_document(self):
+        document = Span("bare").to_document()
+        assert "attributes" not in document
+        assert "children" not in document
+        assert "error" not in document
+
+
+class TestFormatting:
+    def test_tree_renders_indented_with_attributes_and_errors(self):
+        root = start_trace("service.advise", op="advise")
+        with root:
+            with span("session.advise", cached=True):
+                pass
+        root.error = "RuntimeError: late"
+        text = format_span_tree(root.to_document())
+        lines = text.splitlines()
+        assert "service.advise" in lines[0]
+        assert "[op=advise]" in lines[0]
+        assert "!error=RuntimeError: late" in lines[0]
+        assert lines[1].startswith("  ")
+        assert "session.advise" in lines[1]
+        assert "[cached=True]" in lines[1]
+        assert "ms" in lines[0]
